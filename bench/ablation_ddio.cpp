@@ -1,0 +1,47 @@
+// Ablation: DDIO on/off (§2.3, §4.4.2). With DDIO enabled, incoming
+// DMA lands in the volatile LLC: flushes get more expensive (the
+// RNIC/CPU must write lines back) and, critically, read-after-write
+// stops proving persistence. This bench quantifies the latency cost;
+// the correctness side is pinned by tests (RnicDdio.*).
+//
+// Flags: --ops=N (default 4000), --seed=N, --quick
+
+#include <cstdio>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+
+  std::printf("Ablation — DDIO off (paper default) vs on; write-only, 4KB\n\n");
+
+  bench::TablePrinter table(
+      {"System", "DDIO off (us)", "DDIO on (us)", "On/Off"});
+  for (const rpcs::System sys :
+       {rpcs::System::kFaRM, rpcs::System::kScaleRPC, rpcs::System::kDaRPC,
+        rpcs::System::kWFlushRpc, rpcs::System::kSFlushRpc,
+        rpcs::System::kWRFlushRpc, rpcs::System::kSRFlushRpc}) {
+    double lat[2] = {0, 0};
+    for (const bool ddio : {false, true}) {
+      bench::MicroConfig cfg;
+      cfg.object_size = 4096;
+      cfg.ops = ops;
+      cfg.seed = seed;
+      cfg.read_ratio = 0.0;
+      cfg.ddio = ddio;
+      const auto res = bench::run_micro(sys, cfg);
+      lat[ddio ? 1 : 0] = res.avg_us();
+    }
+    table.add_row({std::string(rpcs::name_of(sys)),
+                   bench::TablePrinter::num(lat[0], 1),
+                   bench::TablePrinter::num(lat[1], 1),
+                   bench::TablePrinter::num(lat[1] / lat[0], 2)});
+  }
+  table.print();
+  return 0;
+}

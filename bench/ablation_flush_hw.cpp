@@ -1,0 +1,64 @@
+// Ablation (beyond the paper's figures): how much of the durable RPCs'
+// cost is an artifact of the *emulation* (§4.1.3: read-after-write for
+// WFlush, +7 µs addressing for SFlush) versus what idealised RNIC
+// hardware support would deliver. Also sweeps the SFlush addressing
+// delay, the model's most conservative assumption.
+//
+// Flags: --ops=N (default 4000), --seed=N, --quick
+
+#include <cstdio>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+
+  std::printf("Ablation — emulated Flush (paper §4.1.3) vs idealised RNIC\n");
+  std::printf("hardware; write-only, 1KB objects\n\n");
+
+  {
+    bench::TablePrinter table(
+        {"System", "Emulated (us)", "Hardware (us)", "Speedup"});
+    for (const rpcs::System sys :
+         {rpcs::System::kWFlushRpc, rpcs::System::kSFlushRpc,
+          rpcs::System::kWRFlushRpc, rpcs::System::kSRFlushRpc}) {
+      double lat[2] = {0, 0};
+      for (const bool emulate : {true, false}) {
+        bench::MicroConfig cfg;
+        cfg.object_size = 1024;
+        cfg.ops = ops;
+        cfg.seed = seed;
+        cfg.read_ratio = 0.0;
+        cfg.emulate_flush = emulate;
+        const auto res = bench::run_micro(sys, cfg);
+        lat[emulate ? 0 : 1] = res.avg_us();
+      }
+      table.add_row({std::string(rpcs::name_of(sys)),
+                     bench::TablePrinter::num(lat[0], 1),
+                     bench::TablePrinter::num(lat[1], 1),
+                     bench::TablePrinter::num(lat[0] / lat[1], 2)});
+    }
+    table.print();
+  }
+
+  std::printf("\nSFlush addressing-delay sweep (emulated mode, paper default"
+              " 7us):\n\n");
+  bench::TablePrinter sweep({"Addressing (us)", "SFlush-RPC avg (us)"});
+  for (const std::uint64_t us : {0ull, 1ull, 3ull, 7ull, 14ull, 28ull}) {
+    bench::MicroConfig cfg;
+    cfg.object_size = 1024;
+    cfg.ops = ops;
+    cfg.seed = seed;
+    cfg.read_ratio = 0.0;
+    cfg.sflush_addressing_us = us;
+    const auto res = bench::run_micro(rpcs::System::kSFlushRpc, cfg);
+    sweep.add_row({std::to_string(us), bench::TablePrinter::num(res.avg_us(), 1)});
+  }
+  sweep.print();
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Fig. 9: 95th / 99th percentile and average latency of the
+// RPC systems for 1 KB and 64 KB objects (micro-benchmark, §5.2).
+//
+// Flags: --ops=N (default 6000), --seed=N, --quick
+
+#include <cstdio>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1500 : 6000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+
+  std::printf("Fig. 9 — tail and average RPC latency (us)\n");
+  std::printf("zipfian(0.99), R:W 1:1, ops/cell=%llu, seed=%llu\n\n",
+              static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(seed));
+
+  const std::uint32_t sizes[] = {1024, 64 * 1024};
+  const char* labels[] = {"(a) 1KB objects", "(b) 64KB objects"};
+  for (int si = 0; si < 2; ++si) {
+    std::printf("%s\n", labels[si]);
+    bench::TablePrinter table({"System", "95th", "99th", "Avg"});
+    for (const rpcs::System sys : rpcs::evaluation_lineup(sizes[si])) {
+      if (sys == rpcs::System::kFaSST) continue;  // not in the paper's Fig. 9
+      bench::MicroConfig cfg;
+      cfg.object_size = sizes[si];
+      cfg.ops = ops;
+      cfg.seed = seed;
+      const auto res = bench::run_micro(sys, cfg);
+      table.add_row({std::string(rpcs::name_of(sys)),
+                     bench::TablePrinter::num(res.p95_us(), 1),
+                     bench::TablePrinter::num(res.p99_us(), 1),
+                     bench::TablePrinter::num(res.avg_us(), 1)});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  return 0;
+}

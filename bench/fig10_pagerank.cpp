@@ -1,0 +1,41 @@
+// Reproduces Fig. 10: PageRank execution time over the three graph
+// datasets (wordassociation-2011, enron, dblp-2010), with the graph
+// stored in the remote server's PM and fetched through each RPC
+// system (§5.3). Synthetic graphs at the paper's node/edge counts
+// stand in for the originals (DESIGN.md §1).
+//
+// Flags: --iters=N (default 10), --seed=N, --quick
+
+#include <cstdio>
+
+#include "bench_util/table.hpp"
+#include "graph/pagerank.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  graph::PageRankConfig cfg;
+  cfg.iterations = static_cast<std::uint32_t>(
+      flags.u64("iters", flags.flag("quick") ? 3 : 10));
+  cfg.seed = flags.u64("seed", 1);
+
+  std::printf("Fig. 10 — PageRank execution time (simulated ms), %u"
+              " iterations\n\n",
+              cfg.iterations);
+
+  const graph::GraphSpec specs[] = {graph::kWordAssociation, graph::kEnron,
+                                    graph::kDblp};
+  bench::TablePrinter table(
+      {"System", "wordassociation-2011", "enron", "dblp-2010"});
+  for (const rpcs::System sys : rpcs::evaluation_lineup(cfg.page_bytes)) {
+    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+    for (const auto& spec : specs) {
+      const auto res = graph::run_pagerank(sys, spec, cfg);
+      row.push_back(bench::TablePrinter::num(sim::to_ms(res.duration), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

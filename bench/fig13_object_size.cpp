@@ -1,0 +1,43 @@
+// Reproduces Fig. 13: average RPC latency as the object size sweeps
+// 64 B — 16 KB. The paper's observation: latency is software-dominated
+// below ~4 KB and transfer-dominated above; send-based RPCs (DaRPC)
+// are the most size-sensitive.
+//
+// Flags: --ops=N (default 4000), --seed=N, --quick
+
+#include <cstdio>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+
+  std::printf("Fig. 13 — average latency (us) vs object size\n\n");
+
+  const std::uint32_t sizes[] = {64, 256, 1024, 4096, 16384};
+  bench::TablePrinter table({"System", "64B", "256B", "1KB", "4KB", "16KB"});
+  for (const rpcs::System sys : rpcs::evaluation_lineup(64)) {
+    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+    for (const std::uint32_t size : sizes) {
+      const auto& info = rpcs::info_of(sys);
+      if (info.max_object != 0 && size > info.max_object) {
+        row.push_back("-");
+        continue;
+      }
+      bench::MicroConfig cfg;
+      cfg.object_size = size;
+      cfg.ops = ops;
+      cfg.seed = seed;
+      const auto res = bench::run_micro(sys, cfg);
+      row.push_back(bench::TablePrinter::num(res.avg_us(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig. 14: impact of RDMA network load on average RPC
+// latency (idle vs busy link). The paper's findings: receiver-
+// initiated Flush RPCs suffer least (fewer wire crossings on the
+// persistence path); write-based RPCs are more load-sensitive than
+// send-based ones.
+//
+// Flags: --ops=N (default 4000), --seed=N, --load=0.85, --quick
+
+#include <cstdio>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const double busy = flags.real("load", 0.85);
+
+  std::printf("Fig. 14 — avg latency (us), idle vs busy network (load=%.2f)\n\n",
+              busy);
+
+  bench::TablePrinter table({"System", "Idle", "Busy", "Busy/Idle"});
+  for (const rpcs::System sys : rpcs::evaluation_lineup(64 * 1024)) {
+    double idle = 0;
+    double loaded = 0;
+    for (const bool is_busy : {false, true}) {
+      bench::MicroConfig cfg;
+      cfg.object_size = 16 * 1024;
+      cfg.ops = ops;
+      cfg.seed = seed;
+      cfg.net_load = is_busy ? busy : 0.0;
+      const auto res = bench::run_micro(sys, cfg);
+      (is_busy ? loaded : idle) = res.avg_us();
+    }
+    table.add_row({std::string(rpcs::name_of(sys)),
+                   bench::TablePrinter::num(idle, 1),
+                   bench::TablePrinter::num(loaded, 1),
+                   bench::TablePrinter::num(loaded / idle, 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Reproduces Fig. 16: impact of the sender's CPU load on RPC latency.
+// Every system's sender path (posting, polling its own completion/
+// response) is software, so a busy sender inflates all of them
+// significantly (the paper's conclusion).
+//
+// Flags: --ops=N (default 4000), --seed=N, --load=30, --quick
+
+#include <cstdio>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const double busy = flags.real("load", 30.0);
+
+  std::printf(
+      "Fig. 16 — avg latency (us), idle vs busy sender CPU (load=%.0fx)\n\n",
+      busy);
+
+  bench::TablePrinter table({"System", "Idle", "Busy", "Busy/Idle"});
+  for (const rpcs::System sys : rpcs::evaluation_lineup(64 * 1024)) {
+    double idle = 0;
+    double loaded = 0;
+    for (const bool is_busy : {false, true}) {
+      bench::MicroConfig cfg;
+      cfg.object_size = 4096;
+      cfg.ops = ops;
+      cfg.seed = seed;
+      cfg.client_cpu_load = is_busy ? busy : 0.0;
+      const auto res = bench::run_micro(sys, cfg);
+      (is_busy ? loaded : idle) = res.avg_us();
+    }
+    table.add_row({std::string(rpcs::name_of(sys)),
+                   bench::TablePrinter::num(idle, 1),
+                   bench::TablePrinter::num(loaded, 1),
+                   bench::TablePrinter::num(loaded / idle, 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig. 17: average latency with 10..50 concurrent senders
+// against a single receiver. Traditional RPCs degrade with sender
+// count (every request crosses the receiver CPU); the durable RPCs'
+// write path needs no remote CPU, so their latency stays flat.
+//
+// The workload is write-only: the durable-RPC completion point (remote
+// persistence) is the metric under study, exactly as in §5.5.
+//
+// Flags: --ops=N (per sender, default 300), --seed=N, --quick
+
+#include <cstdio>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t per_sender =
+      flags.u64("ops", flags.flag("quick") ? 100 : 300);
+  const std::uint64_t seed = flags.u64("seed", 1);
+
+  std::printf("Fig. 17 — avg latency (us) vs concurrent senders\n");
+  std::printf("write-only workload, 1KB objects, %llu ops/sender\n\n",
+              static_cast<unsigned long long>(per_sender));
+
+  const std::size_t counts[] = {10, 20, 30, 40, 50};
+  bench::TablePrinter table({"System", "10", "20", "30", "40", "50"});
+  for (const rpcs::System sys : rpcs::evaluation_lineup(1024)) {
+    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+    for (const std::size_t n : counts) {
+      bench::MicroConfig cfg;
+      cfg.object_size = 1024;
+      cfg.clients = n;
+      cfg.ops = per_sender * n;
+      cfg.read_ratio = 0.0;
+      cfg.seed = seed;
+      cfg.server_cores = 20;    // testbed: 20-core Xeon Gold 6230 (§5.1)
+      cfg.server_workers = 16;
+      const auto res = bench::run_micro(sys, cfg);
+      row.push_back(bench::TablePrinter::num(res.avg_us(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Fig. 18: average latency under different read/write
+// mixes. For write-intensive workloads the durable RPCs win big (the
+// Flush completes long before processing); for read-intensive ones
+// they match the baselines (reads take the ordinary response path).
+//
+// Flags: --ops=N (default 4000), --seed=N, --quick
+
+#include <cstdio>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+
+  std::printf("Fig. 18 — avg latency (us) vs read/write mix (4KB objects,\n");
+  std::printf("heavy load: 100us injected processing)\n\n");
+
+  const double read_ratios[] = {0.05, 0.50, 0.95};
+  bench::TablePrinter table(
+      {"System", "5%r+95%w", "50%r+50%w", "95%r+5%w"});
+  for (const rpcs::System sys : rpcs::evaluation_lineup(64 * 1024)) {
+    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+    for (const double rr : read_ratios) {
+      bench::MicroConfig cfg;
+      cfg.object_size = 4096;
+      cfg.ops = ops;
+      cfg.seed = seed;
+      cfg.read_ratio = rr;
+      cfg.heavy_load = true;
+      const auto res = bench::run_micro(sys, cfg);
+      row.push_back(bench::TablePrinter::num(res.avg_us(), 1));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

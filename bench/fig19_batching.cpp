@@ -1,0 +1,47 @@
+// Reproduces Fig. 19: total execution time when multiple requests are
+// batched into one RPC (batch sizes 1/4/8, §4.3, Fig. 6). Batching
+// pays off far more for the write+Flush RPCs (one large transfer, one
+// flush) than for send-based DaRPC, whose software cost scales with
+// the message size.
+//
+// Flags: --ops=N (total sub-ops, default 8000), --seed=N, --quick
+
+#include <cstdio>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 2000 : 8000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+
+  std::printf("Fig. 19 — total execution time (simulated ms) vs batch size\n");
+  std::printf("1KB writes, %llu total operations\n\n",
+              static_cast<unsigned long long>(ops));
+
+  const rpcs::System systems[] = {
+      rpcs::System::kDaRPC,      rpcs::System::kScaleRPC,
+      rpcs::System::kSRFlushRpc, rpcs::System::kSFlushRpc,
+      rpcs::System::kWRFlushRpc, rpcs::System::kWFlushRpc};
+
+  bench::TablePrinter table({"System", "batch=1", "batch=4", "batch=8"});
+  for (const rpcs::System sys : systems) {
+    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+    for (const std::uint32_t batch : {1u, 4u, 8u}) {
+      bench::MicroConfig cfg;
+      cfg.object_size = 1024;
+      cfg.batch = batch;
+      cfg.ops = ops / batch;  // same total sub-operations
+      cfg.read_ratio = 0.0;
+      cfg.seed = seed;
+      const auto res = bench::run_micro(sys, cfg);
+      row.push_back(bench::TablePrinter::num(sim::to_ms(res.duration), 2));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Fig. 20: breakdown of the RPC latency into sender
+// software, network round trips (hardware) and receiver critical-path
+// software, for a YCSB-A-like workload (4 KB, R:W 1:1, zipfian).
+//
+// Sender/receiver software is measured directly from the host cost
+// accounting; the hardware share is the remainder. For the durable
+// RPCs the receiver column counts only work the client waits on —
+// asynchronous processing is the whole point of §4.2.
+//
+// Flags: --ops=N (default 4000), --seed=N, --quick
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
+  const std::uint64_t seed = flags.u64("seed", 1);
+
+  std::printf("Fig. 20 — latency breakdown (us/op), YCSB-A-like workload\n\n");
+
+  bench::TablePrinter table({"System", "Sender SW", "RTT (hw)", "Receiver SW",
+                             "Total", "SW share"});
+  for (const rpcs::System sys : rpcs::evaluation_lineup(64 * 1024)) {
+    bench::MicroConfig cfg;
+    cfg.object_size = 4096;
+    cfg.ops = ops;
+    cfg.seed = seed;
+    const auto res = bench::run_micro(sys, cfg);
+    const double total = res.latency.mean();
+    const double sender = res.sender_sw_ns;
+    const double receiver = res.receiver_sw_ns;
+    const double rtt = std::max(0.0, total - sender - receiver);
+    const double sw_share = total > 0 ? (sender + receiver) / total : 0;
+    table.add_row({std::string(rpcs::name_of(sys)),
+                   bench::TablePrinter::num(sender / 1e3, 2),
+                   bench::TablePrinter::num(rtt / 1e3, 2),
+                   bench::TablePrinter::num(receiver / 1e3, 2),
+                   bench::TablePrinter::num(total / 1e3, 2),
+                   bench::TablePrinter::num(sw_share * 100.0, 1) + "%"});
+  }
+  table.print();
+  return 0;
+}

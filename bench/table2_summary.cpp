@@ -1,0 +1,106 @@
+// Regenerates Table 2: the qualitative summary of the RPC families,
+// derived from *measured* micro-benchmark data rather than asserted:
+//  - network-load sensitivity   (Fig. 14 busy latency, terciles)
+//  - receiver CPU requirement   (Fig. 15 busy latency, terciles)
+//  - tail latency               (Fig. 9 p99, terciles)
+//  - scalability                (Fig. 17 latency growth 5 -> 20 senders)
+//
+// Flags: --ops=N (default 2500), --seed=N, --quick
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+namespace {
+
+/// Tercile grade of `v` within `all` (ascending = worse).
+std::string tercile(double v, std::vector<double> all,
+                    const char* low = "Low", const char* mid = "Medium",
+                    const char* high = "High") {
+  std::sort(all.begin(), all.end());
+  const double t1 = all[all.size() / 3];
+  const double t2 = all[(2 * all.size()) / 3];
+  if (v <= t1) return low;
+  if (v <= t2) return mid;
+  return high;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 800 : 2500);
+  const std::uint64_t seed = flags.u64("seed", 1);
+
+  std::printf("Table 2 — measured summary of RPC families\n\n");
+
+  struct Row {
+    rpcs::System sys;
+    double busy_net;
+    double busy_cpu;
+    double p99;
+    double scale_ratio;
+  };
+  std::vector<Row> rows;
+
+  for (const rpcs::System sys : rpcs::evaluation_lineup(4096)) {
+    bench::MicroConfig base;
+    base.object_size = 4096;
+    base.ops = ops;
+    base.seed = seed;
+
+    const auto idle = bench::run_micro(sys, base);
+
+    auto busy_net_cfg = base;
+    busy_net_cfg.net_load = 0.85;
+    const auto busy_net = bench::run_micro(sys, busy_net_cfg);
+
+    auto busy_cpu_cfg = base;
+    busy_cpu_cfg.server_cpu_load = 3.0;
+    const auto busy_cpu = bench::run_micro(sys, busy_cpu_cfg);
+
+    // Scalability on the testbed-scale server (as in Fig. 17).
+    auto few_cfg = base;
+    few_cfg.clients = 5;
+    few_cfg.read_ratio = 0.0;
+    few_cfg.ops = 150 * 5;
+    few_cfg.server_cores = 20;
+    few_cfg.server_workers = 16;
+    auto many_cfg = few_cfg;
+    many_cfg.clients = 20;
+    many_cfg.ops = 150 * 20;
+    const auto few = bench::run_micro(sys, few_cfg);
+    const auto many = bench::run_micro(sys, many_cfg);
+
+    rows.push_back(Row{sys, busy_net.avg_us(), busy_cpu.avg_us(),
+                       idle.p99_us(), many.avg_us() / few.avg_us()});
+  }
+
+  std::vector<double> nets, cpus, p99s;
+  for (const auto& r : rows) {
+    nets.push_back(r.busy_net);
+    cpus.push_back(r.busy_cpu);
+    p99s.push_back(r.p99);
+  }
+
+  bench::TablePrinter table({"System", "NetLoad sens.", "RecvCPU req.",
+                             "Tail latency", "Scalability", "Persistence"});
+  for (const auto& r : rows) {
+    const bool durable = rpcs::info_of(r.sys).durable;
+    table.add_row({std::string(rpcs::name_of(r.sys)),
+                   tercile(r.busy_net, nets),
+                   tercile(r.busy_cpu, cpus),
+                   tercile(r.p99, p99s) + " (" +
+                       bench::TablePrinter::num(r.p99, 1) + "us p99)",
+                   r.scale_ratio < 1.15 ? "Good" : "Medium",
+                   durable ? "Proactive, decoupled" : "Passive"});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Example: end-to-end failure recovery walkthrough (§4.2/§5.4).
+// A pipelined client streams durable writes while the server is
+// crashed twice; the walkthrough prints what the redo log recovers,
+// what the client re-sends, and the total cost vs a traditional RPC
+// system under the same failures.
+//
+// Run: ./build/examples/failure_recovery_walkthrough
+
+#include <cstdio>
+
+#include "fault/experiment.hpp"
+
+using namespace prdma;
+
+int main() {
+  fault::FailureRunConfig cfg;
+  cfg.ops = 600;
+  cfg.crashes = 2;
+  cfg.window = 8;
+  cfg.read_ratio = 0.0;
+
+  std::printf("600 durable 4KB writes, 2 server power failures,\n");
+  std::printf("300ms unikernel restart, 100ms RDMA retransmit interval\n\n");
+
+  for (const rpcs::System sys :
+       {rpcs::System::kWFlushRpc, rpcs::System::kFaRM}) {
+    const auto res = fault::run_with_failures(sys, cfg);
+    std::printf("%-12s  total=%8.1f ms  completed=%llu  crashes=%u\n"
+                "              client re-sends=%llu  log replays=%llu\n",
+                rpcs::name_of(sys).data(), sim::to_ms(res.total),
+                static_cast<unsigned long long>(res.ops_completed),
+                res.crashes, static_cast<unsigned long long>(res.resends),
+                static_cast<unsigned long long>(res.replayed));
+  }
+
+  std::printf(
+      "\nThe durable RPC replays committed log entries server-side; the\n"
+      "traditional system makes the client re-send request AND data, one\n"
+      "retransmission-timer expiry at a time (§5.4).\n");
+  return 0;
+}

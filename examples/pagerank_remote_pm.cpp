@@ -1,0 +1,41 @@
+// Example: graph analytics with the dataset in remote persistent
+// memory (the paper's §5.3 PageRank scenario). The client fetches CSR
+// pages through the RPC layer each iteration and keeps ranks locally.
+//
+// Run: ./build/examples/pagerank_remote_pm [--iters=N]
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util/table.hpp"
+#include "graph/pagerank.hpp"
+
+using namespace prdma;
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  graph::PageRankConfig cfg;
+  cfg.iterations = static_cast<std::uint32_t>(flags.u64("iters", 5));
+
+  const graph::GraphSpec spec = graph::kEnron;  // 69K nodes / 276K edges
+  std::printf("PageRank over remote PM — %s (%u nodes, %llu edges), %u"
+              " iterations\n\n",
+              spec.name.data(), spec.nodes,
+              static_cast<unsigned long long>(spec.edges), cfg.iterations);
+
+  bench::TablePrinter table(
+      {"System", "time (ms)", "page fetches", "top rank"});
+  for (const rpcs::System sys :
+       {rpcs::System::kFaRM, rpcs::System::kRFP, rpcs::System::kDaRPC,
+        rpcs::System::kWFlushRpc, rpcs::System::kWRFlushRpc}) {
+    const auto res = graph::run_pagerank(sys, spec, cfg);
+    table.add_row({std::string(rpcs::name_of(sys)),
+                   bench::TablePrinter::num(sim::to_ms(res.duration), 2),
+                   std::to_string(res.rpcs),
+                   bench::TablePrinter::num(res.top_rank * 1e3, 3) + "e-3"});
+  }
+  table.print();
+  std::printf("\nRank sum invariant and per-node values are identical across"
+              " systems;\nonly the data-plane transport differs.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Example: the verbs layer directly — demonstrates the paper's §2.4
+// problem and the §4.1 fix at the lowest level of the API.
+//
+//  step 1: RDMA write + work completion, then power failure
+//          -> the "completed" data is gone (T_A < T_B).
+//  step 2: RDMA write + WFlush, then power failure
+//          -> the data survives.
+//  step 3: DDIO enabled: read-after-write "verifies" the data, power
+//          failure -> gone anyway (the §2.4 trap).
+//
+// Run: ./build/examples/raw_verbs_persistence
+
+#include <cstdio>
+#include <vector>
+
+#include "mem/node_memory.hpp"
+#include "net/fabric.hpp"
+#include "rdma/completer.hpp"
+#include "rdma/session.hpp"
+#include "rnic/rnic.hpp"
+
+using namespace prdma;
+using namespace prdma::sim::literals;
+
+namespace {
+
+struct TwoNodes {
+  sim::Simulator sim;
+  sim::Rng rng{1};
+  net::Fabric fabric;
+  mem::NodeMemory cmem;
+  mem::NodeMemory smem;
+  rnic::Rnic cnic;
+  rnic::Rnic snic;
+  rnic::Cq scq, rcq, s_scq, s_rcq;
+  rnic::Qp* cqp;
+
+  explicit TwoNodes(bool ddio)
+      : fabric(sim, rng, {}),
+        cmem(sim, mem_params()),
+        smem(sim, mem_params()),
+        cnic(sim, rng, fabric, cmem, 0, rnic_params(ddio)),
+        snic(sim, rng, fabric, smem, 1, rnic_params(ddio)),
+        scq(sim),
+        rcq(sim),
+        s_scq(sim),
+        s_rcq(sim) {
+    auto [a, b] = rdma::connect_pair(cnic, rnic::Transport::kRC, scq, rcq,
+                                     snic, rnic::Transport::kRC, s_scq, s_rcq);
+    cqp = a;
+    (void)b;
+  }
+
+  static mem::NodeMemoryParams mem_params() {
+    mem::NodeMemoryParams p;
+    p.pm_capacity = 8ull << 20;
+    p.dram_capacity = 8ull << 20;
+    return p;
+  }
+  static rnic::RnicParams rnic_params(bool ddio) {
+    rnic::RnicParams p;
+    p.ddio = ddio;
+    return p;
+  }
+
+  bool pm_holds_pattern(std::uint64_t addr, std::size_t n) {
+    std::vector<std::byte> out(n);
+    smem.pm().peek(addr, out);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (out[i] != static_cast<std::byte>(i & 0xFF)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kLen = 256 * 1024;
+  constexpr std::uint64_t kSrc = mem::NodeMemory::kDramBase;
+
+  {  // --- step 1: plain write; crash right after the WC -------------
+    TwoNodes t(/*ddio=*/false);
+    std::vector<std::byte> data(kLen);
+    for (std::size_t i = 0; i < kLen; ++i) data[i] = static_cast<std::byte>(i);
+    t.cmem.cpu_write(kSrc, data);
+    sim::spawn([](TwoNodes& n) -> sim::Task<> {
+      rdma::Completer comp(n.sim, n.scq);
+      rdma::QpSession s(n.cnic, *n.cqp, comp);
+      (void)co_await s.write(kSrc, kLen, 0x1000);
+      std::printf("[1] write WC at t=%s — looks done!\n",
+                  sim::format_time(n.sim.now()).c_str());
+      n.snic.crash();
+      n.smem.crash();
+    }(t));
+    t.sim.run();
+    std::printf("[1] after crash: PM holds the data? %s  (T_A < T_B)\n\n",
+                t.pm_holds_pattern(0x1000, 64) ? "yes" : "NO — lost");
+  }
+
+  {  // --- step 2: write + WFlush ------------------------------------
+    TwoNodes t(/*ddio=*/false);
+    std::vector<std::byte> data(kLen);
+    for (std::size_t i = 0; i < kLen; ++i) data[i] = static_cast<std::byte>(i);
+    t.cmem.cpu_write(kSrc, data);
+    sim::spawn([](TwoNodes& n) -> sim::Task<> {
+      rdma::Completer comp(n.sim, n.scq);
+      rdma::QpSession s(n.cnic, *n.cqp, comp);
+      s.post_write_nowait(kSrc, kLen, 0x1000);
+      (void)co_await s.wflush(0x1000, kLen);
+      std::printf("[2] WFlush ACK at t=%s — durable by contract\n",
+                  sim::format_time(n.sim.now()).c_str());
+      n.snic.crash();
+      n.smem.crash();
+    }(t));
+    t.sim.run();
+    std::printf("[2] after crash: PM holds the data? %s\n\n",
+                t.pm_holds_pattern(0x1000, 64) ? "yes" : "NO — lost");
+  }
+
+  {  // --- step 3: DDIO read-after-write trap ------------------------
+    TwoNodes t(/*ddio=*/true);
+    std::vector<std::byte> data(4096);
+    for (std::size_t i = 0; i < 4096; ++i) data[i] = static_cast<std::byte>(i);
+    t.cmem.cpu_write(kSrc, data);
+    sim::spawn([](TwoNodes& n) -> sim::Task<> {
+      rdma::Completer comp(n.sim, n.scq);
+      rdma::QpSession s(n.cnic, *n.cqp, comp);
+      (void)co_await s.write(kSrc, 4096, 0x2000);
+      (void)co_await s.read(0x2000, 4096, kSrc + (1 << 20));
+      std::vector<std::byte> rb(64);
+      n.cmem.cpu_read(kSrc + (1 << 20), rb);
+      const bool check = rb[5] == static_cast<std::byte>(5);
+      std::printf("[3] DDIO on: read-after-write check passed? %s\n",
+                  check ? "yes (data came from the L3 cache)" : "no");
+      n.snic.crash();
+      n.smem.crash();
+    }(t));
+    t.sim.run();
+    std::printf("[3] after crash: PM holds the data? %s  (the §2.4 trap)\n",
+                t.pm_holds_pattern(0x2000, 64) ? "yes" : "NO — lost");
+  }
+  return 0;
+}

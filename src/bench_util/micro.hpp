@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.hpp"
+#include "core/rpc.hpp"
+#include "rpcs/registry.hpp"
+#include "stats/breakdown.hpp"
+#include "stats/histogram.hpp"
+
+namespace prdma::bench {
+
+/// Configuration of one micro-benchmark cell (§5.1/§5.2 defaults:
+/// 50 K objects, 300 K ops, zipfian with R:W 1:1, 64 KB objects;
+/// bench binaries scale `ops` down by default — pass --ops to change).
+struct MicroConfig {
+  std::uint64_t objects = 50'000;
+  std::uint32_t object_size = 64 * 1024;
+  std::uint64_t ops = 8'000;       ///< total across all clients
+  double read_ratio = 0.5;
+  double zipf_theta = 0.99;
+  std::uint64_t seed = 1;
+  std::size_t clients = 1;
+  std::uint32_t batch = 1;         ///< ops aggregated per RPC (§4.3)
+  bool heavy_load = false;         ///< +100 µs processing per op (§5.2)
+  double net_load = 0.0;           ///< background network traffic (Fig. 14)
+  double server_cpu_load = 0.0;    ///< busy receiver (Fig. 15)
+  double client_cpu_load = 0.0;    ///< busy sender (Fig. 16)
+  bool ddio = false;
+  bool emulate_flush = true;       ///< paper's emulation vs ideal hardware
+  bool smartnic_rflush = false;    ///< §4.5 NIC-issued RFlush
+  /// Override of the SFlush addressing emulation delay in µs
+  /// (UINT64_MAX = keep the model default of 7 µs, §4.1.3).
+  std::uint64_t sflush_addressing_us = UINT64_MAX;
+  /// Override of server cores / durable worker threads (0 = model
+  /// defaults). Fig. 17 uses the testbed's 20-core server.
+  unsigned server_cores = 0;
+  unsigned server_workers = 0;
+  /// Outstanding requests per durable-RPC client (§4.2: "the sender
+  /// can issue other RPC requests without waiting for the completion
+  /// event"). Baselines are always closed-loop serial (their client
+  /// must wait for the response). Latency benches keep this at 1;
+  /// throughput benches (Fig. 8) raise it.
+  std::uint32_t durable_pipeline = 1;
+};
+
+/// Outcome of one micro-benchmark cell.
+struct MicroResult {
+  double kops = 0.0;                        ///< completed ops per ms
+  stats::LatencyHistogram latency;          ///< per-op completion latency
+  stats::LatencyHistogram write_latency;
+  stats::LatencyHistogram read_latency;
+  stats::LatencyHistogram durable_latency;  ///< writes: persist visibility
+  prdma::sim::SimTime duration = 0;
+  core::ServerStats server;
+  std::uint64_t ops_completed = 0;
+  double sender_sw_ns = 0.0;    ///< client software per op (measured)
+  double receiver_sw_ns = 0.0;  ///< receiver critical-path software per op
+
+  [[nodiscard]] double avg_us() const { return latency.mean() / 1e3; }
+  [[nodiscard]] double p95_us() const {
+    return static_cast<double>(latency.p95()) / 1e3;
+  }
+  [[nodiscard]] double p99_us() const {
+    return static_cast<double>(latency.p99()) / 1e3;
+  }
+};
+
+/// Derives the full model-parameter set for a cell: sizes the PM
+/// window to fit the object store + redo logs, wires the load knobs.
+core::ModelParams params_for(const MicroConfig& cfg);
+
+/// Effective object count after fitting the store into the modeled PM
+/// window (large-object cells shrink the store; access skew is
+/// unaffected).
+std::uint64_t effective_objects(const MicroConfig& cfg);
+
+/// Runs one cell of the §5.2 micro-benchmark for `system`.
+MicroResult run_micro(rpcs::System system, const MicroConfig& cfg);
+
+}  // namespace prdma::bench

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace prdma::bench {
+
+/// Fixed-width console table, the output format of every bench binary.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    widths_.reserve(headers_.size());
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  static std::string num(double v, int precision = 1) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    print_row(os, headers_);
+    std::string sep;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      sep += std::string(widths_[i] + 2, '-');
+      if (i + 1 < headers_.size()) sep += "+";
+    }
+    os << sep << "\n";
+    for (const auto& r : rows_) print_row(os, r);
+    os.flush();
+  }
+
+ private:
+  void print_row(std::ostream& os, const std::vector<std::string>& cells) const {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << " " << std::setw(static_cast<int>(widths_[i])) << std::left
+         << cells[i] << " ";
+      if (i + 1 < cells.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal --key=value flag parser shared by the bench binaries.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg.substr(2)] = "1";
+      } else {
+        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  [[nodiscard]] std::uint64_t u64(const std::string& key,
+                                  std::uint64_t def) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::stoull(it->second);
+  }
+  [[nodiscard]] double real(const std::string& key, double def) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? def : std::stod(it->second);
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return kv_.contains(key);
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace prdma::bench

@@ -1,0 +1,648 @@
+#include "core/durable_rpc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/wire.hpp"
+
+namespace prdma::core {
+
+using sim::SimTime;
+using sim::Task;
+
+std::string_view variant_name(FlushVariant v) {
+  switch (v) {
+    case FlushVariant::kWFlush:
+      return "WFlush-RPC";
+    case FlushVariant::kSFlush:
+      return "SFlush-RPC";
+    case FlushVariant::kWRFlush:
+      return "W-RFlush-RPC";
+    case FlushVariant::kSRFlush:
+      return "S-RFlush-RPC";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Deterministic payload pattern so crash tests can verify content.
+std::vector<std::byte> make_payload(std::uint64_t seq, std::uint32_t len) {
+  std::vector<std::byte> p(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    p[i] = static_cast<std::byte>((seq * 131 + i * 7) & 0xFF);
+  }
+  return p;
+}
+
+/// Awaitable wrapper over Rnic::persist_range (the RFlush building
+/// block, §4.1.2). If the node crashes mid-flush the event never
+/// fires; the caller's loop is already torn down by channel resets.
+Task<> persist_range_task(rnic::Rnic& nic, std::uint64_t addr,
+                          std::uint64_t len) {
+  sim::Event ev(nic.simulator());
+  nic.persist_range(addr, len, [&ev](SimTime) { ev.set(); });
+  co_await ev.wait();
+}
+
+}  // namespace
+
+// ===================================================================
+// Server
+// ===================================================================
+
+DurableRpcServer::DurableRpcServer(Cluster& cluster, std::size_t server_idx,
+                                   FlushVariant v, const ModelParams& params)
+    : cluster_(cluster),
+      server_(cluster.node(server_idx)),
+      variant_(v),
+      params_(params),
+      window_(std::min(params.log_slots, params.flow_threshold)),
+      store_(std::make_unique<ObjectStore>(server_, params.object_count,
+                                           std::max<std::uint64_t>(
+                                               params.max_payload, 64))),
+      work_q_(std::make_unique<sim::Channel<WorkItem>>(cluster.sim())) {}
+
+DurableRpcServer::~DurableRpcServer() = default;
+
+std::unique_ptr<DurableRpcClient> DurableRpcServer::connect_client(
+    std::size_t client_idx) {
+  assert(!running_ && "connect all clients before start()");
+  Node& client_node = cluster_.node(client_idx);
+
+  LogLayout layout;
+  layout.slots = params_.log_slots;
+  layout.payload_capacity = params_.max_payload;
+  layout.base = server_.pm_alloc().alloc(layout.total_bytes(), 256);
+
+  auto conn = std::make_unique<Conn>(server_, layout);
+  conn->idx = conns_.size();
+  conn->client = &client_node;
+  conn->scq = std::make_unique<rnic::Cq>(cluster_.sim());
+  conn->rcq = std::make_unique<rnic::Cq>(cluster_.sim());
+  conn->arrivals = std::make_unique<sim::Channel<std::uint64_t>>(cluster_.sim());
+
+  // Server-side staging: [0,8) notify scratch; response staging ring
+  // at +64, one slot per window entry.
+  const std::uint64_t resp_stage_bytes =
+      64 + static_cast<std::uint64_t>(window_) * (params_.max_payload + 16);
+  conn->stage_addr = server_.dram_alloc().alloc(resp_stage_bytes, 64);
+
+  if (is_send_based(variant_)) {
+    conn->msg_slots = 2 * window_;
+    const std::uint64_t msg_slot_bytes = layout.slot_bytes();
+    conn->msg_base =
+        server_.dram_alloc().alloc(conn->msg_slots * msg_slot_bytes, 256);
+  }
+
+  // Build the client object (allocates client-side regions).
+  auto client = std::unique_ptr<DurableRpcClient>(
+      new DurableRpcClient(*this, client_node, conn->idx));
+  conn->notify_consumed_addr = client->notify_base_;
+  conn->notify_persist_addr = client->notify_base_ + 8;
+  conn->resp_base = client->resp_base_;
+
+  conns_.push_back(std::move(conn));
+  Conn& c = *conns_.back();
+  c.completer = std::make_unique<rdma::Completer>(cluster_.sim(), *c.scq);
+
+  // Region registration (ibv_reg_mr analogue): the client may write
+  // and flush the redo-log ring; the server may write the client's
+  // notify words and response ring.
+  server_.rnic().register_mr(layout.base, layout.total_bytes(),
+                             rnic::Access::kRemoteWrite |
+                                 rnic::Access::kRemoteFlush);
+  client_node.rnic().register_mr(client->notify_base_, 64,
+                                 static_cast<std::uint8_t>(
+                                     rnic::Access::kRemoteWrite));
+  client_node.rnic().register_mr(
+      client->resp_base_,
+      static_cast<std::uint64_t>(client->window_size_) *
+          client->resp_slot_bytes_,
+      static_cast<std::uint8_t>(rnic::Access::kRemoteWrite));
+
+  // Fresh QP pair and sessions on both ends.
+  auto [client_qp, server_qp] = rdma::connect_pair(
+      client_node.rnic(), rnic::Transport::kRC, client->scq_, client->rcq_,
+      server_.rnic(), rnic::Transport::kRC, *c.scq, *c.rcq);
+  c.qp = server_qp;
+  c.session = std::make_unique<rdma::QpSession>(server_.rnic(), *server_qp,
+                                                *c.completer);
+  client->completer_ =
+      std::make_unique<rdma::Completer>(cluster_.sim(), client->scq_);
+  client->session_ = std::make_unique<rdma::QpSession>(
+      client_node.rnic(), *client_qp, *client->completer_);
+  sim::spawn(client->credit_pump());
+  return client;
+}
+
+void DurableRpcServer::install_ring_watch(Conn& conn) {
+  const LogLayout& lay = conn.log.layout();
+  Conn* c = &conn;
+  conn.watch = server_.mem().add_watch(
+      lay.base + LogLayout::kHeaderBytes,
+      lay.total_bytes() - LogLayout::kHeaderBytes, [this, c] {
+        while (auto e = c->log.peek(c->next_seq)) {
+          c->arrivals->send(c->next_seq);
+          ++c->next_seq;
+        }
+      });
+}
+
+void DurableRpcServer::start() {
+  assert(!running_);
+  running_ = true;
+  for (auto& conn : conns_) {
+    if (is_send_based(variant_)) {
+      // Pre-post the receive ring.
+      const std::uint64_t slot_bytes = conn->log.layout().slot_bytes();
+      for (std::uint32_t i = 0; i < conn->msg_slots; ++i) {
+        server_.rnic().post_recv(*conn->qp, conn->msg_base + i * slot_bytes,
+                                 slot_bytes, /*wr_id=*/i);
+      }
+      sim::spawn(conn_loop_send_based(*conn));
+    } else {
+      install_ring_watch(*conn);
+      if (variant_ == FlushVariant::kWRFlush && params_.rnic.smartnic_rflush) {
+        // §4.5: the smartNIC's lookup table covers the redo-log ring;
+        // the NIC persists incoming entries and notifies the sender
+        // itself — the CPU persist path in conn_loop is bypassed.
+        const LogLayout& lay = conn->log.layout();
+        server_.rnic().configure_auto_persist(
+            *conn->qp, lay.base + LogLayout::kHeaderBytes,
+            lay.total_bytes() - LogLayout::kHeaderBytes,
+            conn->notify_persist_addr, conn->completed_floor);
+      }
+      sim::spawn(conn_loop_write_based(*conn));
+    }
+  }
+  for (unsigned i = 0; i < params_.server_workers; ++i) {
+    sim::spawn(worker_loop());
+  }
+}
+
+std::uint64_t DurableRpcServer::backlog() const {
+  std::uint64_t total = 0;
+  for (const auto& c : conns_) total += c->backlog;
+  return total;
+}
+
+void DurableRpcServer::notify_word(Conn& conn, std::uint64_t client_addr,
+                                   std::uint64_t value) {
+  store_u64(server_.mem(), conn.stage_addr, value);
+  conn.session->post_write_nowait(conn.stage_addr, 8, client_addr);
+}
+
+sim::Task<> DurableRpcServer::persist_slot(Conn& conn, const LogEntryView& e) {
+  const std::uint64_t slot = conn.log.layout().slot_addr(e.seq);
+  co_await persist_range_task(server_.rnic(), slot, e.image_bytes());
+}
+
+sim::Task<> DurableRpcServer::conn_loop_write_based(Conn& conn) {
+  auto& host = server_.host();
+  const std::uint64_t epoch = epoch_;
+  for (;;) {
+    if (epoch != epoch_) break;  // zombie guard (see worker_loop)
+    auto seq = co_await conn.arrivals->recv();
+    if (!seq.has_value() || epoch != epoch_) break;  // crash/stop
+    co_await host.charge_poll();
+    if (epoch != epoch_) break;
+    co_await host.exec(host.params().handler_cost);
+    if (epoch != epoch_) break;
+    auto e = conn.log.peek(*seq);
+    if (!e.has_value()) continue;
+
+    if (variant_ == FlushVariant::kWRFlush && e->op == RpcOp::kWrite &&
+        !params_.rnic.smartnic_rflush) {
+      // Receiver-initiated flush: persist the slot, then notify the
+      // sender immediately — *before* processing (§4.1.2, Fig. 4c).
+      // (In smartNIC mode the NIC already did both, §4.5.)
+      const std::uint64_t sw0 = host.charged_ns();
+      co_await persist_slot(conn, *e);
+      co_await host.exec(host.params().post_cost);
+      notify_word(conn, conn.notify_persist_addr, *seq);
+      stats_.critical_sw_ns += host.charged_ns() - sw0;
+    }
+
+    if (e->op == RpcOp::kRead && conn.backlog == 0) {
+      // Fast path: an idle log means FIFO order is trivially kept, so
+      // the poller answers reads inline — no worker thread is spawned
+      // (dispatch cost is a write/queued-read artifact).
+      const std::uint64_t sw0 = host.charged_ns();
+      co_await process_item(WorkItem{&conn, *e, false, /*fast=*/true});
+      stats_.critical_sw_ns += host.charged_ns() - sw0;
+      continue;
+    }
+    ++conn.backlog;
+    stats_.backlog_peak = std::max(stats_.backlog_peak, backlog());
+    if (backlog() > params_.flow_threshold) ++stats_.throttle_events;
+    work_q_->send(WorkItem{&conn, *e, false});
+  }
+}
+
+sim::Task<> DurableRpcServer::conn_loop_send_based(Conn& conn) {
+  auto& host = server_.host();
+  const std::uint64_t slot_bytes = conn.log.layout().slot_bytes();
+  const std::uint64_t epoch = epoch_;
+  for (;;) {
+    if (epoch != epoch_) break;  // zombie guard (see worker_loop)
+    auto wc = co_await conn.rcq->channel().recv();
+    if (!wc.has_value() || epoch != epoch_) break;  // crash/stop
+    if (wc->status != rnic::WcStatus::kSuccess) continue;
+    co_await host.charge_recv_handler();
+    if (epoch != epoch_) break;
+
+    auto e = decode_entry_at(server_.mem(), wc->local_addr,
+                             conn.log.layout().payload_capacity);
+    // Recycle the message-buffer slot for future sends.
+    server_.rnic().post_recv(*conn.qp, wc->local_addr, slot_bytes, 0);
+    if (!e.has_value()) continue;
+    conn.next_seq = e->seq + 1;
+
+    const std::uint64_t sw0 = host.charged_ns();
+    if (variant_ == FlushVariant::kSRFlush && e->op == RpcOp::kWrite) {
+      // Receiver-initiated persist of a send: the CPU streams the
+      // message image into the redo log with non-temporal stores
+      // (straight into the ADR persist domain, no cache flush needed),
+      // then notifies the sender before processing (§4.1.2).
+      const std::uint64_t image = e->image_bytes();
+      std::vector<std::byte> buf(image);
+      server_.mem().cpu_read(wc->local_addr, buf);
+      const std::uint64_t slot = conn.log.layout().slot_addr(e->seq);
+      const auto done = server_.mem().pm().write_complete_at(
+          cluster_.sim().now(), image);
+      co_await host.exec(done - cluster_.sim().now());
+      if (epoch != epoch_) break;
+      server_.mem().pm().poke(slot, buf);  // ntstore: persist-domain direct
+      co_await host.exec(host.params().post_cost);
+      notify_word(conn, conn.notify_persist_addr, e->seq);
+    }
+    // For SFlush the RNIC copies the message into the log slot on its
+    // own schedule (client's SFlush, Fig. 5 step B). The worker
+    // processes "from the message buffer": mirror the image into the
+    // slot through the cache so the payload is readable immediately —
+    // still volatile (dirty LLC lines), so crash fidelity holds until
+    // the RNIC's DMA makes it durable.
+    if (variant_ == FlushVariant::kSFlush) {
+      const std::uint64_t image = e->image_bytes();
+      std::vector<std::byte> buf(image);
+      server_.mem().cpu_read(wc->local_addr, buf);
+      server_.mem().cpu_write(conn.log.layout().slot_addr(e->seq), buf);
+    }
+
+    // Process from the log copy: the message slot may be recycled.
+    e->payload_addr = conn.log.layout().payload_addr(e->seq);
+    if (e->op == RpcOp::kRead && conn.backlog == 0) {
+      co_await process_item(WorkItem{&conn, *e, false, /*fast=*/true});
+      stats_.critical_sw_ns += host.charged_ns() - sw0;
+      continue;
+    }
+    stats_.critical_sw_ns += host.charged_ns() - sw0;
+    ++conn.backlog;
+    stats_.backlog_peak = std::max(stats_.backlog_peak, backlog());
+    if (backlog() > params_.flow_threshold) ++stats_.throttle_events;
+    work_q_->send(WorkItem{&conn, *e, false});
+  }
+}
+
+sim::Task<> DurableRpcServer::worker_loop() {
+  const std::uint64_t epoch = epoch_;
+  for (;;) {
+    // Zombie guard: a worker resuming from pre-crash processing must
+    // not re-enter the (reopened) queue and steal a new-epoch item.
+    if (epoch != epoch_) break;
+    auto item = co_await work_q_->recv();
+    if (!item.has_value() || epoch != epoch_) break;
+    co_await process_item(*item);
+  }
+}
+
+sim::Task<> DurableRpcServer::process_item(WorkItem item) {
+  Conn& conn = *item.conn;
+  const LogEntryView& e = item.entry;
+  auto& host = server_.host();
+  const std::uint64_t epoch = epoch_;
+
+  if (params_.rpc_processing > 0) {
+    if (!item.fast) {
+      // §4.2: "a thread is created to handle the RPC requests" — the
+      // hand-off cost matters when there is real processing to hand
+      // off; fast-path reads are handled inline by the poller.
+      co_await host.exec(host.params().dispatch_cost);
+      if (epoch != epoch_) co_return;  // server crashed under us
+    }
+    co_await host.exec(params_.rpc_processing * e.batch);
+    if (epoch != epoch_) co_return;
+  }
+
+  if (e.op == RpcOp::kWrite) {
+    const std::uint32_t sub_len = e.payload_len / e.batch;
+    for (std::uint32_t i = 0; i < e.batch; ++i) {
+      co_await store_->apply_write(e.obj_id + i,
+                                   e.payload_addr + i * sub_len, sub_len);
+      if (epoch != epoch_) co_return;
+    }
+    stats_.bytes_applied += e.payload_len;
+  } else {
+    // Stage the object bytes and RDMA-write them (plus a trailing
+    // commit word) into the client's response slot.
+    const std::uint32_t rlen = e.req_len;
+    const std::uint64_t stage =
+        conn.stage_addr + 64 +
+        (e.resp_slot % window_) * (params_.max_payload + 16);
+    co_await store_->read_into(e.obj_id, stage, rlen);
+    if (epoch != epoch_) co_return;
+    store_u64(server_.mem(), stage + rlen, e.seq);
+    co_await host.exec(host.params().post_cost);
+    if (epoch != epoch_) co_return;
+    const std::uint64_t resp_addr =
+        conn.resp_base + e.resp_slot * (params_.max_payload + 16);
+    conn.session->post_write_nowait(stage, rlen + 8, resp_addr);
+  }
+
+  stats_.ops_processed += e.batch;
+  if (!item.fast && conn.backlog > 0) --conn.backlog;
+  if (item.recovered) {
+    ++stats_.recoveries;
+  }
+  co_await advance_consumed(conn, e.seq);
+}
+
+sim::Task<> DurableRpcServer::advance_consumed(Conn& conn, std::uint64_t seq) {
+  conn.completed_oo.insert(seq);
+  const std::uint64_t old_floor = conn.completed_floor;
+  while (conn.completed_oo.contains(conn.completed_floor + 1)) {
+    ++conn.completed_floor;
+    conn.completed_oo.erase(conn.completed_floor);
+  }
+  if (conn.completed_floor != old_floor) {
+    co_await conn.log.mark_consumed(conn.completed_floor);
+    co_await server_.host().exec(server_.host().params().post_cost);
+    notify_word(conn, conn.notify_consumed_addr, conn.completed_floor);
+  }
+}
+
+// ------------------------------------------------------------- failures
+
+void DurableRpcServer::on_crash() {
+  running_ = false;
+  ++epoch_;
+  for (auto& conn : conns_) {
+    if (conn->watch != 0) {
+      server_.mem().remove_watch(conn->watch);
+      conn->watch = 0;
+    }
+    conn->arrivals->reset();
+    conn->scq->reset();
+    conn->rcq->reset();
+    conn->backlog = 0;
+    conn->completed_oo.clear();
+  }
+  work_q_->reset();
+}
+
+std::uint64_t DurableRpcServer::durable_watermark(std::size_t conn_idx) const {
+  const Conn& conn = *conns_.at(conn_idx);
+  return conn.log.consumed() +
+         static_cast<std::uint64_t>(conn.log.recover().size());
+}
+
+sim::Task<> DurableRpcServer::recover_and_restart() {
+  assert(!running_ && server_.rnic().alive());
+  // Replay committed-but-unconsumed entries, oldest first, without any
+  // client involvement — the paper's headline recovery property.
+  for (auto& conn : conns_) {
+    conn->completer = std::make_unique<rdma::Completer>(cluster_.sim(), *conn->scq);
+    const auto entries = conn->log.recover();
+    conn->completed_floor = conn->log.consumed();
+    conn->next_seq = conn->completed_floor + entries.size() + 1;
+    for (const auto& e : entries) {
+      co_await process_item(WorkItem{conn.get(), e, true});
+    }
+  }
+  running_ = true;
+  for (auto& conn : conns_) {
+    if (is_send_based(variant_)) {
+      sim::spawn(conn_loop_send_based(*conn));
+    } else {
+      install_ring_watch(*conn);
+      sim::spawn(conn_loop_write_based(*conn));
+    }
+  }
+  for (unsigned i = 0; i < params_.server_workers; ++i) {
+    sim::spawn(worker_loop());
+  }
+}
+
+void DurableRpcServer::reconnect_client(DurableRpcClient& client) {
+  Conn& conn = *conns_.at(client.conn_idx_);
+
+  // The crash wiped the NIC's protection table: re-register.
+  const LogLayout& relay = conn.log.layout();
+  server_.rnic().register_mr(relay.base, relay.total_bytes(),
+                             rnic::Access::kRemoteWrite |
+                                 rnic::Access::kRemoteFlush);
+
+  // Fresh QP pair (the old endpoints died with the crash).
+  auto [client_qp, server_qp] = rdma::connect_pair(
+      client.node_.rnic(), rnic::Transport::kRC, client.scq_, client.rcq_,
+      server_.rnic(), rnic::Transport::kRC, *conn.scq, *conn.rcq);
+  conn.qp = server_qp;
+  conn.session = std::make_unique<rdma::QpSession>(server_.rnic(), *server_qp,
+                                                   *conn.completer);
+  client.completer_ = std::make_unique<rdma::Completer>(cluster_.sim(), client.scq_);
+  client.session_ = std::make_unique<rdma::QpSession>(client.node_.rnic(),
+                                                      *client_qp,
+                                                      *client.completer_);
+  if (is_send_based(variant_)) {
+    const std::uint64_t slot_bytes = conn.log.layout().slot_bytes();
+    for (std::uint32_t i = 0; i < conn.msg_slots; ++i) {
+      server_.rnic().post_recv(*conn.qp, conn.msg_base + i * slot_bytes,
+                               slot_bytes, i);
+    }
+  }
+
+  // Sequences the client sent but that never reached the log are gone;
+  // treat them as consumed no-ops so the watermark stays contiguous.
+  conn.next_seq = client.next_seq_;
+  conn.completed_floor = client.next_seq_ - 1;
+  conn.completed_oo.clear();
+  store_u64(server_.mem(), conn.log.layout().consumed_addr(),
+            conn.completed_floor);
+
+  client.credits_released_ = conn.completed_floor;
+  client.window_.reset(window_);
+  client.aborted_ = false;
+}
+
+// ===================================================================
+// Client
+// ===================================================================
+
+DurableRpcClient::DurableRpcClient(DurableRpcServer& server, Node& node,
+                                   std::size_t conn_idx)
+    : server_(server),
+      node_(node),
+      conn_idx_(conn_idx),
+      scq_(server.cluster_.sim()),
+      rcq_(server.cluster_.sim()),
+      window_(server.cluster_.sim(), server.window_) {
+  window_size_ = server.window_;
+  const auto& p = server.params_;
+  staging_slot_bytes_ = LogLayout{0, p.log_slots, p.max_payload}.slot_bytes();
+  resp_slot_bytes_ = p.max_payload + 16;
+  staging_base_ =
+      node_.dram_alloc().alloc(window_size_ * staging_slot_bytes_, 256);
+  notify_base_ = node_.dram_alloc().alloc(64, 64);
+  resp_base_ = node_.dram_alloc().alloc(window_size_ * resp_slot_bytes_, 256);
+}
+
+std::string_view DurableRpcClient::name() const {
+  return variant_name(server_.variant_);
+}
+
+std::uint64_t DurableRpcClient::consumed_seen() const {
+  return load_u64(node_.mem(), notify_base_);
+}
+
+void DurableRpcClient::abort_pending() {
+  aborted_ = true;
+  // Wake read/persist waiters parked on memory watches: touching the
+  // watched ranges fires their predicates, which observe aborted_.
+  std::vector<std::byte> zeros(16, std::byte{0});
+  node_.mem().cpu_write(notify_base_, zeros);
+  std::vector<std::byte> ring_zeros(window_size_ * resp_slot_bytes_,
+                                    std::byte{0});
+  node_.mem().cpu_write(resp_base_, ring_zeros);
+  // Wake verbs waiters (flush ACKs that will never come).
+  scq_.reset();
+}
+
+sim::Task<> DurableRpcClient::credit_pump() {
+  for (;;) {
+    co_await poll_until(node_, notify_base_, 8, [this] {
+      return load_u64(node_.mem(), notify_base_) > credits_released_;
+    });
+    const std::uint64_t v = load_u64(node_.mem(), notify_base_);
+    if (v > credits_released_) {
+      window_.release(v - credits_released_);
+      credits_released_ = v;
+    }
+  }
+}
+
+sim::Task<RpcResult> DurableRpcClient::call(const RpcRequest& req) {
+  co_return co_await transmit_entry(req.op, req.obj_id, req.len, 1);
+}
+
+sim::Task<RpcResult> DurableRpcClient::call_batch(
+    const std::vector<RpcRequest>& reqs) {
+  // §4.3: one large transfer + one trailing Flush for the whole batch.
+  if (reqs.empty()) co_return RpcResult{};
+  co_return co_await transmit_entry(reqs.front().op, reqs.front().obj_id,
+                                    reqs.front().len,
+                                    static_cast<std::uint32_t>(reqs.size()));
+}
+
+sim::Task<RpcResult> DurableRpcClient::transmit_entry(RpcOp op,
+                                                      std::uint64_t obj_id,
+                                                      std::uint32_t len,
+                                                      std::uint32_t batch) {
+  auto& sim = server_.cluster_.sim();
+  RpcResult res;
+  res.issued_at = sim.now();
+  if (aborted_) co_return res;
+
+  co_await window_.acquire();
+  if (aborted_) {
+    window_.release();
+    co_return res;
+  }
+  co_await node_.host().charge_post();
+
+  // -- No suspension between sequence assignment and the posts: the
+  //    wire order must equal the sequence order.
+  const std::uint64_t seq = next_seq_++;
+  res.tag = seq;
+  const std::uint32_t payload_len = op == RpcOp::kWrite ? len * batch : 0;
+  const std::uint64_t resp_slot = (seq - 1) % window_size_;
+  const auto payload = make_payload(seq, payload_len);
+  const auto image = encode_log_entry(seq, op, obj_id, payload, resp_slot,
+                                      batch, op == RpcOp::kRead ? len : 0);
+  const std::uint64_t stage =
+      staging_base_ + ((seq - 1) % window_size_) * staging_slot_bytes_;
+  const std::uint64_t resp_addr = resp_base_ + resp_slot * resp_slot_bytes_;
+  const std::uint64_t resp_len = op == RpcOp::kRead ? len : 0;
+  if (op == RpcOp::kRead) {
+    // Clear the commit word of the response slot before reuse.
+    store_u64(node_.mem(), resp_addr + resp_len, 0);
+  }
+  node_.mem().cpu_write(stage, image);
+
+  const LogLayout& lay = server_.conns_[conn_idx_]->log.layout();
+  const std::uint64_t slot = lay.slot_addr(seq);
+  const std::uint64_t image_len = image.size();
+
+  bool durable_ok = false;
+  if (op == RpcOp::kRead) {
+    // Reads need no persistence (§5.5: Flush primitives are only
+    // needed for writes); ship the request and await the response.
+    if (is_send_based(server_.variant_)) {
+      session_->post_send_nowait(stage, image_len);
+    } else {
+      session_->post_write_nowait(stage, image_len, slot);
+    }
+    durable_ok = true;
+  } else switch (server_.variant_) {
+    case FlushVariant::kWFlush: {
+      session_->post_write_nowait(stage, image_len, slot);
+      const auto wc = co_await session_->wflush(slot, image_len);
+      durable_ok = wc.has_value() && wc->status == rnic::WcStatus::kSuccess;
+      break;
+    }
+    case FlushVariant::kSFlush: {
+      session_->post_send_nowait(stage, image_len);
+      const auto wc = co_await session_->sflush(slot, image_len);
+      durable_ok = wc.has_value() && wc->status == rnic::WcStatus::kSuccess;
+      break;
+    }
+    case FlushVariant::kWRFlush:
+    case FlushVariant::kSRFlush: {
+      if (is_send_based(server_.variant_)) {
+        session_->post_send_nowait(stage, image_len);
+      } else {
+        session_->post_write_nowait(stage, image_len, slot);
+      }
+      co_await poll_until(node_, notify_base_ + 8, 8, [this, seq] {
+        return aborted_ ||
+               load_u64(node_.mem(), notify_base_ + 8) >= seq;
+      });
+      durable_ok = !aborted_;
+      break;
+    }
+  }
+
+  if (!durable_ok || aborted_) co_return res;  // res.ok == false
+  res.durable_at = sim.now();
+
+  if (op == RpcOp::kWrite) {
+    // Remote persistence is visible: the RPC is complete for the
+    // sender even though the server processes it asynchronously.
+    res.completed_at = sim.now();
+    res.ok = true;
+    co_return res;
+  }
+
+  // Reads wait for the response payload (FIFO behind logged entries).
+  co_await poll_until(node_, resp_addr + resp_len, 8, [this, resp_addr,
+                                                       resp_len, seq] {
+    return aborted_ || load_u64(node_.mem(), resp_addr + resp_len) == seq;
+  });
+  if (aborted_) co_return res;
+  res.completed_at = sim.now();
+  res.durable_at = 0;
+  res.ok = true;
+  co_return res;
+}
+
+}  // namespace prdma::core

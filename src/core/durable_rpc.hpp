@@ -1,0 +1,202 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "core/node.hpp"
+#include "core/object_store.hpp"
+#include "core/params.hpp"
+#include "core/redo_log.hpp"
+#include "core/rpc.hpp"
+#include "rdma/completer.hpp"
+#include "rdma/session.hpp"
+#include "sim/sync.hpp"
+
+namespace prdma::core {
+
+/// The four durable RPC designs of §4 (Fig. 4).
+enum class FlushVariant : std::uint8_t {
+  kWFlush,   ///< RDMA write + sender-initiated WFlush
+  kSFlush,   ///< RDMA send + sender-initiated SFlush
+  kWRFlush,  ///< RDMA write + receiver-initiated RFlush
+  kSRFlush,  ///< RDMA send + receiver-initiated RFlush
+};
+
+[[nodiscard]] constexpr bool is_send_based(FlushVariant v) {
+  return v == FlushVariant::kSFlush || v == FlushVariant::kSRFlush;
+}
+[[nodiscard]] constexpr bool is_receiver_initiated(FlushVariant v) {
+  return v == FlushVariant::kWRFlush || v == FlushVariant::kSRFlush;
+}
+[[nodiscard]] std::string_view variant_name(FlushVariant v);
+
+class DurableRpcServer;
+
+/// Client half of a durable RPC connection.
+///
+/// Write path: stage a redo-log entry image, ship it (write+WFlush /
+/// send+SFlush / write-or-send + receiver RFlush notification), and
+/// complete as soon as remote persistence is visible — *before* the
+/// server has processed the request (§4.2). Reads queue through the
+/// same log for FIFO ordering and complete when the response lands.
+class DurableRpcClient : public RpcClient {
+ public:
+  sim::Task<RpcResult> call(const RpcRequest& req) override;
+  sim::Task<RpcResult> call_batch(const std::vector<RpcRequest>& reqs) override;
+  [[nodiscard]] std::string_view name() const override;
+
+  /// Sequence of the next entry this client will emit.
+  [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
+
+  /// Highest sequence the server has acknowledged as persisted/consumed
+  /// (from the notify words mirrored into client memory).
+  [[nodiscard]] std::uint64_t consumed_seen() const;
+
+  /// Fault support: wake every pending call with a failure result
+  /// (server died; the fault harness decides what to re-send).
+  void abort_pending() override;
+
+ private:
+  friend class DurableRpcServer;
+  DurableRpcClient(DurableRpcServer& server, Node& node, std::size_t conn_idx);
+
+  sim::Task<RpcResult> transmit_entry(RpcOp op, std::uint64_t obj_id,
+                                      std::uint32_t len, std::uint32_t batch);
+  sim::Task<> credit_pump();
+
+  DurableRpcServer& server_;
+  Node& node_;
+  std::size_t conn_idx_;
+
+  rnic::Cq scq_;
+  rnic::Cq rcq_;  // unused (no recvs needed) but QPs require one
+  std::unique_ptr<rdma::Completer> completer_;
+  std::unique_ptr<rdma::QpSession> session_;
+
+  sim::Semaphore window_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t credits_released_ = 0;
+
+  // client DRAM regions
+  std::uint64_t staging_base_ = 0;   ///< ring of entry images
+  std::uint64_t notify_base_ = 0;    ///< [0,8) consumed, [8,16) persisted
+  std::uint64_t resp_base_ = 0;      ///< response ring (reads)
+
+  std::uint32_t window_size_ = 0;
+  std::uint64_t staging_slot_bytes_ = 0;
+  std::uint64_t resp_slot_bytes_ = 0;
+  bool aborted_ = false;
+};
+
+/// Server half: per-connection redo logs in PM, arrival pumps
+/// (ring-polling for write-based variants, recv completions for
+/// send-based ones), the RFlush persist+notify path, a shared worker
+/// pool that processes log entries asynchronously, and the redo-log
+/// recovery path (§4.2, Fig. 5).
+class DurableRpcServer : public RpcServer {
+ public:
+  DurableRpcServer(Cluster& cluster, std::size_t server_idx, FlushVariant v,
+                   const ModelParams& params);
+  ~DurableRpcServer() override;
+
+  /// Connects a client on node `client_idx`; allocates its log ring,
+  /// message buffers and notify/response regions.
+  std::unique_ptr<DurableRpcClient> connect_client(std::size_t client_idx);
+
+  void start() override;
+  [[nodiscard]] const ServerStats& stats() const override { return stats_; }
+  [[nodiscard]] std::string_view name() const override {
+    return variant_name(variant_);
+  }
+
+  [[nodiscard]] FlushVariant variant() const { return variant_; }
+  [[nodiscard]] ObjectStore& store() { return *store_; }
+  [[nodiscard]] Node& node() { return server_; }
+  [[nodiscard]] std::uint64_t backlog() const;
+
+  // ---- fault-injection interface (Fig. 12 experiments) ----
+
+  /// Software teardown after the node crashed: stops pumps/workers.
+  void on_crash() override;
+
+  /// After Node::restart(): replays committed-but-unconsumed log
+  /// entries (without any client involvement), rebuilds QPs and
+  /// arrival pumps, and resumes. Resolves when recovery is complete.
+  sim::Task<> recover_and_restart() override;
+
+  /// Re-wires a client to the server's post-restart QP endpoint.
+  void reconnect_client(DurableRpcClient& client);
+  void reconnect_client(RpcClient& client) override {
+    reconnect_client(dynamic_cast<DurableRpcClient&>(client));
+  }
+
+  /// Highest entry sequence of connection `conn_idx` that is durable in
+  /// the log (used by clients to decide what needs re-sending).
+  [[nodiscard]] std::uint64_t durable_watermark(std::size_t conn_idx) const;
+
+ private:
+  friend class DurableRpcClient;
+
+  struct Conn {
+    std::size_t idx = 0;
+    Node* client = nullptr;
+    rnic::Qp* qp = nullptr;  // server-side endpoint
+    std::unique_ptr<rnic::Cq> scq;
+    std::unique_ptr<rnic::Cq> rcq;
+    std::unique_ptr<rdma::Completer> completer;
+    std::unique_ptr<rdma::QpSession> session;
+    RedoLog log;
+    std::uint64_t msg_base = 0;   ///< DRAM recv ring (send-based variants)
+    std::uint32_t msg_slots = 0;
+    std::uint64_t stage_addr = 0; ///< server staging (notify words, responses)
+    std::uint64_t next_seq = 1;   ///< next entry expected from this client
+    std::unique_ptr<sim::Channel<std::uint64_t>> arrivals;
+    mem::NodeMemory::WatchId watch = 0;
+    std::uint64_t backlog = 0;
+    // out-of-order completion tracking for the consumed watermark
+    std::uint64_t completed_floor = 0;
+    std::set<std::uint64_t> completed_oo;
+    // client-side addresses (client DRAM)
+    std::uint64_t notify_consumed_addr = 0;
+    std::uint64_t notify_persist_addr = 0;
+    std::uint64_t resp_base = 0;
+
+    Conn(Node& server_node, LogLayout layout) : log(server_node, layout) {}
+  };
+
+  struct WorkItem {
+    Conn* conn;
+    LogEntryView entry;
+    bool recovered = false;
+    /// Fast-path read answered inline by the poller (no worker spawn).
+    bool fast = false;
+  };
+
+  void install_ring_watch(Conn& conn);
+  sim::Task<> conn_loop_write_based(Conn& conn);
+  sim::Task<> conn_loop_send_based(Conn& conn);
+  sim::Task<> worker_loop();
+  sim::Task<> process_item(WorkItem item);
+  sim::Task<> advance_consumed(Conn& conn, std::uint64_t seq);
+  void notify_word(Conn& conn, std::uint64_t client_addr, std::uint64_t value);
+  sim::Task<> persist_slot(Conn& conn, const LogEntryView& e);
+
+  Cluster& cluster_;
+  Node& server_;
+  FlushVariant variant_;
+  ModelParams params_;
+  std::uint32_t window_;
+  std::unique_ptr<ObjectStore> store_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::unique_ptr<sim::Channel<WorkItem>> work_q_;
+  ServerStats stats_;
+  bool running_ = false;
+  /// Bumped on every crash; coroutines resumed across the boundary
+  /// observe the mismatch and abandon their work (zombie guard).
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace prdma::core

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/params.hpp"
+#include "host/host.hpp"
+#include "mem/node_memory.hpp"
+#include "net/fabric.hpp"
+#include "rdma/allocator.hpp"
+#include "rnic/rnic.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace prdma::core {
+
+/// One machine: memory system (PM + DRAM + LLC), RNIC, CPU model and
+/// region allocators. Composition root for the substrates.
+class Node {
+ public:
+  Node(sim::Simulator& sim, sim::Rng& rng, net::Fabric& fabric,
+       net::NodeId id, const ModelParams& params)
+      : id_(id),
+        rng_(rng.fork()),
+        mem_(sim, params.memory),
+        rnic_(sim, rng_, fabric, mem_, id, params.rnic),
+        host_(sim, rng_, params.host),
+        pm_alloc_(0, params.memory.pm_capacity),
+        dram_alloc_(mem::NodeMemory::kDramBase, params.memory.dram_capacity) {}
+
+  [[nodiscard]] net::NodeId id() const { return id_; }
+  [[nodiscard]] mem::NodeMemory& mem() { return mem_; }
+  [[nodiscard]] rnic::Rnic& rnic() { return rnic_; }
+  [[nodiscard]] host::Host& host() { return host_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] rdma::RegionAllocator& pm_alloc() { return pm_alloc_; }
+  [[nodiscard]] rdma::RegionAllocator& dram_alloc() { return dram_alloc_; }
+
+  /// Power failure of this machine.
+  void crash() {
+    rnic_.crash();
+    mem_.crash();
+  }
+
+  /// Power-up after a crash; PM contents are intact, everything
+  /// volatile is gone. The application layer re-creates QPs and runs
+  /// recovery from the redo log.
+  void restart() { rnic_.restart(); }
+
+ private:
+  net::NodeId id_;
+  sim::Rng rng_;
+  mem::NodeMemory mem_;
+  rnic::Rnic rnic_;
+  host::Host host_;
+  rdma::RegionAllocator pm_alloc_;
+  rdma::RegionAllocator dram_alloc_;
+};
+
+/// A simulated testbed: simulator + fabric + N nodes, built from one
+/// ModelParams. Node 0 is conventionally the server in point-to-point
+/// experiments.
+class Cluster {
+ public:
+  explicit Cluster(const ModelParams& params, std::size_t node_count = 2)
+      : params_(params), rng_(params.seed), fabric_(sim_, rng_, params.link) {
+    nodes_.reserve(node_count);
+    for (std::size_t i = 0; i < node_count; ++i) {
+      nodes_.push_back(std::make_unique<Node>(
+          sim_, rng_, fabric_, static_cast<net::NodeId>(i), params_));
+    }
+  }
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] net::Fabric& fabric() { return fabric_; }
+  [[nodiscard]] const ModelParams& params() const { return params_; }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
+
+ private:
+  ModelParams params_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  net::Fabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace prdma::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/node.hpp"
+#include "sim/task.hpp"
+
+namespace prdma::core {
+
+/// Server-side object table living in persistent memory: the target of
+/// every micro/macro-benchmark operation (§5.1: 50 K objects).
+///
+/// Application semantics: a *durable* object write is a CPU memcpy
+/// into the slot followed by a cache-line flush of the written range —
+/// the SNIA PM programming model the paper builds on (§2.1).
+class ObjectStore {
+ public:
+  ObjectStore(Node& node, std::uint64_t object_count, std::uint64_t slot_bytes)
+      : node_(node),
+        count_(object_count),
+        slot_(slot_bytes),
+        base_(node.pm_alloc().alloc(object_count * slot_bytes, 256)) {}
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t slot_bytes() const { return slot_; }
+  [[nodiscard]] std::uint64_t addr_of(std::uint64_t obj_id) const {
+    return base_ + (obj_id % count_) * slot_;
+  }
+
+  /// Durably applies `len` bytes sitting at server-local `src_addr`
+  /// to object `obj_id`: memcpy (core-occupying) + clflush. Resolves
+  /// when the object bytes are in the persist domain.
+  sim::Task<> apply_write(std::uint64_t obj_id, std::uint64_t src_addr,
+                          std::uint32_t len) {
+    auto& host = node_.host();
+    auto& mem = node_.mem();
+    co_await host.memcpy_exec(len);
+    std::vector<std::byte> data(len);
+    mem.cpu_read(src_addr, data);
+    const std::uint64_t dst = addr_of(obj_id);
+    mem.cpu_write(dst, data);
+    const auto done = mem.clflush(node_.rnic().simulator().now(), dst, len);
+    co_await sim::delay(node_.rnic().simulator(),
+                        done - node_.rnic().simulator().now());
+    bytes_applied_ += len;
+  }
+
+  /// Reads `len` object bytes into server-local `dst_addr` (staging a
+  /// response); charges the copy.
+  sim::Task<> read_into(std::uint64_t obj_id, std::uint64_t dst_addr,
+                        std::uint32_t len) {
+    auto& mem = node_.mem();
+    co_await node_.host().memcpy_exec(len);
+    std::vector<std::byte> data(len);
+    mem.cpu_read(addr_of(obj_id), data);
+    mem.cpu_write(dst_addr, data);
+  }
+
+  [[nodiscard]] std::uint64_t bytes_applied() const { return bytes_applied_; }
+
+ private:
+  Node& node_;
+  std::uint64_t count_;
+  std::uint64_t slot_;
+  std::uint64_t base_;
+  std::uint64_t bytes_applied_ = 0;
+};
+
+}  // namespace prdma::core

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+
+#include "host/host.hpp"
+#include "mem/node_memory.hpp"
+#include "net/fabric.hpp"
+#include "rnic/params.hpp"
+#include "sim/time.hpp"
+
+namespace prdma::core {
+
+/// Everything the model is calibrated by, in one place (provenance for
+/// each default in DESIGN.md §5). Benchmarks construct one of these,
+/// tweak the knobs the experiment sweeps, and build a Cluster from it.
+struct ModelParams {
+  mem::NodeMemoryParams memory{};
+  net::LinkParams link{};
+  rnic::RnicParams rnic{};
+  host::HostParams host{};
+
+  // ---- RPC-layer knobs (paper §5.1/§5.2) ----
+
+  /// Injected per-request processing time at the receiver; 100 µs for
+  /// the paper's "heavy load" micro-benchmarks, 0 for "light load".
+  sim::SimTime rpc_processing = 0;
+
+  /// Worker threads processing RPCs at the server.
+  unsigned server_workers = 2;
+
+  /// Redo-log ring slots per connection (also the durable RPCs'
+  /// pipelining window; §4.2 flow control).
+  std::uint32_t log_slots = 32;
+
+  /// Outstanding-unprocessed threshold before the sender throttles
+  /// (§4.2). Effective window = min(log_slots, flow_threshold).
+  std::uint32_t flow_threshold = 16;
+
+  /// Largest object the micro-benchmarks move (sizes the log slots,
+  /// message buffers and object-store slots).
+  std::uint64_t max_payload = 64 * 1024;
+
+  /// Objects in the server's store (paper §5.1: 50 K). Benchmarks with
+  /// large objects reduce this to fit the modeled PM window; the
+  /// zipfian access pattern is unaffected in any measurable way.
+  std::uint64_t object_count = 50'000;
+
+  /// ScaleRPC interleaves one warm-up phase per this many process
+  /// phases (§5.1).
+  std::uint32_t scalerpc_process_per_warmup = 100;
+
+  /// LITE is kernel-level (§3): extra syscall/trap cost on both sides.
+  sim::SimTime lite_kernel_cost = 1500;
+
+  /// Seed for the simulation's RNG (benchmark flag --seed).
+  std::uint64_t seed = 1;
+};
+
+/// Paper §5.2 "heavy load": RPCs emulate real request processing by an
+/// injected 100 µs of work, as in DaRPC.
+inline ModelParams heavy_load_params() {
+  ModelParams p;
+  p.rpc_processing = 100 * sim::kMicrosecond;
+  return p;
+}
+
+/// Paper §5.2 "light load": RPCs only perform the read/write itself.
+inline ModelParams light_load_params() { return ModelParams{}; }
+
+}  // namespace prdma::core

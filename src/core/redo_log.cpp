@@ -1,0 +1,108 @@
+#include "core/redo_log.hpp"
+
+#include <cstring>
+
+#include "core/wire.hpp"
+
+namespace prdma::core {
+
+std::vector<std::byte> encode_log_entry(std::uint64_t seq, RpcOp op,
+                                        std::uint64_t obj_id,
+                                        std::span<const std::byte> payload,
+                                        std::uint64_t resp_slot,
+                                        std::uint32_t batch,
+                                        std::uint32_t req_len) {
+  ByteWriter w(LogLayout::kEntryHeaderBytes + payload.size() +
+               LogLayout::kCommitBytes);
+  w.u32(static_cast<std::uint32_t>(op));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u64(obj_id);
+  w.u64(fnv1a(payload));
+  w.u64(resp_slot);
+  w.u32(batch);
+  w.u32(req_len);
+  w.pad_to(LogLayout::kEntryHeaderBytes);
+  w.bytes(payload);
+  w.u64(seq);  // commit word, after the data (§4.2 ordering)
+  return w.take();
+}
+
+std::optional<LogEntryView> decode_entry_at(const mem::NodeMemory& mem,
+                                            std::uint64_t addr,
+                                            std::uint64_t payload_cap) {
+  std::vector<std::byte> header(LogLayout::kEntryHeaderBytes);
+  mem.cpu_read(addr, header);
+  ByteReader r(header);
+
+  LogEntryView e;
+  const std::uint32_t op = r.u32();
+  e.payload_len = r.u32();
+  e.obj_id = r.u64();
+  r.u64();  // checksum (validated separately by RedoLog::checksum_ok)
+  e.resp_slot = r.u64();
+  e.batch = r.u32();
+  e.req_len = r.u32();
+  e.payload_addr = addr + LogLayout::kEntryHeaderBytes;
+
+  if (op != static_cast<std::uint32_t>(RpcOp::kRead) &&
+      op != static_cast<std::uint32_t>(RpcOp::kWrite)) {
+    return std::nullopt;
+  }
+  e.op = static_cast<RpcOp>(op);
+  if (e.payload_len > payload_cap) return std::nullopt;
+  if (e.batch == 0) return std::nullopt;
+
+  std::byte commit_raw[8];
+  mem.cpu_read(addr + LogLayout::kEntryHeaderBytes + e.payload_len, commit_raw);
+  std::memcpy(&e.seq, commit_raw, 8);
+  if (e.seq == 0) return std::nullopt;
+  return e;
+}
+
+RedoLog::RedoLog(Node& server, LogLayout layout)
+    : node_(server), layout_(layout) {}
+
+std::optional<LogEntryView> RedoLog::peek(std::uint64_t seq) const {
+  auto e = decode_entry_at(node_.mem(), layout_.slot_addr(seq),
+                           layout_.payload_capacity);
+  if (!e.has_value() || e->seq != seq) return std::nullopt;
+  return e;
+}
+
+bool RedoLog::checksum_ok(const LogEntryView& e) const {
+  const std::uint64_t slot = layout_.slot_addr(e.seq);
+  std::byte sum_raw[8];
+  node_.mem().cpu_read(slot + 16, sum_raw);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, sum_raw, 8);
+
+  std::vector<std::byte> payload(e.payload_len);
+  node_.mem().cpu_read(e.payload_addr, payload);
+  return fnv1a(payload) == stored;
+}
+
+std::uint64_t RedoLog::consumed() const {
+  return load_u64(node_.mem(), layout_.consumed_addr());
+}
+
+sim::Task<> RedoLog::mark_consumed(std::uint64_t seq) {
+  auto& mem = node_.mem();
+  auto& sim = node_.rnic().simulator();
+  store_u64(mem, layout_.consumed_addr(), seq);
+  const auto done = mem.clflush(sim.now(), layout_.consumed_addr(), 8);
+  co_await sim::delay(sim, done - sim.now());
+}
+
+std::vector<LogEntryView> RedoLog::recover() const {
+  std::vector<LogEntryView> out;
+  const std::uint64_t from = consumed();
+  for (std::uint64_t seq = from + 1; seq <= from + layout_.slots; ++seq) {
+    auto e = peek(seq);
+    if (!e.has_value()) break;        // first gap terminates the scan
+    if (!checksum_ok(*e)) break;      // torn entry: data not fully down
+    out.push_back(*e);
+  }
+  return out;
+}
+
+}  // namespace prdma::core

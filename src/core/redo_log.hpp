@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/node.hpp"
+#include "core/rpc.hpp"
+#include "sim/task.hpp"
+
+namespace prdma::core {
+
+/// Byte layout of one connection's redo-log ring in server PM (§4.2,
+/// Fig. 5). Shared between the client (which computes slot addresses
+/// for its RDMA writes / SFlush destinations), the server (which scans
+/// and consumes entries) and recovery (which replays them).
+///
+/// Ring header:
+///   [0, 8)    consumed_seq — last processed entry (persisted watermark)
+///   [8, 128)  reserved
+/// Slot i (seq s maps to slot (s-1) % slots):
+///   [0, 4)    op (RpcOp)
+///   [4, 8)    payload_len
+///   [8, 16)   obj_id
+///   [16, 24)  payload checksum (FNV-1a)
+///   [24, 32)  resp_slot (client response ring index, reads)
+///   [32, 36)  batch count (sub-operations aggregated per §4.3)
+///   [36, 40)  req_len (bytes requested by a read operation)
+///   [64, 64+len)          payload
+///   [64+len, 64+len+8)    commit word == seq
+///
+/// The commit word sits *after* the payload, so "data is always
+/// persisted before the RPC operator" (§4.2): an entry is valid only
+/// if its commit word matches the expected sequence number AND the
+/// payload checksum verifies — a torn entry is discarded by recovery.
+struct LogLayout {
+  static constexpr std::uint64_t kHeaderBytes = 128;
+  static constexpr std::uint64_t kEntryHeaderBytes = 64;
+  static constexpr std::uint64_t kCommitBytes = 8;
+
+  std::uint64_t base = 0;           ///< PM address of the ring
+  std::uint32_t slots = 32;
+  std::uint64_t payload_capacity = 64 * 1024;
+
+  [[nodiscard]] std::uint64_t slot_bytes() const {
+    const std::uint64_t raw =
+        kEntryHeaderBytes + payload_capacity + kCommitBytes;
+    return (raw + 255) & ~255ull;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return kHeaderBytes + static_cast<std::uint64_t>(slots) * slot_bytes();
+  }
+  [[nodiscard]] std::uint64_t consumed_addr() const { return base; }
+  [[nodiscard]] std::uint64_t slot_addr(std::uint64_t seq) const {
+    return base + kHeaderBytes + ((seq - 1) % slots) * slot_bytes();
+  }
+  [[nodiscard]] std::uint64_t payload_addr(std::uint64_t seq) const {
+    return slot_addr(seq) + kEntryHeaderBytes;
+  }
+  /// Size of the one-RDMA-write image carrying an entry with `len`
+  /// payload bytes (header + payload + trailing commit word).
+  [[nodiscard]] std::uint64_t entry_bytes(std::uint32_t len) const {
+    return kEntryHeaderBytes + len + kCommitBytes;
+  }
+};
+
+/// Builds the single-write image of a log entry (client side).
+std::vector<std::byte> encode_log_entry(std::uint64_t seq, RpcOp op,
+                                        std::uint64_t obj_id,
+                                        std::span<const std::byte> payload,
+                                        std::uint64_t resp_slot,
+                                        std::uint32_t batch = 1,
+                                        std::uint32_t req_len = 0);
+
+/// A decoded view of one committed log entry.
+struct LogEntryView {
+  std::uint64_t seq = 0;
+  RpcOp op = RpcOp::kWrite;
+  std::uint64_t obj_id = 0;
+  std::uint32_t payload_len = 0;
+  std::uint64_t resp_slot = 0;
+  std::uint32_t batch = 1;
+  std::uint32_t req_len = 0;  ///< read request: bytes to return
+  std::uint64_t payload_addr = 0;  ///< address of the payload bytes
+
+  [[nodiscard]] std::uint64_t image_bytes() const {
+    return LogLayout::kEntryHeaderBytes + payload_len + LogLayout::kCommitBytes;
+  }
+};
+
+/// Decodes an entry image at `addr` (log slot or message buffer).
+/// Returns nullopt if the header is implausible or no commit word is
+/// present. `payload_cap` bounds the length field.
+std::optional<LogEntryView> decode_entry_at(const mem::NodeMemory& mem,
+                                            std::uint64_t addr,
+                                            std::uint64_t payload_cap);
+
+/// Server-side view of one connection's redo log.
+class RedoLog {
+ public:
+  RedoLog(Node& server, LogLayout layout);
+
+  [[nodiscard]] const LogLayout& layout() const { return layout_; }
+
+  /// Decodes the entry with sequence `seq` if its commit word is
+  /// present (does NOT verify the checksum — see checksum_ok).
+  [[nodiscard]] std::optional<LogEntryView> peek(std::uint64_t seq) const;
+
+  /// Validates the payload checksum (used by recovery to reject torn
+  /// entries; skipped on the hot path).
+  [[nodiscard]] bool checksum_ok(const LogEntryView& e) const;
+
+  [[nodiscard]] std::uint64_t consumed() const;
+
+  /// Durably advances the consumed watermark (8-byte store + flush),
+  /// charged on the calling worker's core.
+  sim::Task<> mark_consumed(std::uint64_t seq);
+
+  /// Post-crash scan: returns committed-but-unconsumed entries in
+  /// sequence order, stopping at the first gap or torn entry. These
+  /// are exactly the RPCs that can be re-executed without re-sending
+  /// data from the client (§4.2).
+  [[nodiscard]] std::vector<LogEntryView> recover() const;
+
+ private:
+  Node& node_;
+  LogLayout layout_;
+};
+
+}  // namespace prdma::core

@@ -1,0 +1,20 @@
+#include "core/rpc.hpp"
+
+#include "sim/sync.hpp"
+
+namespace prdma::core {
+
+sim::Task<> poll_until(Node& node, std::uint64_t addr, std::uint64_t len,
+                       std::function<bool()> ready) {
+  if (!ready()) {
+    sim::Event ev(node.rnic().simulator());
+    const auto watch = node.mem().add_watch(addr, len, [&ev, &ready] {
+      if (ready()) ev.set();
+    });
+    co_await ev.wait();
+    node.mem().remove_watch(watch);
+  }
+  co_await node.host().charge_poll();
+}
+
+}  // namespace prdma::core

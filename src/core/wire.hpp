@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "mem/node_memory.hpp"
+
+namespace prdma::core {
+
+/// Little-endian encoder for building message/log-entry images in a
+/// staging buffer before handing them to a verb.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::size_t reserve = 128) { buf_.reserve(reserve); }
+
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void bytes(std::span<const std::byte> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  /// Zero padding up to absolute offset `off`.
+  void pad_to(std::size_t off) {
+    if (buf_.size() < off) buf_.resize(off, std::byte{0});
+  }
+
+  [[nodiscard]] std::span<const std::byte> view() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::byte*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<std::byte> buf_;
+};
+
+/// Little-endian decoder over a byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint32_t u32() { return read<std::uint32_t>(); }
+  std::uint64_t u64() { return read<std::uint64_t>(); }
+  std::span<const std::byte> bytes(std::size_t n) {
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  void skip_to(std::size_t off) { pos_ = off; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T read() {
+    T v{};
+    std::memcpy(&v, data_.data() + pos_, sizeof v);
+    pos_ += sizeof v;
+    return v;
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Direct scalar accessors into simulated node memory (data plane).
+inline std::uint64_t load_u64(const mem::NodeMemory& mem, std::uint64_t addr) {
+  std::byte raw[8];
+  mem.cpu_read(addr, raw);
+  std::uint64_t v;
+  std::memcpy(&v, raw, 8);
+  return v;
+}
+
+inline void store_u64(mem::NodeMemory& mem, std::uint64_t addr,
+                      std::uint64_t v) {
+  std::byte raw[8];
+  std::memcpy(raw, &v, 8);
+  mem.cpu_write(addr, raw);
+}
+
+/// FNV-1a checksum used to validate redo-log entries during recovery
+/// (detects torn writes where data landed but the entry is partial).
+inline std::uint64_t fnv1a(std::span<const std::byte> data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::byte b : data) {
+    h ^= static_cast<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace prdma::core

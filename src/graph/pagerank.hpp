@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "rpcs/registry.hpp"
+#include "sim/rng.hpp"
+
+namespace prdma::graph {
+
+/// The three datasets of §5.1. The real graphs (law.di.unimi.it) are
+/// not redistributable here; we substitute synthetic power-law graphs
+/// with the paper's node/edge counts — PageRank's RPC traffic depends
+/// on graph size and degree distribution, not on the specific edges
+/// (substitution table in DESIGN.md §1).
+struct GraphSpec {
+  std::string_view name;
+  std::uint32_t nodes;
+  std::uint64_t edges;
+};
+
+inline constexpr GraphSpec kWordAssociation{"wordassociation-2011", 10'000,
+                                            72'000};
+inline constexpr GraphSpec kEnron{"enron", 69'000, 276'000};
+inline constexpr GraphSpec kDblp{"dblp-2010", 326'000, 1'615'000};
+
+/// CSR graph with a power-law-ish out-degree distribution produced by
+/// preferential attachment over a fixed edge budget.
+class SyntheticGraph {
+ public:
+  SyntheticGraph(const GraphSpec& spec, std::uint64_t seed);
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(offsets_.size() - 1);
+  }
+  [[nodiscard]] std::uint64_t edge_count() const { return targets_.size(); }
+
+  [[nodiscard]] std::uint32_t out_degree(std::uint32_t u) const {
+    return static_cast<std::uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+  [[nodiscard]] const std::uint32_t* neighbors(std::uint32_t u) const {
+    return targets_.data() + offsets_[u];
+  }
+
+  /// Serialized CSR size in bytes (what the remote PM stores).
+  [[nodiscard]] std::uint64_t csr_bytes() const {
+    return offsets_.size() * 8 + targets_.size() * 4;
+  }
+
+ private:
+  std::vector<std::uint64_t> offsets_;
+  std::vector<std::uint32_t> targets_;
+};
+
+/// PageRank-over-RPC configuration (§5.3): the graph lives in the
+/// remote server's PM; the client fetches CSR pages via RPC reads each
+/// iteration and keeps ranks in its local memory.
+struct PageRankConfig {
+  std::uint32_t iterations = 10;
+  double damping = 0.85;
+  std::uint32_t page_bytes = 16 * 1024;  ///< CSR fetch granularity
+  std::uint64_t seed = 1;
+  /// Client-side compute charged per edge per iteration (the paper
+  /// calls PageRank compute-intensive).
+  sim::SimTime ns_per_edge = 3;
+};
+
+struct PageRankResult {
+  sim::SimTime duration = 0;
+  std::uint64_t rpcs = 0;
+  std::uint32_t iterations = 0;
+  double rank_sum = 1.0;     ///< invariant: sums to ~1 (validation)
+  double top_rank = 0.0;
+};
+
+/// Runs PageRank on `spec` with graph data served through `system`.
+PageRankResult run_pagerank(rpcs::System system, const GraphSpec& spec,
+                            const PageRankConfig& cfg);
+
+}  // namespace prdma::graph

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace prdma::host {
+
+/// Software-path cost model of one server/client host (provenance for
+/// the defaults in DESIGN.md §5).
+struct HostParams {
+  unsigned cores = 4;                 ///< cores available to RPC workers
+  sim::SimTime post_cost = 300;       ///< posting one verb (WQE + doorbell)
+  sim::SimTime poll_cost = 250;       ///< detecting work by polling
+  sim::SimTime recv_handler_cost = 1600;  ///< two-sided recv dispatch path
+  sim::SimTime handler_cost = 1200;   ///< one-sided request parse/bookkeeping
+  sim::SimTime dispatch_cost = 3'000;  ///< handing a logged RPC to a worker
+                                       ///< thread (§4.2 "a thread is created")
+  double memcpy_bw_bytes_per_s = 12e9;    ///< CPU copy bandwidth
+  double jitter_sigma = 0.12;             ///< lognormal tail on software paths
+};
+
+/// CPU model: a pool of cores plus a background-load multiplier.
+///
+/// set_load(l) models the paper's "busy" sender/receiver experiments
+/// (Figs. 15/16): a compute-intensive background program inflates
+/// every software path by (1 + l) and adds scheduling jitter.
+class Host {
+ public:
+  Host(sim::Simulator& sim, sim::Rng& rng, HostParams params)
+      : sim_(sim), rng_(rng), params_(params), cores_(sim, params.cores) {}
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  [[nodiscard]] const HostParams& params() const { return params_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] sim::Semaphore& cores() { return cores_; }
+
+  void set_load(double load) { load_ = load < 0.0 ? 0.0 : load; }
+  [[nodiscard]] double load() const { return load_; }
+
+  /// A software path of base cost `c`, inflated by background load and
+  /// given a latency tail.
+  [[nodiscard]] sim::SimTime scaled(sim::SimTime c) {
+    const double mult = (1.0 + load_) * rng_.lognormal_jitter(params_.jitter_sigma);
+    return static_cast<sim::SimTime>(static_cast<double>(c) * mult);
+  }
+
+  /// Occupies one core for the scaled cost (queues if all cores busy).
+  sim::Task<> exec(sim::SimTime base_cost) {
+    co_await cores_.acquire();
+    sim::SemaphoreGuard guard(cores_);
+    const sim::SimTime c = scaled(base_cost);
+    charged_ += c;
+    co_await sim::delay(sim_, c);
+  }
+
+  /// Time passes but no core is consumed (e.g. waiting on a doorbell
+  /// that another model component accounts for).
+  sim::Task<> sleep(sim::SimTime base_cost) {
+    const sim::SimTime c = scaled(base_cost);
+    charged_ += c;
+    co_await sim::delay(sim_, c);
+  }
+
+  /// Total software time charged on this host (Fig. 20 accounting).
+  [[nodiscard]] std::uint64_t charged_ns() const { return charged_; }
+
+  /// CPU memcpy of `bytes` (core-occupying).
+  sim::Task<> memcpy_exec(std::uint64_t bytes) {
+    co_await exec(sim::transfer_time(bytes, params_.memcpy_bw_bytes_per_s));
+  }
+
+  [[nodiscard]] sim::SimTime memcpy_cost(std::uint64_t bytes) const {
+    return sim::transfer_time(bytes, params_.memcpy_bw_bytes_per_s);
+  }
+
+  // Convenience costed paths used by every protocol implementation.
+  sim::Task<> charge_post() { co_await exec(params_.post_cost); }
+  sim::Task<> charge_poll() { co_await exec(params_.poll_cost); }
+  sim::Task<> charge_recv_handler() { co_await exec(params_.recv_handler_cost); }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  HostParams params_;
+  sim::Semaphore cores_;
+  double load_ = 0.0;
+  std::uint64_t charged_ = 0;
+};
+
+}  // namespace prdma::host

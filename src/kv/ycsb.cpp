@@ -1,0 +1,168 @@
+#include "kv/ycsb.hpp"
+
+#include <algorithm>
+
+#include "bench_util/micro.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace prdma::kv {
+
+using core::RpcOp;
+using core::RpcRequest;
+using sim::Task;
+
+std::string_view workload_name(Workload w) {
+  switch (w) {
+    case Workload::kA: return "A";
+    case Workload::kB: return "B";
+    case Workload::kC: return "C";
+    case Workload::kD: return "D";
+    case Workload::kE: return "E";
+    case Workload::kF: return "F";
+  }
+  return "?";
+}
+
+std::string_view kind_name(KvOp::Kind k) {
+  switch (k) {
+    case KvOp::Kind::kRead: return "read";
+    case KvOp::Kind::kUpdate: return "update";
+    case KvOp::Kind::kInsert: return "insert";
+    case KvOp::Kind::kScan: return "scan";
+    case KvOp::Kind::kRmw: return "rmw";
+  }
+  return "?";
+}
+
+YcsbGenerator::YcsbGenerator(Workload w, std::uint64_t records,
+                             std::uint64_t seed, double zipf_theta,
+                             std::uint32_t max_scan)
+    : workload_(w),
+      records_(records),
+      rng_(seed),
+      zipf_(records, zipf_theta),
+      latest_(records, zipf_theta),
+      max_scan_(max_scan) {}
+
+std::uint64_t YcsbGenerator::pick_key() {
+  if (workload_ == Workload::kD) return latest_.next(rng_);
+  return zipf_.next(rng_) % records_;
+}
+
+KvOp YcsbGenerator::next() {
+  KvOp op;
+  const double p = rng_.uniform01();
+  switch (workload_) {
+    case Workload::kA:
+      op.kind = p < 0.5 ? KvOp::Kind::kUpdate : KvOp::Kind::kRead;
+      break;
+    case Workload::kB:
+      op.kind = p < 0.05 ? KvOp::Kind::kUpdate : KvOp::Kind::kRead;
+      break;
+    case Workload::kC:
+      op.kind = KvOp::Kind::kRead;
+      break;
+    case Workload::kD:
+      op.kind = p < 0.05 ? KvOp::Kind::kInsert : KvOp::Kind::kRead;
+      break;
+    case Workload::kE:
+      op.kind = p < 0.05 ? KvOp::Kind::kInsert : KvOp::Kind::kScan;
+      break;
+    case Workload::kF:
+      op.kind = p < 0.5 ? KvOp::Kind::kRmw : KvOp::Kind::kRead;
+      break;
+  }
+  if (op.kind == KvOp::Kind::kInsert) {
+    op.key = records_++;
+    latest_.grow();
+  } else {
+    op.key = pick_key();
+  }
+  if (op.kind == KvOp::Kind::kScan) {
+    op.scan_len = static_cast<std::uint32_t>(rng_.uniform(1, max_scan_));
+  }
+  return op;
+}
+
+YcsbResult run_ycsb(rpcs::System system, const YcsbConfig& cfg) {
+  // Reuse the micro-bench parameter derivation: same memory sizing and
+  // calibration, with the KV value size as the object size.
+  bench::MicroConfig mc;
+  mc.objects = cfg.records * 2;  // headroom for inserts (D/E)
+  mc.object_size = cfg.value_size;
+  mc.seed = cfg.seed;
+  const core::ModelParams params = bench::params_for(mc);
+
+  core::Cluster cluster(params, 2);
+  const std::size_t clients[] = {1};
+  auto dep = rpcs::make_deployment(cluster, system, 0, clients, params);
+
+  YcsbResult result;
+  bool finished = false;
+
+  auto driver = [](core::RpcClient& client, YcsbConfig config,
+                   YcsbResult& out, bool& done) -> Task<> {
+    YcsbGenerator gen(config.workload, config.records, config.seed);
+    auto& histogram = out.latency;
+    for (std::uint64_t i = 0; i < config.ops; ++i) {
+      const KvOp op = gen.next();
+      const sim::SimTime start_issue = 0;
+      (void)start_issue;
+      sim::SimTime t0 = 0;
+      sim::SimTime t1 = 0;
+      switch (op.kind) {
+        case KvOp::Kind::kRead: {
+          const auto r = co_await client.call(
+              RpcRequest{RpcOp::kRead, op.key, config.value_size});
+          t0 = r.issued_at;
+          t1 = r.completed_at;
+          out.rpcs_issued += 1;
+          break;
+        }
+        case KvOp::Kind::kUpdate:
+        case KvOp::Kind::kInsert: {
+          const auto r = co_await client.call(
+              RpcRequest{RpcOp::kWrite, op.key, config.value_size});
+          t0 = r.issued_at;
+          t1 = r.completed_at;
+          out.rpcs_issued += 1;
+          break;
+        }
+        case KvOp::Kind::kScan: {
+          // Range query: consecutive keys, sequential reads.
+          for (std::uint32_t k = 0; k < op.scan_len; ++k) {
+            const auto r = co_await client.call(RpcRequest{
+                RpcOp::kRead, op.key + k, config.value_size});
+            if (k == 0) t0 = r.issued_at;
+            t1 = r.completed_at;
+            ++out.rpcs_issued;
+          }
+          break;
+        }
+        case KvOp::Kind::kRmw: {
+          const auto r0 = co_await client.call(
+              RpcRequest{RpcOp::kRead, op.key, config.value_size});
+          const auto r1 = co_await client.call(
+              RpcRequest{RpcOp::kWrite, op.key, config.value_size});
+          t0 = r0.issued_at;
+          t1 = r1.completed_at;
+          out.rpcs_issued += 2;
+          break;
+        }
+      }
+      if (t1 > t0) {
+        histogram.record(t1 - t0);
+        ++out.ops_completed;
+        out.duration = t1;  // completion time of the last finished op
+      }
+    }
+    done = true;
+  };
+
+  sim::spawn(driver(*dep.clients[0], cfg, result, finished));
+  cluster.sim().run();
+  return result;
+}
+
+}  // namespace prdma::kv

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/rpc.hpp"
+#include "rpcs/registry.hpp"
+#include "sim/rng.hpp"
+#include "stats/histogram.hpp"
+
+namespace prdma::kv {
+
+/// The six standard YCSB core workloads (§5.1 of the paper):
+///   A: 50% update / 50% read, zipfian
+///   B: 95% read / 5% update, zipfian
+///   C: 100% read, zipfian
+///   D: 95% read / 5% insert, "latest" distribution
+///   E: 95% scan / 5% insert, zipfian
+///   F: 50% read / 50% read-modify-write, zipfian
+enum class Workload : std::uint8_t { kA, kB, kC, kD, kE, kF };
+
+std::string_view workload_name(Workload w);
+
+/// One logical KV operation produced by the generator.
+struct KvOp {
+  enum class Kind : std::uint8_t { kRead, kUpdate, kInsert, kScan, kRmw };
+  Kind kind = Kind::kRead;
+  std::uint64_t key = 0;
+  std::uint32_t scan_len = 0;  ///< records touched by a scan
+};
+
+std::string_view kind_name(KvOp::Kind k);
+
+/// Workload generator: produces the operation stream of one YCSB
+/// workload over a growing key space.
+class YcsbGenerator {
+ public:
+  YcsbGenerator(Workload w, std::uint64_t records, std::uint64_t seed,
+                double zipf_theta = 0.99, std::uint32_t max_scan = 20);
+
+  KvOp next();
+
+  [[nodiscard]] std::uint64_t key_space() const { return records_; }
+  [[nodiscard]] Workload workload() const { return workload_; }
+
+ private:
+  std::uint64_t pick_key();
+
+  Workload workload_;
+  std::uint64_t records_;
+  sim::Rng rng_;
+  sim::ZipfianGenerator zipf_;
+  sim::LatestGenerator latest_;
+  std::uint32_t max_scan_;
+};
+
+/// Configuration of one YCSB run (§5.1: 50 K objects, 8 B keys, 4 KB
+/// values, 300 K ops; benches scale the op count down by default).
+struct YcsbConfig {
+  Workload workload = Workload::kA;
+  std::uint64_t records = 50'000;
+  std::uint32_t value_size = 4096;
+  std::uint64_t ops = 8'000;
+  std::uint64_t seed = 1;
+  std::uint32_t max_scan = 20;
+};
+
+/// Outcome of one YCSB run against one RPC system.
+struct YcsbResult {
+  stats::LatencyHistogram latency;   ///< per-KV-op latency (scans count once)
+  std::uint64_t ops_completed = 0;
+  std::uint64_t rpcs_issued = 0;
+  sim::SimTime duration = 0;
+
+  [[nodiscard]] double avg_us() const { return latency.mean() / 1e3; }
+};
+
+/// Runs one YCSB workload over the given RPC system: the client keeps
+/// the KV index locally (paper §5.1) and reaches values in the remote
+/// PM through the RPC layer. A scan of n records issues n consecutive
+/// reads; a read-modify-write issues read + write.
+YcsbResult run_ycsb(rpcs::System system, const YcsbConfig& cfg);
+
+}  // namespace prdma::kv

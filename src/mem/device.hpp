@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace prdma::mem {
+
+inline constexpr std::uint64_t kCacheLine = 64;
+
+/// Rounds an address down / a length up to cache-line granularity.
+constexpr std::uint64_t line_down(std::uint64_t a) { return a & ~(kCacheLine - 1); }
+constexpr std::uint64_t line_up(std::uint64_t a) {
+  return (a + kCacheLine - 1) & ~(kCacheLine - 1);
+}
+
+/// Timing parameters of a memory device (calibrated in core/params.hpp).
+struct DeviceTiming {
+  sim::SimTime read_latency = 0;     ///< fixed per-access read latency
+  sim::SimTime write_latency = 0;    ///< fixed per-access write latency
+  double read_bw_bytes_per_s = 0.0;  ///< sustained read bandwidth
+  double write_bw_bytes_per_s = 0.0; ///< sustained write bandwidth
+};
+
+/// Byte-addressable memory device with a bandwidth-occupancy timing
+/// model. The data plane (content bytes) is updated instantaneously by
+/// callers at the simulated instant the model says the access
+/// completes; the timing plane serializes accesses against the
+/// device's bandwidth.
+class Device {
+ public:
+  Device(sim::Simulator& sim, std::string name, std::uint64_t capacity,
+         DeviceTiming timing)
+      : sim_(sim),
+        name_(std::move(name)),
+        timing_(timing),
+        content_(capacity, std::byte{0}) {}
+
+  virtual ~Device() = default;
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::uint64_t capacity() const { return content_.size(); }
+
+  /// True when contents survive a power failure (the persist domain).
+  [[nodiscard]] virtual bool persistent() const = 0;
+
+  /// Power failure: volatile devices lose their contents.
+  virtual void crash() = 0;
+
+  // --- data plane (instantaneous; timing charged separately) ---
+
+  void poke(std::uint64_t addr, std::span<const std::byte> data) {
+    assert(addr + data.size() <= content_.size());
+    std::copy(data.begin(), data.end(), content_.begin() + static_cast<std::ptrdiff_t>(addr));
+    bytes_written_ += data.size();
+  }
+
+  void peek(std::uint64_t addr, std::span<std::byte> out) const {
+    assert(addr + out.size() <= content_.size());
+    std::copy_n(content_.begin() + static_cast<std::ptrdiff_t>(addr), out.size(),
+                out.begin());
+  }
+
+  [[nodiscard]] std::span<const std::byte> view(std::uint64_t addr,
+                                                std::uint64_t len) const {
+    assert(addr + len <= content_.size());
+    return {content_.data() + addr, len};
+  }
+
+  // --- timing plane ---
+
+  /// Completion time of a write of `bytes` that arrives at the device
+  /// at `start`; serializes against earlier accesses (bandwidth).
+  sim::SimTime write_complete_at(sim::SimTime start, std::uint64_t bytes) {
+    const sim::SimTime begin = std::max(start, busy_until_);
+    const sim::SimTime xfer =
+        sim::transfer_time(bytes, timing_.write_bw_bytes_per_s);
+    busy_until_ = begin + xfer;
+    return begin + timing_.write_latency + xfer;
+  }
+
+  /// Pure cost of a write of `bytes` (latency + transfer), without
+  /// claiming device occupancy — used by paths whose serialization is
+  /// modeled elsewhere (the RNIC's DMA engine queue).
+  [[nodiscard]] sim::SimTime write_cost(std::uint64_t bytes) const {
+    return timing_.write_latency +
+           sim::transfer_time(bytes, timing_.write_bw_bytes_per_s);
+  }
+
+  [[nodiscard]] sim::SimTime read_cost(std::uint64_t bytes) const {
+    return timing_.read_latency +
+           sim::transfer_time(bytes, timing_.read_bw_bytes_per_s);
+  }
+
+  /// Completion time of a read of `bytes` beginning at `start`.
+  sim::SimTime read_complete_at(sim::SimTime start, std::uint64_t bytes) {
+    const sim::SimTime begin = std::max(start, busy_until_);
+    const sim::SimTime xfer =
+        sim::transfer_time(bytes, timing_.read_bw_bytes_per_s);
+    busy_until_ = begin + xfer;
+    return begin + timing_.read_latency + xfer;
+  }
+
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  [[nodiscard]] const DeviceTiming& timing() const { return timing_; }
+
+ protected:
+  void zero_content() {
+    std::fill(content_.begin(), content_.end(), std::byte{0});
+  }
+
+  sim::Simulator& sim_;
+
+ private:
+  std::string name_;
+  DeviceTiming timing_;
+  std::vector<std::byte> content_;
+  sim::SimTime busy_until_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// Persistent-memory device: its contents *are* the persist domain.
+/// Once a DMA or cache write-back lands here it survives crashes (the
+/// ADR guarantee covers the iMC write-pending queue; we model the
+/// domain boundary at the device interface).
+class PmDevice final : public Device {
+ public:
+  PmDevice(sim::Simulator& sim, std::string name, std::uint64_t capacity,
+           DeviceTiming timing)
+      : Device(sim, std::move(name), capacity, timing) {}
+
+  [[nodiscard]] bool persistent() const override { return true; }
+  void crash() override { /* contents retained by definition */ }
+};
+
+/// Volatile DRAM: contents are lost on power failure.
+class DramDevice final : public Device {
+ public:
+  DramDevice(sim::Simulator& sim, std::string name, std::uint64_t capacity,
+             DeviceTiming timing)
+      : Device(sim, std::move(name), capacity, timing) {}
+
+  [[nodiscard]] bool persistent() const override { return false; }
+  void crash() override { zero_content(); }
+};
+
+}  // namespace prdma::mem

@@ -1,0 +1,108 @@
+#include "mem/llc.hpp"
+
+#include <algorithm>
+
+namespace prdma::mem {
+
+Llc::Line& Llc::dirty_line(std::uint64_t line_addr) {
+  auto it = lines_.find(line_addr);
+  if (it == lines_.end()) {
+    Line line;
+    line.data.resize(kCacheLine);
+    backing_.peek(line_addr, line.data);
+    it = lines_.emplace(line_addr, std::move(line)).first;
+    fifo_.push_back(line_addr);
+    evict_if_needed();
+  }
+  return it->second;
+}
+
+void Llc::write(std::uint64_t addr, std::span<const std::byte> data) {
+  std::uint64_t pos = addr;
+  std::size_t consumed = 0;
+  while (consumed < data.size()) {
+    const std::uint64_t la = line_down(pos);
+    const std::uint64_t off = pos - la;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kCacheLine - off, data.size() - consumed));
+    Line& line = dirty_line(la);
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(consumed), n,
+                line.data.begin() + static_cast<std::ptrdiff_t>(off));
+    pos += n;
+    consumed += n;
+  }
+}
+
+void Llc::read(std::uint64_t addr, std::span<std::byte> out) const {
+  backing_.peek(addr, out);  // baseline from PM
+  // Overlay any dirty lines (coherent view).
+  const std::uint64_t first = line_down(addr);
+  const std::uint64_t last = line_up(addr + out.size());
+  for (std::uint64_t la = first; la < last; la += kCacheLine) {
+    const auto it = lines_.find(la);
+    if (it == lines_.end()) continue;
+    const std::uint64_t lo = std::max(la, addr);
+    const std::uint64_t hi = std::min(la + kCacheLine, addr + out.size());
+    std::copy_n(it->second.data.begin() + static_cast<std::ptrdiff_t>(lo - la),
+                hi - lo,
+                out.begin() + static_cast<std::ptrdiff_t>(lo - addr));
+  }
+}
+
+bool Llc::is_dirty(std::uint64_t addr, std::uint64_t len) const {
+  const std::uint64_t first = line_down(addr);
+  const std::uint64_t last = line_up(addr + len);
+  for (std::uint64_t la = first; la < last; la += kCacheLine) {
+    if (lines_.contains(la)) return true;
+  }
+  return false;
+}
+
+sim::SimTime Llc::clflush(sim::SimTime start, std::uint64_t addr,
+                          std::uint64_t len) {
+  // clwb-style streaming flush: per-line issue cost, with the media
+  // writes pipelined — one bandwidth charge for the whole range, the
+  // trailing fence waits for the last write-back to land.
+  const std::uint64_t first = line_down(addr);
+  const std::uint64_t last = line_up(addr + len);
+  sim::SimTime t = start;
+  std::uint64_t flushed = 0;
+  for (std::uint64_t la = first; la < last; la += kCacheLine) {
+    const auto it = lines_.find(la);
+    if (it == lines_.end()) continue;
+    write_back(la, it->second);
+    lines_.erase(it);
+    std::erase(fifo_, la);
+    t += params_.clflush_per_line;
+    ++flushed;
+  }
+  lines_flushed_ += flushed;
+  if (flushed > 0) {
+    t = std::max(t, backing_.write_complete_at(start, flushed * kCacheLine));
+  }
+  return t + params_.sfence_cost;
+}
+
+void Llc::crash() {
+  lines_lost_ += lines_.size();
+  lines_.clear();
+  fifo_.clear();
+}
+
+void Llc::write_back(std::uint64_t line_addr, const Line& line) {
+  backing_.poke(line_addr, line.data);
+}
+
+void Llc::evict_if_needed() {
+  while (lines_.size() > params_.capacity_lines && !fifo_.empty()) {
+    const std::uint64_t victim = fifo_.front();
+    fifo_.pop_front();
+    const auto it = lines_.find(victim);
+    if (it == lines_.end()) continue;
+    write_back(victim, it->second);
+    lines_.erase(it);
+    ++evictions_;
+  }
+}
+
+}  // namespace prdma::mem

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/device.hpp"
+#include "sim/simulator.hpp"
+
+namespace prdma::mem {
+
+/// Timing/cost parameters of the cache model.
+struct LlcParams {
+  std::uint64_t capacity_lines = 2048;   ///< DDIO-usable LLC portion (2 ways)
+  sim::SimTime clflush_per_line = 10;    ///< clwb streaming rate (~6.4 GB/s)
+  sim::SimTime sfence_cost = 250;        ///< trailing fence / drain latency
+};
+
+/// Last-level cache front of a persistent-memory device.
+///
+/// Two producers write through it:
+///  * the receiver CPU's stores (always cached), and
+///  * the RNIC's DMA when DDIO is enabled (§2.3 of the paper).
+///
+/// Dirty lines are *volatile*: a crash drops them, and that is exactly
+/// why read-after-write fails as a persistence check under DDIO — a
+/// coherent read returns the cached line even though PM still holds the
+/// stale bytes. clflush() writes lines back into the persist domain.
+/// Capacity pressure evicts the oldest dirty line to PM (physically
+/// persisting it, but invisibly to any remote observer).
+class Llc {
+ public:
+  Llc(sim::Simulator& sim, Device& backing, LlcParams params)
+      : sim_(sim), backing_(backing), params_(params) {}
+
+  Llc(const Llc&) = delete;
+  Llc& operator=(const Llc&) = delete;
+
+  /// Store through the cache: lines become dirty; backing content is
+  /// NOT updated until clflush or eviction.
+  void write(std::uint64_t addr, std::span<const std::byte> data);
+
+  /// Coherent load: dirty lines shadow the backing device.
+  void read(std::uint64_t addr, std::span<std::byte> out) const;
+
+  /// True if any line overlapping [addr, addr+len) is dirty.
+  [[nodiscard]] bool is_dirty(std::uint64_t addr, std::uint64_t len) const;
+
+  /// Writes every dirty line overlapping [addr, addr+len) back to the
+  /// backing device. Returns the simulated completion time of the
+  /// flush + fence that starts at `start`.
+  sim::SimTime clflush(sim::SimTime start, std::uint64_t addr, std::uint64_t len);
+
+  /// Power failure: dirty lines are lost. Counts the casualties.
+  void crash();
+
+  [[nodiscard]] std::size_t dirty_lines() const { return lines_.size(); }
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t lines_flushed() const { return lines_flushed_; }
+  [[nodiscard]] std::uint64_t lines_lost_to_crash() const { return lines_lost_; }
+
+ private:
+  struct Line {
+    std::vector<std::byte> data;  // kCacheLine bytes
+  };
+
+  /// Returns the cached line for `line_addr`, faulting it in from the
+  /// backing device if needed, and marks it dirty.
+  Line& dirty_line(std::uint64_t line_addr);
+
+  void write_back(std::uint64_t line_addr, const Line& line);
+  void evict_if_needed();
+
+  sim::Simulator& sim_;
+  Device& backing_;
+  LlcParams params_;
+  std::unordered_map<std::uint64_t, Line> lines_;
+  std::deque<std::uint64_t> fifo_;  // insertion order for eviction
+  std::uint64_t evictions_ = 0;
+  std::uint64_t lines_flushed_ = 0;
+  std::uint64_t lines_lost_ = 0;
+};
+
+}  // namespace prdma::mem

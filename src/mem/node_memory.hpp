@@ -1,0 +1,194 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mem/device.hpp"
+#include "mem/llc.hpp"
+#include "sim/simulator.hpp"
+
+namespace prdma::mem {
+
+/// Sizing/timing of one node's memory system.
+struct NodeMemoryParams {
+  std::uint64_t pm_capacity = 256ull << 20;    ///< 256 MiB modeled PM window
+  std::uint64_t dram_capacity = 128ull << 20;  ///< DRAM (message buffers etc.)
+  DeviceTiming pm_timing{
+      /*read_latency=*/170, /*write_latency=*/90,
+      /*read_bw=*/6.6e9, /*write_bw=*/12.0e9};  // 6-DIMM interleaved DCPMM
+  DeviceTiming dram_timing{
+      /*read_latency=*/80, /*write_latency=*/80,
+      /*read_bw=*/38.0e9, /*write_bw=*/38.0e9};
+  LlcParams llc{};
+};
+
+/// One node's physical memory: a PM window, a DRAM window and the LLC
+/// fronting the PM. Flat 64-bit addressing:
+///   [0, pm_capacity)               -> persistent memory
+///   [kDramBase, kDramBase + cap)   -> DRAM
+///
+/// Two access paths matter for persistence semantics:
+///  * cpu_write / cpu_read — receiver-CPU stores, always cached (PM
+///    stores stay volatile in the LLC until clflush);
+///  * dma_write / dma_read — RNIC DMA; steering depends on DDIO
+///    (LLC when enabled, straight into the persist domain when not).
+class NodeMemory {
+ public:
+  static constexpr std::uint64_t kDramBase = 1ull << 40;
+
+  NodeMemory(sim::Simulator& sim, const NodeMemoryParams& params)
+      : pm_(sim, "pm", params.pm_capacity, params.pm_timing),
+        dram_(sim, "dram", params.dram_capacity, params.dram_timing),
+        llc_(sim, pm_, params.llc) {}
+
+  [[nodiscard]] bool is_pm(std::uint64_t addr) const {
+    return addr < pm_.capacity();
+  }
+
+  [[nodiscard]] PmDevice& pm() { return pm_; }
+  [[nodiscard]] DramDevice& dram() { return dram_; }
+  [[nodiscard]] Llc& llc() { return llc_; }
+  [[nodiscard]] const Llc& llc() const { return llc_; }
+
+  // ---- CPU path (cached stores) ----
+
+  void cpu_write(std::uint64_t addr, std::span<const std::byte> data) {
+    if (is_pm(addr)) {
+      llc_.write(addr, data);
+    } else {
+      dram_.poke(addr - kDramBase, data);
+    }
+    fire_watches(addr, data.size());
+  }
+
+  void cpu_read(std::uint64_t addr, std::span<std::byte> out) const {
+    if (is_pm(addr)) {
+      llc_.read(addr, out);
+    } else {
+      dram_.peek(addr - kDramBase, out);
+    }
+  }
+
+  // ---- DMA path (RNIC) ----
+
+  /// RNIC DMA store. With DDIO the line lands dirty in the LLC
+  /// (volatile!); without DDIO it goes through the iMC into the
+  /// persist domain (for PM) or DRAM.
+  void dma_write(std::uint64_t addr, std::span<const std::byte> data, bool ddio) {
+    if (is_pm(addr)) {
+      if (ddio) {
+        llc_.write(addr, data);
+      } else {
+        pm_.poke(addr, data);
+      }
+    } else {
+      dram_.poke(addr - kDramBase, data);
+    }
+    fire_watches(addr, data.size());
+  }
+
+  /// RNIC DMA load — cache-coherent, so it sees dirty LLC lines. This
+  /// is why read-after-write cannot prove persistence under DDIO.
+  void dma_read(std::uint64_t addr, std::span<std::byte> out) const {
+    cpu_read(addr, out);
+  }
+
+  /// True iff every byte of [addr, addr+len) is in the persist domain
+  /// right now (PM address and no dirty cache line over it).
+  [[nodiscard]] bool range_persistent(std::uint64_t addr, std::uint64_t len) const {
+    if (!is_pm(addr)) return false;
+    return !llc_.is_dirty(addr, len);
+  }
+
+  /// CPU clflush of a PM range; returns completion time. No-op (start)
+  /// for DRAM addresses.
+  sim::SimTime clflush(sim::SimTime start, std::uint64_t addr, std::uint64_t len) {
+    if (!is_pm(addr)) return start;
+    return llc_.clflush(start, addr, len);
+  }
+
+  /// Timing helper: completion time of a device write of `bytes` to
+  /// `addr` starting at `start` (used by the RNIC DMA engine).
+  sim::SimTime device_write_complete_at(sim::SimTime start, std::uint64_t addr,
+                                        std::uint64_t bytes) {
+    return is_pm(addr) ? pm_.write_complete_at(start, bytes)
+                       : dram_.write_complete_at(start, bytes);
+  }
+
+  sim::SimTime device_read_complete_at(sim::SimTime start, std::uint64_t addr,
+                                       std::uint64_t bytes) {
+    return is_pm(addr) ? pm_.read_complete_at(start, bytes)
+                       : dram_.read_complete_at(start, bytes);
+  }
+
+  /// Pure device write cost (no occupancy claim; see Device::write_cost).
+  [[nodiscard]] sim::SimTime device_write_cost(std::uint64_t addr,
+                                               std::uint64_t bytes) const {
+    return is_pm(addr) ? pm_.write_cost(bytes) : dram_.write_cost(bytes);
+  }
+
+  /// Power failure: DRAM and dirty LLC lines are lost; PM survives.
+  /// Watches persist (they model software that re-polls after restart).
+  void crash() {
+    llc_.crash();
+    dram_.crash();
+    pm_.crash();
+  }
+
+  // ---- write watches ----
+  //
+  // Software polling (a CPU spinning on a message buffer or log slot)
+  // is modeled event-style: register a watch over the polled range and
+  // the callback fires whenever any write lands in it. The *cost* of
+  // polling is charged separately by the host layer; the watch only
+  // supplies the wake-up edge. This keeps simulated polling O(1) per
+  // write instead of one event per poll iteration.
+
+  using WatchId = std::uint64_t;
+
+  WatchId add_watch(std::uint64_t addr, std::uint64_t len,
+                    std::function<void()> on_write) {
+    const WatchId id = next_watch_++;
+    watches_.push_back(Watch{id, addr, len, std::move(on_write)});
+    return id;
+  }
+
+  void remove_watch(WatchId id) {
+    std::erase_if(watches_, [id](const Watch& w) { return w.id == id; });
+  }
+
+  [[nodiscard]] std::size_t watch_count() const { return watches_.size(); }
+
+ private:
+  struct Watch {
+    WatchId id;
+    std::uint64_t addr;
+    std::uint64_t len;
+    std::function<void()> on_write;
+  };
+
+  void fire_watches(std::uint64_t addr, std::uint64_t len) {
+    if (watches_.empty()) return;
+    // A callback may add/remove watches; iterate over a snapshot of ids.
+    std::vector<const Watch*> hits;
+    for (const Watch& w : watches_) {
+      if (w.addr < addr + len && addr < w.addr + w.len) hits.push_back(&w);
+    }
+    if (hits.empty()) return;
+    std::vector<std::function<void()>> cbs;
+    cbs.reserve(hits.size());
+    for (const Watch* w : hits) cbs.push_back(w->on_write);
+    for (auto& cb : cbs) cb();
+  }
+
+  PmDevice pm_;
+  DramDevice dram_;
+  Llc llc_;
+  std::uint64_t next_watch_ = 1;
+  std::vector<Watch> watches_;
+};
+
+}  // namespace prdma::mem

@@ -1,0 +1,78 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace prdma::net {
+
+void Fabric::register_node(NodeId id, std::function<void(Packet)> deliver) {
+  sinks_[id] = std::move(deliver);
+}
+
+void Fabric::unregister_node(NodeId id) { sinks_[id] = nullptr; }
+
+Fabric::LinkState& Fabric::state(NodeId from, NodeId to) {
+  auto [it, inserted] = links_.try_emplace({from, to});
+  if (inserted) it->second.params = defaults_;
+  return it->second;
+}
+
+LinkParams& Fabric::link(NodeId from, NodeId to) {
+  return state(from, to).params;
+}
+
+void Fabric::for_all_links(const std::function<void(LinkParams&)>& fn) {
+  fn(defaults_);
+  for (auto& [key, st] : links_) fn(st.params);
+}
+
+sim::SimTime Fabric::send(Packet p) {
+  LinkState& lk = state(p.src, p.dst);
+  const LinkParams& lp = lk.params;
+
+  const std::uint64_t bytes = p.wire_bytes();
+  bytes_ += bytes;
+
+  // Residual bandwidth after background traffic.
+  const double load = std::clamp(lp.background_load, 0.0, 0.95);
+  const double residual_bw = lp.bandwidth_bytes_per_s * (1.0 - load);
+  const sim::SimTime service = sim::transfer_time(bytes, residual_bw);
+
+  // Serialization: this packet queues behind earlier ones in the same
+  // direction.
+  const sim::SimTime tx_begin = std::max(sim_.now(), lk.busy_until);
+  lk.busy_until = tx_begin + service;
+
+  // M/M/1-flavoured queueing behind background traffic: expected wait
+  // of load/(1-load) service times, sampled exponentially.
+  sim::SimTime queueing = 0;
+  if (load > 0.0) {
+    const double mean_wait =
+        load / (1.0 - load) *
+        static_cast<double>(std::max<sim::SimTime>(service, 200));
+    queueing = static_cast<sim::SimTime>(rng_.exponential(mean_wait));
+  }
+
+  const double jitter = rng_.lognormal_jitter(lp.jitter_sigma);
+  const auto flight = static_cast<sim::SimTime>(
+      static_cast<double>(lp.propagation + queueing) * jitter);
+  const sim::SimTime arrival = tx_begin + service + flight;
+
+  if (lp.loss_probability > 0.0 && rng_.bernoulli(lp.loss_probability)) {
+    ++dropped_;
+    return lk.busy_until;
+  }
+
+  sim_.schedule_at(arrival, [this, p = std::move(p)]() mutable {
+    const auto it = sinks_.find(p.dst);
+    if (it == sinks_.end() || !it->second) {
+      ++dropped_;  // destination crashed/unregistered
+      return;
+    }
+    ++delivered_;
+    it->second(std::move(p));
+  });
+  return lk.busy_until;
+}
+
+}  // namespace prdma::net

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace prdma::net {
+
+/// Timing/behaviour of one directed link between two nodes.
+struct LinkParams {
+  sim::SimTime propagation = 1000;  ///< one-way latency (1 µs IB class)
+  double bandwidth_bytes_per_s = 5e9;  ///< 40 GbE
+  /// Fraction of the link consumed by background traffic [0, 1).
+  /// Models the paper's Fig. 14 "busy network": less residual
+  /// bandwidth plus M/M/1-style queueing delay.
+  double background_load = 0.0;
+  /// Log-normal sigma applied to propagation+queueing (latency tail).
+  double jitter_sigma = 0.03;
+  /// Per-packet drop probability (lossless IB default: 0).
+  double loss_probability = 0.0;
+};
+
+/// Point-to-point switched fabric connecting RNICs.
+///
+/// Each directed node pair has its own serialization queue (a
+/// busy-until horizon), so a large transfer delays packets behind it on
+/// the same direction but not reverse traffic — matching full-duplex
+/// links.
+class Fabric {
+ public:
+  Fabric(sim::Simulator& sim, sim::Rng& rng, LinkParams defaults)
+      : sim_(sim), rng_(rng), defaults_(defaults) {}
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Registers the packet sink of a node's RNIC.
+  void register_node(NodeId id, std::function<void(Packet)> deliver);
+
+  /// Removes a node from the fabric (crashed); packets in flight to it
+  /// are dropped on arrival until it re-registers.
+  void unregister_node(NodeId id);
+
+  [[nodiscard]] bool node_registered(NodeId id) const {
+    return sinks_.contains(id) && sinks_.at(id) != nullptr;
+  }
+
+  /// Transmits `p`; delivery is scheduled per the link model. Returns
+  /// the local "wire accepted" time (after serialization) so the
+  /// sender can model TX-queue occupancy.
+  sim::SimTime send(Packet p);
+
+  /// Per-directed-pair parameter override (creates on first use).
+  LinkParams& link(NodeId from, NodeId to);
+
+  /// Applies `fn` to the default parameters and every existing link.
+  void for_all_links(const std::function<void(LinkParams&)>& fn);
+
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
+  [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }
+
+ private:
+  struct LinkState {
+    LinkParams params;
+    sim::SimTime busy_until = 0;
+  };
+
+  LinkState& state(NodeId from, NodeId to);
+
+  sim::Simulator& sim_;
+  sim::Rng& rng_;
+  LinkParams defaults_;
+  std::map<NodeId, std::function<void(Packet)>> sinks_;
+  std::map<std::pair<NodeId, NodeId>, LinkState> links_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace prdma::net

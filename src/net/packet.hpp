@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace prdma::net {
+
+using NodeId = std::uint32_t;
+
+/// Wire opcodes exchanged between RNICs. The set mirrors the verbs the
+/// paper's protocols use (Fig. 2) plus the proposed Flush extensions
+/// (§4.1) and the transport-level control packets.
+enum class WireOp : std::uint8_t {
+  kSend,       ///< two-sided send (consumes a posted recv at the target)
+  kSendImm,    ///< send with immediate data
+  kWrite,      ///< one-sided write
+  kWriteImm,   ///< write with immediate (consumes recv WQE for notify)
+  kReadReq,    ///< one-sided read request
+  kReadResp,   ///< read response carrying data
+  kWFlushReq,  ///< sender-initiated flush after a write (§4.1.1)
+  kSFlushReq,  ///< sender-initiated flush after a send (§4.1.1)
+  kFlushAck,   ///< RNIC-generated "data is persistent" acknowledgement
+  kAck,        ///< RC transport acknowledgement
+  kNak,        ///< remote-access violation (bad rkey/permission)
+};
+
+[[nodiscard]] constexpr bool carries_payload(WireOp op) {
+  return op == WireOp::kSend || op == WireOp::kSendImm ||
+         op == WireOp::kWrite || op == WireOp::kWriteImm ||
+         op == WireOp::kReadResp;
+}
+
+/// IB/RoCE-class per-packet header overhead charged on the wire.
+inline constexpr std::uint64_t kHeaderBytes = 66;
+
+/// Shared immutable payload: retransmissions and multi-hop deliveries
+/// reference the same bytes.
+using PayloadPtr = std::shared_ptr<const std::vector<std::byte>>;
+
+inline PayloadPtr make_payload(std::vector<std::byte> bytes) {
+  return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+}
+
+/// One network packet between two RNICs.
+struct Packet {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint32_t src_qp = 0;
+  std::uint32_t dst_qp = 0;
+  WireOp op = WireOp::kSend;
+
+  std::uint64_t wr_id = 0;       ///< sender work-request id (echoed in ACKs)
+  std::uint64_t remote_addr = 0; ///< target address for write/read/flush
+  std::uint64_t length = 0;      ///< data length (payload or read size)
+  std::uint32_t imm = 0;         ///< immediate value
+  bool has_imm = false;
+  std::uint64_t seq = 0;         ///< per-QP sequence number (RC ordering)
+  /// Sender-side scratch (not on the wire): where a read response or
+  /// recv should land in the initiator's memory.
+  std::uint64_t local_addr = 0;
+
+  PayloadPtr payload;            ///< data bytes for payload-carrying ops
+
+  /// Bytes occupying the wire (payload for data ops, header always).
+  [[nodiscard]] std::uint64_t wire_bytes() const {
+    return kHeaderBytes + (carries_payload(op) ? length : 0);
+  }
+};
+
+}  // namespace prdma::net

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace prdma::rdma {
+
+/// Bump allocator carving registered regions out of a node's PM or
+/// DRAM window (the moral equivalent of ibv_reg_mr over a DAX mapping).
+class RegionAllocator {
+ public:
+  RegionAllocator(std::uint64_t base, std::uint64_t size)
+      : base_(base), end_(base + size), cursor_(base) {}
+
+  /// Allocates `len` bytes aligned to `align` (power of two).
+  std::uint64_t alloc(std::uint64_t len, std::uint64_t align = 64) {
+    std::uint64_t a = (cursor_ + align - 1) & ~(align - 1);
+    if (a + len > end_) {
+      throw std::runtime_error("RegionAllocator: out of space");
+    }
+    cursor_ = a + len;
+    return a;
+  }
+
+  [[nodiscard]] std::uint64_t remaining() const { return end_ - cursor_; }
+  [[nodiscard]] std::uint64_t base() const { return base_; }
+  [[nodiscard]] std::uint64_t end() const { return end_; }
+
+ private:
+  std::uint64_t base_;
+  std::uint64_t end_;
+  std::uint64_t cursor_;
+};
+
+}  // namespace prdma::rdma

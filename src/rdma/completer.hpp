@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "rnic/completion.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace prdma::rdma {
+
+/// Demultiplexes one completion queue into per-work-request futures.
+///
+/// Protocol coroutines post several outstanding verbs on one QP and
+/// await each completion by wr_id; a single dispatcher task drains the
+/// CQ channel and resolves the matching waiter (or stashes the WC if
+/// the waiter has not arrived yet).
+///
+/// Lifetime: the dispatcher coroutine co-owns the internal state via a
+/// shared_ptr, so a Completer can be destroyed (e.g. replaced during
+/// crash recovery) while its dispatcher is still parked on the CQ
+/// channel — the dispatcher observes the stop flag on its next wake
+/// and winds down without touching freed memory.
+class Completer {
+ public:
+  Completer(sim::Simulator& sim, rnic::Cq& cq)
+      : state_(std::make_shared<State>(sim, cq)) {
+    sim::spawn(run(state_));
+  }
+
+  Completer(const Completer&) = delete;
+  Completer& operator=(const Completer&) = delete;
+
+  ~Completer() {
+    state_->stopped = true;
+    abort_waiters(*state_);
+  }
+
+  /// Resolves with the completion for `wr_id`. Each wr_id must be
+  /// awaited at most once. Returns std::nullopt if the CQ was torn
+  /// down (crash) before the completion arrived.
+  sim::Task<std::optional<rnic::Wc>> wait(std::uint64_t wr_id) {
+    // Keep the state alive for the whole await, even if the Completer
+    // object itself is destroyed mid-flight (crash recovery).
+    const std::shared_ptr<State> st = state_;
+    if (const auto it = st->ready.find(wr_id); it != st->ready.end()) {
+      const rnic::Wc wc = it->second;
+      st->ready.erase(it);
+      co_return wc;
+    }
+    if (st->stopped) co_return std::nullopt;
+    Waiter w{sim::Event(st->sim), {}};
+    st->waiters.emplace(wr_id, &w);
+    const bool ok = co_await w.event.wait();
+    st->waiters.erase(wr_id);
+    if (!ok || !w.result.has_value()) co_return std::nullopt;
+    co_return w.result;
+  }
+
+  /// Allocates a fresh work-request id.
+  std::uint64_t fresh_wr() { return state_->next_wr++; }
+
+  /// wr_id for fire-and-forget posts: the dispatcher discards its
+  /// completion instead of stashing it forever.
+  static constexpr std::uint64_t kSilentWr = 0;
+
+ private:
+  struct Waiter {
+    sim::Event event;
+    std::optional<rnic::Wc> result;
+  };
+
+  struct State {
+    State(sim::Simulator& s, rnic::Cq& q) : sim(s), cq(q) {}
+    sim::Simulator& sim;
+    rnic::Cq& cq;
+    bool stopped = false;
+    std::uint64_t next_wr = 1;
+    std::map<std::uint64_t, rnic::Wc> ready;
+    std::map<std::uint64_t, Waiter*> waiters;
+  };
+
+  static void abort_waiters(State& st) {
+    // Waiters erase themselves on resume; iterate over a snapshot.
+    std::map<std::uint64_t, Waiter*> pending;
+    pending.swap(st.waiters);
+    for (auto& [id, w] : pending) w->event.abort();
+  }
+
+  static sim::Task<> run(std::shared_ptr<State> st) {
+    for (;;) {
+      auto wc = co_await st->cq.channel().recv();
+      if (st->stopped) {
+        // Owner replaced this completer (crash recovery). A value we
+        // were woken with belongs to the successor — hand it back.
+        if (wc.has_value()) st->cq.channel().send(*wc);
+        co_return;
+      }
+      if (!wc.has_value()) break;  // CQ closed or crash-reset
+      if (wc->wr_id == kSilentWr) continue;  // fire-and-forget post
+      if (const auto it = st->waiters.find(wc->wr_id);
+          it != st->waiters.end()) {
+        it->second->result = *wc;
+        it->second->event.set();
+        st->waiters.erase(it);
+      } else {
+        st->ready.emplace(wc->wr_id, *wc);
+      }
+    }
+    // Wake any remaining waiters with "no completion".
+    abort_waiters(*st);
+  }
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace prdma::rdma

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "rdma/completer.hpp"
+#include "rnic/rnic.hpp"
+#include "sim/task.hpp"
+
+namespace prdma::rdma {
+
+/// Client-side convenience wrapper over one connected QP: every verb
+/// becomes an awaitable that resolves with its work completion.
+///
+/// The QP's send CQ must be drained by the provided Completer (one
+/// completer can serve several sessions sharing a CQ).
+class QpSession {
+ public:
+  QpSession(rnic::Rnic& nic, rnic::Qp& qp, Completer& completer)
+      : nic_(nic), qp_(qp), completer_(completer) {}
+
+  [[nodiscard]] rnic::Qp& qp() { return qp_; }
+  [[nodiscard]] rnic::Rnic& nic() { return nic_; }
+
+  sim::Task<std::optional<rnic::Wc>> send(
+      std::uint64_t local_addr, std::uint64_t len,
+      std::optional<std::uint32_t> imm = std::nullopt) {
+    const std::uint64_t wr = completer_.fresh_wr();
+    nic_.post_send(qp_, local_addr, len, wr, imm);
+    co_return co_await completer_.wait(wr);
+  }
+
+  sim::Task<std::optional<rnic::Wc>> write(
+      std::uint64_t local_addr, std::uint64_t len, std::uint64_t remote_addr,
+      std::optional<std::uint32_t> imm = std::nullopt) {
+    const std::uint64_t wr = completer_.fresh_wr();
+    nic_.post_write(qp_, local_addr, len, remote_addr, wr, imm);
+    co_return co_await completer_.wait(wr);
+  }
+
+  sim::Task<std::optional<rnic::Wc>> read(std::uint64_t remote_addr,
+                                          std::uint64_t len,
+                                          std::uint64_t local_addr) {
+    const std::uint64_t wr = completer_.fresh_wr();
+    nic_.post_read(qp_, remote_addr, len, local_addr, wr);
+    co_return co_await completer_.wait(wr);
+  }
+
+  sim::Task<std::optional<rnic::Wc>> wflush(std::uint64_t remote_addr,
+                                            std::uint64_t len) {
+    const std::uint64_t wr = completer_.fresh_wr();
+    nic_.post_wflush(qp_, remote_addr, len, wr);
+    co_return co_await completer_.wait(wr);
+  }
+
+  sim::Task<std::optional<rnic::Wc>> sflush(std::uint64_t pm_dest_addr,
+                                            std::uint64_t len) {
+    const std::uint64_t wr = completer_.fresh_wr();
+    nic_.post_sflush(qp_, pm_dest_addr, len, wr);
+    co_return co_await completer_.wait(wr);
+  }
+
+  /// Fire-and-forget post variants (completion intentionally ignored;
+  /// used when a later flush or response subsumes the ACK).
+  void post_write_nowait(std::uint64_t local_addr, std::uint64_t len,
+                         std::uint64_t remote_addr,
+                         std::optional<std::uint32_t> imm = std::nullopt) {
+    nic_.post_write(qp_, local_addr, len, remote_addr, Completer::kSilentWr,
+                    imm);
+  }
+
+  void post_send_nowait(std::uint64_t local_addr, std::uint64_t len,
+                        std::optional<std::uint32_t> imm = std::nullopt) {
+    nic_.post_send(qp_, local_addr, len, Completer::kSilentWr, imm);
+  }
+
+ private:
+  rnic::Rnic& nic_;
+  rnic::Qp& qp_;
+  Completer& completer_;
+};
+
+/// Establishes a connected QP pair between two RNICs (the connection
+/// manager handshake, instantaneous at setup time).
+inline std::pair<rnic::Qp*, rnic::Qp*> connect_pair(
+    rnic::Rnic& a, rnic::Transport ta, rnic::Cq& a_scq, rnic::Cq& a_rcq,
+    rnic::Rnic& b, rnic::Transport tb, rnic::Cq& b_scq, rnic::Cq& b_rcq) {
+  rnic::Qp& qa = a.create_qp(ta, a_scq, a_rcq);
+  rnic::Qp& qb = b.create_qp(tb, b_scq, b_rcq);
+  a.connect(qa, b.id(), qb.qpn);
+  b.connect(qb, a.id(), qa.qpn);
+  return {&qa, &qb};
+}
+
+}  // namespace prdma::rdma

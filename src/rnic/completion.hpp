@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+
+namespace prdma::rnic {
+
+/// Completion status of a work request.
+enum class WcStatus : std::uint8_t {
+  kSuccess,
+  kRetryExceeded,      ///< RC gave up retransmitting (peer dead)
+  kFlushed,            ///< QP torn down (local crash) before completion
+  kRemoteAccessError,  ///< peer NAKed: rkey/permission violation
+};
+
+/// Work completion, as polled from a completion queue.
+struct Wc {
+  std::uint64_t wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  net::WireOp op = net::WireOp::kSend;
+  std::uint32_t qpn = 0;
+  std::uint64_t byte_len = 0;
+  std::uint32_t imm = 0;
+  bool has_imm = false;
+  /// For recv completions: where the data landed.
+  std::uint64_t local_addr = 0;
+};
+
+/// Completion queue: a deterministic channel of Wc entries that host
+/// pollers consume. Crash handling resets the channel (wakes pollers
+/// with nullopt) rather than destroying it.
+class Cq {
+ public:
+  explicit Cq(sim::Simulator& sim) : ch_(sim) {}
+
+  void push(const Wc& wc) {
+    ++pushed_;
+    ch_.send(wc);
+  }
+
+  [[nodiscard]] sim::Channel<Wc>& channel() { return ch_; }
+  [[nodiscard]] std::uint64_t pushed() const { return pushed_; }
+  [[nodiscard]] std::size_t depth() const { return ch_.size(); }
+
+  /// Crash: drop queued completions and wake pollers with nullopt.
+  void reset() { ch_.reset(); }
+
+ private:
+  sim::Channel<Wc> ch_;
+  std::uint64_t pushed_ = 0;
+};
+
+}  // namespace prdma::rnic

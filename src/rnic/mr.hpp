@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prdma::rnic {
+
+/// Remote-access rights of a registered memory region (the moral
+/// equivalent of IBV_ACCESS_REMOTE_WRITE / _READ, plus the Flush
+/// right the IBTA memory-placement extensions add for persistent
+/// memory regions).
+enum class Access : std::uint8_t {
+  kRemoteWrite = 1u << 0,
+  kRemoteRead = 1u << 1,
+  kRemoteFlush = 1u << 2,
+};
+
+[[nodiscard]] constexpr std::uint8_t operator|(Access a, Access b) {
+  return static_cast<std::uint8_t>(a) | static_cast<std::uint8_t>(b);
+}
+[[nodiscard]] constexpr std::uint8_t operator|(std::uint8_t a, Access b) {
+  return a | static_cast<std::uint8_t>(b);
+}
+
+inline constexpr std::uint8_t kAccessAll =
+    Access::kRemoteWrite | Access::kRemoteRead | Access::kRemoteFlush;
+
+/// One registered region.
+struct MemoryRegion {
+  std::uint32_t rkey = 0;
+  std::uint64_t addr = 0;
+  std::uint64_t len = 0;
+  std::uint8_t access = 0;
+};
+
+/// The RNIC's region-protection table. When enforcement is enabled
+/// (RnicParams::enforce_mr), every incoming one-sided operation must
+/// land entirely inside a region carrying the required right;
+/// violations are NAKed and surface at the sender as a
+/// kRemoteAccessError work completion — exactly how a bad rkey fails
+/// on real verbs.
+class MrTable {
+ public:
+  std::uint32_t register_mr(std::uint64_t addr, std::uint64_t len,
+                            std::uint8_t access) {
+    const std::uint32_t rkey = next_rkey_++;
+    regions_.push_back(MemoryRegion{rkey, addr, len, access});
+    return rkey;
+  }
+
+  void deregister(std::uint32_t rkey) {
+    std::erase_if(regions_,
+                  [rkey](const MemoryRegion& r) { return r.rkey == rkey; });
+  }
+
+  /// True when [addr, addr+len) lies entirely within one region that
+  /// grants `need`.
+  [[nodiscard]] bool allows(std::uint64_t addr, std::uint64_t len,
+                            Access need) const {
+    for (const MemoryRegion& r : regions_) {
+      const bool within = addr >= r.addr && addr + len <= r.addr + r.len;
+      if (within && (r.access & static_cast<std::uint8_t>(need)) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return regions_.size(); }
+
+  /// Crash: protection state is NIC-volatile; applications re-register
+  /// after restart.
+  void clear() { regions_.clear(); }
+
+ private:
+  std::uint32_t next_rkey_ = 1;
+  std::vector<MemoryRegion> regions_;
+};
+
+}  // namespace prdma::rnic

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace prdma::rnic {
+
+/// RNIC hardware model parameters (defaults: ConnectX-4 class, PCIe
+/// 3.0 x8; provenance table in DESIGN.md §5).
+struct RnicParams {
+  /// Volatile on-NIC packet buffer (the root cause of the paper's
+  /// persistence problem, §2.4).
+  std::uint64_t sram_capacity = 2ull << 20;  // 2 MiB
+
+  sim::SimTime rx_process = 60;   ///< per-packet receive pipeline occupancy
+  sim::SimTime tx_process = 60;   ///< per-packet transmit pipeline occupancy
+
+  sim::SimTime pcie_setup = 450;       ///< DMA transaction setup
+  double pcie_bw_bytes_per_s = 12.5e9; ///< PCIe 3.0 x8 effective
+
+  /// DDIO: incoming DMA lands in the (volatile) LLC instead of the
+  /// persist domain. Disabled by default, as in the paper's testbed.
+  bool ddio = false;
+
+  /// When true (default), Flush primitives charge the *emulation*
+  /// costs of §4.1.3 (read-after-write for WFlush, +7 µs addressing
+  /// for SFlush). When false, an idealised hardware implementation is
+  /// modeled instead (ablation: bench/ablation_flush_hw).
+  bool emulate_flush = true;
+
+  sim::SimTime hw_flush_cost = 300;        ///< hardware flush execution
+  sim::SimTime hw_addressing_cost = 500;   ///< smartNIC address lookup
+  sim::SimTime sflush_addressing = 7000;   ///< emulated addressing (§4.1.3)
+
+  /// RC reliability (paper §5.4 uses 100 ms).
+  sim::SimTime retransmit_interval = 100 * sim::kMillisecond;
+  int max_retransmits = 50;
+
+  /// UD maximum transmission unit (FaSST constraint, §5.1).
+  std::uint64_t ud_mtu = 4096;
+
+  /// Enforce memory-region protection on incoming one-sided ops
+  /// (register_mr + rkey semantics). Off by default: the paper's
+  /// protocols pre-arrange their regions; tests enable it to pin the
+  /// NAK/error paths.
+  bool enforce_mr = false;
+
+  /// §4.5 smartNIC mode: the RNIC itself issues receiver-initiated
+  /// RFlushes for configured regions (lookup-table driven) and
+  /// notifies the sender — zero receiver-CPU involvement. Off by
+  /// default (the paper emulates RFlush with the receiver CPU).
+  bool smartnic_rflush = false;
+};
+
+}  // namespace prdma::rnic

@@ -1,0 +1,143 @@
+#include "rpcs/registry.hpp"
+
+#include <stdexcept>
+
+namespace prdma::rpcs {
+
+using core::FlushVariant;
+
+const std::vector<SystemInfo>& all_systems() {
+  static const std::vector<SystemInfo> kSystems = {
+      {System::kL5, "L5", "write", "RC", false, false, false, 0},
+      {System::kRFP, "RFP", "write", "RC", false, false, false, 0},
+      {System::kFaSST, "FaSST", "send", "UD", false, true, false, 4000},
+      {System::kOctopus, "Octopus", "write-imm", "RC", false, true, false, 0},
+      {System::kFaRM, "FaRM", "write", "RC", false, false, false, 0},
+      {System::kScaleRPC, "ScaleRPC", "write", "RC", false, false, false, 0},
+      {System::kDaRPC, "DaRPC", "send", "RC", false, true, false, 0},
+      {System::kHerd, "Herd", "write", "UC", false, false, false, 4000},
+      {System::kLITE, "LITE", "write-imm", "RC", false, true, true, 0},
+      {System::kSRFlushRpc, "S-RFlush-RPC", "send", "RC", true, true, false, 0},
+      {System::kSFlushRpc, "SFlush-RPC", "send", "RC", true, true, false, 0},
+      {System::kWRFlushRpc, "W-RFlush-RPC", "write", "RC", true, false, false,
+       0},
+      {System::kWFlushRpc, "WFlush-RPC", "write", "RC", true, false, false, 0},
+  };
+  return kSystems;
+}
+
+const SystemInfo& info_of(System s) {
+  for (const auto& i : all_systems()) {
+    if (i.system == s) return i;
+  }
+  throw std::invalid_argument("unknown system");
+}
+
+std::string_view name_of(System s) { return info_of(s).name; }
+
+std::vector<System> write_family() {
+  return {System::kL5, System::kRFP, System::kOctopus, System::kFaRM,
+          System::kScaleRPC};
+}
+
+std::vector<System> send_family() { return {System::kDaRPC, System::kFaSST}; }
+
+std::vector<System> evaluation_lineup(std::uint64_t object_size) {
+  // The paper's figure line-up: write-family baselines, send-family
+  // baselines (FaSST only below the UD MTU), then the durable RPCs.
+  std::vector<System> out = {System::kL5, System::kRFP};
+  if (object_size <= info_of(System::kFaSST).max_object) {
+    out.push_back(System::kFaSST);
+  }
+  out.insert(out.end(), {System::kOctopus, System::kFaRM, System::kScaleRPC,
+                         System::kDaRPC, System::kSRFlushRpc,
+                         System::kSFlushRpc, System::kWRFlushRpc,
+                         System::kWFlushRpc});
+  return out;
+}
+
+namespace {
+
+core::RpcDeployment make_durable(core::Cluster& cluster, FlushVariant v,
+                                 std::size_t server_idx,
+                                 std::span<const std::size_t> client_nodes,
+                                 const core::ModelParams& params) {
+  core::RpcDeployment d;
+  auto server = std::make_unique<core::DurableRpcServer>(cluster, server_idx,
+                                                         v, params);
+  for (const std::size_t idx : client_nodes) {
+    d.clients.push_back(server->connect_client(idx));
+  }
+  server->start();
+  d.server = std::move(server);
+  return d;
+}
+
+core::RpcDeployment make_baseline(core::Cluster& cluster,
+                                  BaselineConfig config,
+                                  std::size_t server_idx,
+                                  std::span<const std::size_t> client_nodes,
+                                  const core::ModelParams& params) {
+  core::RpcDeployment d;
+  auto server = std::make_unique<BaselineServer>(cluster, server_idx,
+                                                 std::move(config), params);
+  for (const std::size_t idx : client_nodes) {
+    d.clients.push_back(server->connect_client(idx));
+  }
+  server->start();
+  d.server = std::move(server);
+  return d;
+}
+
+}  // namespace
+
+core::RpcDeployment make_deployment(core::Cluster& cluster, System s,
+                                    std::size_t server_idx,
+                                    std::span<const std::size_t> client_nodes,
+                                    const core::ModelParams& params) {
+  switch (s) {
+    case System::kL5:
+      return make_baseline(cluster, l5_config(), server_idx, client_nodes,
+                           params);
+    case System::kRFP:
+      return make_baseline(cluster, rfp_config(), server_idx, client_nodes,
+                           params);
+    case System::kFaSST:
+      return make_baseline(cluster, fasst_config(), server_idx, client_nodes,
+                           params);
+    case System::kOctopus:
+      return make_baseline(cluster, octopus_config(), server_idx,
+                           client_nodes, params);
+    case System::kFaRM:
+      return make_baseline(cluster, farm_config(), server_idx, client_nodes,
+                           params);
+    case System::kScaleRPC:
+      return make_baseline(cluster,
+                           scalerpc_config(params.scalerpc_process_per_warmup),
+                           server_idx, client_nodes, params);
+    case System::kDaRPC:
+      return make_baseline(cluster, darpc_config(), server_idx, client_nodes,
+                           params);
+    case System::kHerd:
+      return make_baseline(cluster, herd_config(), server_idx, client_nodes,
+                           params);
+    case System::kLITE:
+      return make_baseline(cluster, lite_config(params.lite_kernel_cost),
+                           server_idx, client_nodes, params);
+    case System::kSRFlushRpc:
+      return make_durable(cluster, FlushVariant::kSRFlush, server_idx,
+                          client_nodes, params);
+    case System::kSFlushRpc:
+      return make_durable(cluster, FlushVariant::kSFlush, server_idx,
+                          client_nodes, params);
+    case System::kWRFlushRpc:
+      return make_durable(cluster, FlushVariant::kWRFlush, server_idx,
+                          client_nodes, params);
+    case System::kWFlushRpc:
+      return make_durable(cluster, FlushVariant::kWFlush, server_idx,
+                          client_nodes, params);
+  }
+  throw std::invalid_argument("unknown system");
+}
+
+}  // namespace prdma::rpcs

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/durable_rpc.hpp"
+#include "core/params.hpp"
+#include "core/rpc.hpp"
+#include "rpcs/baseline.hpp"
+
+namespace prdma::rpcs {
+
+/// Every RPC system this repository implements: the nine baselines of
+/// Table 1 / Fig. 2 plus the paper's four durable RPCs.
+enum class System : std::uint8_t {
+  kL5,
+  kRFP,
+  kFaSST,
+  kOctopus,
+  kFaRM,
+  kScaleRPC,
+  kDaRPC,
+  kHerd,
+  kLITE,
+  kSRFlushRpc,
+  kSFlushRpc,
+  kWRFlushRpc,
+  kWFlushRpc,
+};
+
+/// Static facts about a system (drives Table 1 and bench selection).
+struct SystemInfo {
+  System system;
+  std::string_view name;
+  std::string_view primitive;  ///< "write", "send", "write-imm"
+  std::string_view transport;  ///< "RC", "UC", "UD"
+  bool durable;                ///< decouples persistence from processing
+  bool two_sided;              ///< interrupts the receiver CPU per request
+  bool kernel_level;
+  /// Object-size ceiling (UD MTU constraints); 0 = unlimited.
+  std::uint64_t max_object = 0;
+};
+
+/// All implemented systems in the paper's presentation order.
+const std::vector<SystemInfo>& all_systems();
+
+const SystemInfo& info_of(System s);
+std::string_view name_of(System s);
+
+/// Systems compared against the write-primitive durable RPCs in the
+/// paper's figures (L5, RFP, Octopus, FaRM, ScaleRPC).
+std::vector<System> write_family();
+/// Systems compared against the send-primitive durable RPCs (DaRPC,
+/// FaSST where the object size allows).
+std::vector<System> send_family();
+/// The evaluation line-up of Figs. 8-20 (baselines + durable RPCs).
+std::vector<System> evaluation_lineup(std::uint64_t object_size);
+
+/// Builds a connected server + clients deployment of `s` over
+/// `cluster`. Node `server_idx` hosts the server; each entry of
+/// `client_nodes` gets one client. The deployment is started.
+core::RpcDeployment make_deployment(core::Cluster& cluster, System s,
+                                    std::size_t server_idx,
+                                    std::span<const std::size_t> client_nodes,
+                                    const core::ModelParams& params);
+
+}  // namespace prdma::rpcs

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace prdma::sim {
+
+/// Trace verbosity for the simulation. Off by default: the hot path of
+/// a benchmark run executes tens of millions of events.
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kOff;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) {
+    return static_cast<int>(lvl) <= static_cast<int>(level());
+  }
+
+  template <typename... Args>
+  static void write(LogLevel lvl, SimTime now, const char* fmt, Args... args) {
+    if (!enabled(lvl)) return;
+    std::fprintf(stderr, "[%12.3fus] ", to_us(now));
+    std::fprintf(stderr, fmt, args...);
+    std::fputc('\n', stderr);
+  }
+};
+
+}  // namespace prdma::sim

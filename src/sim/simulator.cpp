@@ -1,0 +1,74 @@
+#include "sim/simulator.hpp"
+
+#include <cstdio>
+
+namespace prdma::sim {
+
+void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;  // never schedule into the past
+  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  sift_up(heap_.size() - 1);
+}
+
+void Simulator::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_[i].before(heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && heap_[l].before(heap_[smallest])) smallest = l;
+    if (r < n && heap_[r].before(heap_[smallest])) smallest = r;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+bool Simulator::step() {
+  if (heap_.empty()) return false;
+  Event ev = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!stopped_ && !heap_.empty() && heap_.front().time <= t) {
+    step();
+  }
+  if (now_ < t && !stopped_) now_ = t;
+}
+
+std::string format_time(SimTime t) {
+  char buf[48];
+  if (t < kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%lluns", static_cast<unsigned long long>(t));
+  } else if (t < kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.2fus", to_us(t));
+  } else if (t < kSecond) {
+    std::snprintf(buf, sizeof buf, "%.2fms", to_ms(t));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_s(t));
+  }
+  return buf;
+}
+
+}  // namespace prdma::sim

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace prdma::sim {
+
+/// Deterministic single-threaded discrete-event simulator.
+///
+/// Events scheduled for the same timestamp execute in scheduling order
+/// (FIFO via a monotonically increasing sequence number), so a run is a
+/// pure function of the initial schedule and the RNG seed. This property
+/// is load-bearing: every benchmark in bench/ is reproducible bit-for-bit.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Only advances inside run()/step().
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at now() + delay.
+  void schedule(SimTime delay, std::function<void()> fn) {
+    schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` to run at absolute time `t` (clamped to now()).
+  void schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Executes the next pending event, if any. Returns false when idle.
+  bool step();
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs until simulated time would exceed `t` (events at exactly `t`
+  /// still execute) or the queue drains. Advances now() to `t` even if
+  /// the queue drained earlier.
+  void run_until(SimTime t);
+
+  /// Makes run()/run_until() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
+  /// Clears the stop flag so the simulation can be resumed.
+  void clear_stop() { stopped_ = false; }
+
+  /// Number of events executed since construction.
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Number of events currently pending.
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  /// Timestamp of the next pending event; only valid when pending() > 0.
+  [[nodiscard]] SimTime next_event_time() const { return heap_.front().time; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+
+    [[nodiscard]] bool before(const Event& o) const {
+      return time != o.time ? time < o.time : seq < o.seq;
+    }
+  };
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  // Hand-rolled binary min-heap: std::priority_queue's const top() blocks
+  // moving the callable out, and events are pure move-only traffic here.
+  std::vector<Event> heap_;
+};
+
+}  // namespace prdma::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace prdma::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+///
+/// All latency/bandwidth model parameters and all measurements in this
+/// project are expressed in SimTime ticks (1 tick == 1 ns). 64 bits of
+/// nanoseconds cover ~584 years of simulated time, far beyond any run.
+using SimTime = std::uint64_t;
+
+/// Signed difference between two SimTime points.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+namespace literals {
+
+constexpr SimTime operator""_ns(unsigned long long v) { return v * kNanosecond; }
+constexpr SimTime operator""_us(unsigned long long v) { return v * kMicrosecond; }
+constexpr SimTime operator""_ms(unsigned long long v) { return v * kMillisecond; }
+constexpr SimTime operator""_s(unsigned long long v) { return v * kSecond; }
+
+}  // namespace literals
+
+/// Converts a simulated time to fractional microseconds (for reporting).
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+/// Converts a simulated time to fractional milliseconds (for reporting).
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/// Converts a simulated time to fractional seconds (for reporting).
+constexpr double to_s(SimTime t) { return static_cast<double>(t) / 1e9; }
+
+/// Renders a simulated time with an adaptive unit ("12.3us", "4.5ms", ...).
+std::string format_time(SimTime t);
+
+/// Time taken to move `bytes` at `bytes_per_sec`, rounded up to >= 1 ns
+/// for any non-zero transfer so that serialization is never free.
+constexpr SimTime transfer_time(std::uint64_t bytes, double bytes_per_sec) {
+  if (bytes == 0 || bytes_per_sec <= 0.0) return 0;
+  const double ns = static_cast<double>(bytes) * 1e9 / bytes_per_sec;
+  const auto t = static_cast<SimTime>(ns);
+  return t == 0 ? 1 : t;
+}
+
+}  // namespace prdma::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace prdma::stats {
+
+/// Accumulates named latency components across many operations — used
+/// to regenerate the paper's Fig. 20 (sender software / network RTT /
+/// receiver software breakdown).
+class SpanBreakdown {
+ public:
+  void add(const std::string& component, std::uint64_t ns) {
+    auto& slot = components_[component];
+    slot.total_ns += ns;
+    ++slot.samples;
+  }
+
+  void merge(const SpanBreakdown& o) {
+    for (const auto& [name, slot] : o.components_) {
+      auto& mine = components_[name];
+      mine.total_ns += slot.total_ns;
+      mine.samples += slot.samples;
+    }
+  }
+
+  /// Mean nanoseconds per *operation*, where ops is the divisor (an
+  /// operation can contribute several spans of one component).
+  [[nodiscard]] double mean_ns(const std::string& component,
+                               std::uint64_t ops) const {
+    const auto it = components_.find(component);
+    if (it == components_.end() || ops == 0) return 0.0;
+    return static_cast<double>(it->second.total_ns) / static_cast<double>(ops);
+  }
+
+  [[nodiscard]] std::uint64_t total_ns() const {
+    std::uint64_t t = 0;
+    for (const auto& [name, slot] : components_) t += slot.total_ns;
+    return t;
+  }
+
+  /// Fraction of the total contributed by `component`, in [0,1].
+  [[nodiscard]] double share(const std::string& component) const {
+    const std::uint64_t t = total_ns();
+    if (t == 0) return 0.0;
+    const auto it = components_.find(component);
+    if (it == components_.end()) return 0.0;
+    return static_cast<double>(it->second.total_ns) / static_cast<double>(t);
+  }
+
+  [[nodiscard]] std::vector<std::string> component_names() const {
+    std::vector<std::string> names;
+    names.reserve(components_.size());
+    for (const auto& [name, slot] : components_) names.push_back(name);
+    return names;
+  }
+
+  void reset() { components_.clear(); }
+
+ private:
+  struct Slot {
+    std::uint64_t total_ns = 0;
+    std::uint64_t samples = 0;
+  };
+  std::map<std::string, Slot> components_;
+};
+
+}  // namespace prdma::stats

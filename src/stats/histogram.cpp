@@ -1,0 +1,55 @@
+#include "stats/histogram.hpp"
+
+namespace prdma::stats {
+
+void LatencyHistogram::record(std::uint64_t value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  const std::size_t idx = index_for(value);
+  if (idx >= buckets_.size()) buckets_.resize(idx + 1, 0);
+  ++buckets_[idx];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void LatencyHistogram::reset() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = UINT64_MAX;
+  max_ = 0;
+}
+
+std::uint64_t LatencyHistogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based, at least 1.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + 0.5);
+  const std::uint64_t target = std::max<std::uint64_t>(1, rank);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      const auto [lo, hi] = bucket_range(i);
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      return std::clamp(mid, min_, max_);
+    }
+  }
+  return max_;
+}
+
+}  // namespace prdma::stats

@@ -1,0 +1,172 @@
+// Tests for the benchmark harness: parameter derivation, the
+// micro-benchmark driver (including whole-stack determinism), table
+// printing and flag parsing.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+namespace prdma::bench {
+namespace {
+
+// ------------------------------------------------------------ params_for
+
+TEST(ParamsFor, SizesPmToFitStoreAndLogs) {
+  MicroConfig cfg;
+  cfg.object_size = 64 * 1024;
+  cfg.clients = 10;
+  const auto p = params_for(cfg);
+  core::LogLayout lay;
+  lay.slots = p.log_slots;
+  lay.payload_capacity = p.max_payload;
+  const std::uint64_t need =
+      p.object_count * p.max_payload + 10 * lay.total_bytes();
+  EXPECT_GE(p.memory.pm_capacity, need);
+}
+
+TEST(ParamsFor, LargeObjectsShrinkTheStore) {
+  MicroConfig small;
+  small.object_size = 1024;
+  MicroConfig large;
+  large.object_size = 64 * 1024;
+  EXPECT_EQ(effective_objects(small), 50'000u);
+  EXPECT_LT(effective_objects(large), 50'000u);
+  EXPECT_GE(effective_objects(large), 64u);
+}
+
+TEST(ParamsFor, HeavyLoadSetsProcessing) {
+  MicroConfig cfg;
+  cfg.heavy_load = true;
+  EXPECT_EQ(params_for(cfg).rpc_processing, 100 * sim::kMicrosecond);
+  cfg.heavy_load = false;
+  EXPECT_EQ(params_for(cfg).rpc_processing, 0u);
+}
+
+TEST(ParamsFor, KnobsPropagate) {
+  MicroConfig cfg;
+  cfg.net_load = 0.5;
+  cfg.ddio = true;
+  cfg.emulate_flush = false;
+  cfg.sflush_addressing_us = 3;
+  const auto p = params_for(cfg);
+  EXPECT_DOUBLE_EQ(p.link.background_load, 0.5);
+  EXPECT_TRUE(p.rnic.ddio);
+  EXPECT_FALSE(p.rnic.emulate_flush);
+  EXPECT_EQ(p.rnic.sflush_addressing, 3 * sim::kMicrosecond);
+}
+
+// -------------------------------------------------------------- run_micro
+
+TEST(RunMicro, CompletesAllOpsAndMeasures) {
+  MicroConfig cfg;
+  cfg.object_size = 1024;
+  cfg.ops = 200;
+  const auto res = run_micro(rpcs::System::kFaRM, cfg);
+  EXPECT_EQ(res.ops_completed, 200u);
+  EXPECT_GT(res.kops, 0.0);
+  EXPECT_GT(res.avg_us(), 0.0);
+  EXPECT_GE(res.p99_us(), res.p95_us());
+  EXPECT_EQ(res.server.ops_processed, 200u);
+  EXPECT_GT(res.sender_sw_ns, 0.0);
+  EXPECT_GT(res.receiver_sw_ns, 0.0);
+}
+
+TEST(RunMicro, DeterministicAcrossRuns) {
+  MicroConfig cfg;
+  cfg.object_size = 512;
+  cfg.ops = 150;
+  cfg.seed = 77;
+  const auto a = run_micro(rpcs::System::kWFlushRpc, cfg);
+  const auto b = run_micro(rpcs::System::kWFlushRpc, cfg);
+  EXPECT_EQ(a.duration, b.duration);
+  EXPECT_DOUBLE_EQ(a.kops, b.kops);
+  EXPECT_EQ(a.latency.p99(), b.latency.p99());
+}
+
+TEST(RunMicro, SeedChangesOutcome) {
+  MicroConfig cfg;
+  cfg.object_size = 512;
+  cfg.ops = 150;
+  cfg.seed = 1;
+  const auto a = run_micro(rpcs::System::kFaRM, cfg);
+  cfg.seed = 2;
+  const auto b = run_micro(rpcs::System::kFaRM, cfg);
+  EXPECT_NE(a.duration, b.duration);
+}
+
+TEST(RunMicro, DurableWritesCompleteAtPersistVisibility) {
+  MicroConfig cfg;
+  cfg.object_size = 1024;
+  cfg.ops = 100;
+  cfg.read_ratio = 0.0;
+  cfg.heavy_load = true;
+  const auto res = run_micro(rpcs::System::kWFlushRpc, cfg);
+  EXPECT_GT(res.durable_latency.count(), 0u);
+  // Persist visibility is far below the 100 us processing injection.
+  EXPECT_LT(res.durable_latency.mean(), 60'000.0);
+}
+
+TEST(RunMicro, MultipleClientsShareTheServer) {
+  MicroConfig cfg;
+  cfg.object_size = 256;
+  cfg.ops = 300;
+  cfg.clients = 3;
+  const auto res = run_micro(rpcs::System::kOctopus, cfg);
+  EXPECT_EQ(res.ops_completed, 300u);
+}
+
+TEST(RunMicro, BatchMultipliesProcessedOps) {
+  MicroConfig cfg;
+  cfg.object_size = 512;
+  cfg.ops = 40;  // 40 batched calls of 4 sub-ops
+  cfg.batch = 4;
+  cfg.read_ratio = 0.0;
+  const auto res = run_micro(rpcs::System::kWFlushRpc, cfg);
+  EXPECT_EQ(res.server.ops_processed, 160u);
+}
+
+// ----------------------------------------------------------------- table
+
+TEST(TablePrinter, AlignsColumnsAndSeparates) {
+  TablePrinter t({"Name", "X"});
+  t.add_row({"longer-name", "1.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Header pads to the widest cell.
+  EXPECT_NE(out.find(" Name        "), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(10.0, 0), "10");
+}
+
+// ----------------------------------------------------------------- flags
+
+TEST(Flags, ParsesKeyValueAndBoolean) {
+  const char* argv[] = {"prog", "--ops=500", "--seed=9", "--quick",
+                        "ignored"};
+  Flags f(5, const_cast<char**>(argv));
+  EXPECT_EQ(f.u64("ops", 1), 500u);
+  EXPECT_EQ(f.u64("seed", 1), 9u);
+  EXPECT_TRUE(f.flag("quick"));
+  EXPECT_FALSE(f.flag("missing"));
+  EXPECT_EQ(f.u64("missing", 42), 42u);
+  EXPECT_DOUBLE_EQ(f.real("missing", 1.5), 1.5);
+}
+
+TEST(Flags, ParsesReals) {
+  const char* argv[] = {"prog", "--load=0.85"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(f.real("load", 0.0), 0.85);
+}
+
+}  // namespace
+}  // namespace prdma::bench

@@ -1,0 +1,127 @@
+// Tests for the host/CPU model: core contention, background-load
+// inflation and cost accounting.
+
+#include <gtest/gtest.h>
+
+#include "host/host.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace prdma::host {
+namespace {
+
+using namespace prdma::sim::literals;
+using sim::SimTime;
+using sim::Simulator;
+using sim::Task;
+
+struct HostFixture : ::testing::Test {
+  Simulator sim;
+  sim::Rng rng{3};
+  HostParams params;
+  HostFixture() { params.jitter_sigma = 0.0; }
+};
+
+TEST_F(HostFixture, ExecTakesScaledTime) {
+  Host host(sim, rng, params);
+  SimTime done = 0;
+  sim::spawn([](Simulator& s, Host& h, SimTime& out) -> Task<> {
+    co_await h.exec(10_us);
+    out = s.now();
+  }(sim, host, done));
+  sim.run();
+  EXPECT_EQ(done, 10_us);
+  EXPECT_EQ(host.charged_ns(), 10'000u);
+}
+
+TEST_F(HostFixture, BackgroundLoadInflatesCosts) {
+  Host host(sim, rng, params);
+  host.set_load(3.0);
+  EXPECT_DOUBLE_EQ(host.load(), 3.0);
+  SimTime done = 0;
+  sim::spawn([](Simulator& s, Host& h, SimTime& out) -> Task<> {
+    co_await h.exec(10_us);
+    out = s.now();
+  }(sim, host, done));
+  sim.run();
+  EXPECT_EQ(done, 40_us);  // (1 + load) multiplier
+}
+
+TEST_F(HostFixture, NegativeLoadClampsToZero) {
+  Host host(sim, rng, params);
+  host.set_load(-5.0);
+  EXPECT_DOUBLE_EQ(host.load(), 0.0);
+}
+
+TEST_F(HostFixture, CoresLimitParallelExec) {
+  params.cores = 2;
+  Host host(sim, rng, params);
+  SimTime last_done = 0;
+  for (int i = 0; i < 4; ++i) {
+    sim::spawn([](Simulator& s, Host& h, SimTime& out) -> Task<> {
+      co_await h.exec(100_us);
+      out = s.now();
+    }(sim, host, last_done));
+  }
+  sim.run();
+  // 4 tasks of 100us on 2 cores -> 200us wall.
+  EXPECT_EQ(last_done, 200_us);
+}
+
+TEST_F(HostFixture, SleepDoesNotOccupyCore) {
+  params.cores = 1;
+  Host host(sim, rng, params);
+  SimTime exec_done = 0;
+  sim::spawn([](Host& h, Simulator& s, SimTime& out) -> Task<> {
+    co_await h.sleep(100_us);  // no core held
+    out = s.now();
+    (void)out;
+  }(host, sim, exec_done));
+  sim::spawn([](Host& h, Simulator& s, SimTime& out) -> Task<> {
+    co_await h.exec(10_us);
+    out = s.now();
+  }(host, sim, exec_done));
+  sim.run();
+  // The exec finished at 10us despite the concurrent 100us sleep.
+  EXPECT_EQ(exec_done, 100_us);  // last write wins: sleep ends later
+}
+
+TEST_F(HostFixture, MemcpyCostMatchesBandwidth) {
+  Host host(sim, rng, params);
+  // 12 GB/s -> 12 bytes/ns; 12,000 bytes -> 1000 ns.
+  EXPECT_EQ(host.memcpy_cost(12'000), 1000u);
+  SimTime done = 0;
+  sim::spawn([](Simulator& s, Host& h, SimTime& out) -> Task<> {
+    co_await h.memcpy_exec(12'000);
+    out = s.now();
+  }(sim, host, done));
+  sim.run();
+  EXPECT_EQ(done, 1000u);
+}
+
+TEST_F(HostFixture, JitterVariesCostsAroundBase) {
+  params.jitter_sigma = 0.2;
+  Host host(sim, rng, params);
+  double total = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    total += static_cast<double>(host.scaled(1000));
+  }
+  EXPECT_NEAR(total / n, 1020.0, 60.0);  // lognormal mean ~ exp(s^2/2)
+}
+
+TEST_F(HostFixture, ChargeHelpersUseParams) {
+  Host host(sim, rng, params);
+  sim::spawn([](Host& h) -> Task<> {
+    co_await h.charge_post();
+    co_await h.charge_poll();
+    co_await h.charge_recv_handler();
+  }(host));
+  sim.run();
+  EXPECT_EQ(host.charged_ns(), params.post_cost + params.poll_cost +
+                                   params.recv_handler_cost);
+}
+
+}  // namespace
+}  // namespace prdma::host

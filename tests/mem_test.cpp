@@ -1,0 +1,287 @@
+// Tests for the memory substrate: device content + timing, the DDIO
+// cache model, and the node memory map's persistence semantics.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "mem/device.hpp"
+#include "mem/llc.hpp"
+#include "mem/node_memory.hpp"
+#include "sim/simulator.hpp"
+
+namespace prdma::mem {
+namespace {
+
+using prdma::sim::SimTime;
+using prdma::sim::Simulator;
+
+std::vector<std::byte> bytes(std::initializer_list<int> vals) {
+  std::vector<std::byte> out;
+  out.reserve(vals.size());
+  for (int v : vals) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+std::vector<std::byte> pattern(std::size_t n, int seed = 1) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>((seed * 131 + i) & 0xFF);
+  }
+  return out;
+}
+
+DeviceTiming fast_timing() {
+  return DeviceTiming{100, 50, 10e9, 5e9};
+}
+
+// ---------------------------------------------------------------- Device
+
+TEST(Device, PokePeekRoundTrip) {
+  Simulator sim;
+  PmDevice pm(sim, "pm", 4096, fast_timing());
+  const auto data = pattern(256);
+  pm.poke(100, data);
+  std::vector<std::byte> out(256);
+  pm.peek(100, out);
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(pm.bytes_written(), 256u);
+}
+
+TEST(Device, ViewAliasesContent) {
+  Simulator sim;
+  PmDevice pm(sim, "pm", 1024, fast_timing());
+  pm.poke(0, bytes({1, 2, 3}));
+  const auto v = pm.view(0, 3);
+  EXPECT_EQ(static_cast<int>(v[1]), 2);
+}
+
+TEST(Device, WriteTimingIncludesLatencyAndBandwidth) {
+  Simulator sim;
+  PmDevice pm(sim, "pm", 1 << 20, DeviceTiming{0, 100, 1e9, 1e9});
+  // 1 GB/s => 1 ns per byte. 1000 bytes at t=0 -> latency 100 + 1000.
+  EXPECT_EQ(pm.write_complete_at(0, 1000), 1100u);
+}
+
+TEST(Device, BandwidthSerializesBackToBackWrites) {
+  Simulator sim;
+  PmDevice pm(sim, "pm", 1 << 20, DeviceTiming{0, 0, 1e9, 1e9});
+  const SimTime t1 = pm.write_complete_at(0, 1000);
+  const SimTime t2 = pm.write_complete_at(0, 1000);  // queues behind first
+  EXPECT_EQ(t1, 1000u);
+  EXPECT_EQ(t2, 2000u);
+}
+
+TEST(Device, IdleGapDoesNotCarryOccupancy) {
+  Simulator sim;
+  PmDevice pm(sim, "pm", 1 << 20, DeviceTiming{0, 0, 1e9, 1e9});
+  (void)pm.write_complete_at(0, 1000);
+  // Device free again by t=5000; a later write starts fresh.
+  EXPECT_EQ(pm.write_complete_at(5000, 100), 5100u);
+}
+
+TEST(Device, PmSurvivesCrashDramDoesNot) {
+  Simulator sim;
+  PmDevice pm(sim, "pm", 1024, fast_timing());
+  DramDevice dram(sim, "dram", 1024, fast_timing());
+  const auto data = pattern(64);
+  pm.poke(0, data);
+  dram.poke(0, data);
+  pm.crash();
+  dram.crash();
+  std::vector<std::byte> out(64);
+  pm.peek(0, out);
+  EXPECT_EQ(out, data);
+  dram.peek(0, out);
+  EXPECT_EQ(out, std::vector<std::byte>(64, std::byte{0}));
+  EXPECT_TRUE(pm.persistent());
+  EXPECT_FALSE(dram.persistent());
+}
+
+// ------------------------------------------------------------------- Llc
+
+struct LlcFixture : ::testing::Test {
+  Simulator sim;
+  PmDevice pm{sim, "pm", 1 << 20, DeviceTiming{170, 90, 6e9, 2e9}};
+  LlcParams params{};
+  Llc llc{sim, pm, params};
+};
+
+TEST_F(LlcFixture, WriteIsDirtyUntilFlush) {
+  const auto data = pattern(128);
+  llc.write(256, data);
+  EXPECT_TRUE(llc.is_dirty(256, 128));
+  EXPECT_EQ(llc.dirty_lines(), 2u);
+
+  // PM content must still be stale.
+  std::vector<std::byte> raw(128);
+  pm.peek(256, raw);
+  EXPECT_EQ(raw, std::vector<std::byte>(128, std::byte{0}));
+
+  // But a coherent read sees the new data (the DDIO trap).
+  std::vector<std::byte> coherent(128);
+  llc.read(256, coherent);
+  EXPECT_EQ(coherent, data);
+}
+
+TEST_F(LlcFixture, ClflushPersistsAndCleans) {
+  const auto data = pattern(64);
+  llc.write(0, data);
+  const SimTime done = llc.clflush(1000, 0, 64);
+  EXPECT_GT(done, 1000u);
+  EXPECT_FALSE(llc.is_dirty(0, 64));
+  std::vector<std::byte> raw(64);
+  pm.peek(0, raw);
+  EXPECT_EQ(raw, data);
+  EXPECT_EQ(llc.lines_flushed(), 1u);
+}
+
+TEST_F(LlcFixture, ClflushOfCleanRangeOnlyCostsFence) {
+  const SimTime done = llc.clflush(500, 4096, 64);
+  EXPECT_EQ(done, 500 + params.sfence_cost);
+}
+
+TEST_F(LlcFixture, CrashDropsDirtyLines) {
+  const auto data = pattern(64);
+  llc.write(128, data);
+  llc.crash();
+  EXPECT_EQ(llc.dirty_lines(), 0u);
+  EXPECT_EQ(llc.lines_lost_to_crash(), 1u);
+  std::vector<std::byte> raw(64);
+  pm.peek(128, raw);
+  EXPECT_EQ(raw, std::vector<std::byte>(64, std::byte{0}))
+      << "crash must not persist dirty lines";
+}
+
+TEST_F(LlcFixture, PartialLineWritePreservesRestOfLine) {
+  // Pre-existing persistent data in the middle of a line.
+  const auto old_data = pattern(64, 3);
+  pm.poke(0, old_data);
+  llc.write(10, bytes({0xAA, 0xBB}));
+  std::vector<std::byte> out(64);
+  llc.read(0, out);
+  auto expect = old_data;
+  expect[10] = std::byte{0xAA};
+  expect[11] = std::byte{0xBB};
+  EXPECT_EQ(out, expect) << "line fill must merge with backing contents";
+}
+
+TEST_F(LlcFixture, EvictionWritesBackOldestLine) {
+  LlcParams small;
+  small.capacity_lines = 4;
+  Llc tiny(sim, pm, small);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    tiny.write(i * kCacheLine, pattern(kCacheLine, static_cast<int>(i)));
+  }
+  EXPECT_EQ(tiny.evictions(), 2u);
+  EXPECT_EQ(tiny.dirty_lines(), 4u);
+  // The first (evicted) line is now physically in PM.
+  std::vector<std::byte> raw(kCacheLine);
+  pm.peek(0, raw);
+  EXPECT_EQ(raw, pattern(kCacheLine, 0));
+}
+
+TEST_F(LlcFixture, FlushTimingScalesWithLineCount) {
+  llc.write(0, pattern(64));
+  const SimTime one = llc.clflush(0, 0, 64) ;
+  llc.write(1024, pattern(256));
+  const SimTime four = llc.clflush(100000, 1024, 256) - 100000;
+  EXPECT_GT(four, one);
+}
+
+// ------------------------------------------------------------ NodeMemory
+
+struct NodeMemFixture : ::testing::Test {
+  Simulator sim;
+  NodeMemoryParams params;
+  NodeMemFixture() {
+    params.pm_capacity = 1 << 20;
+    params.dram_capacity = 1 << 20;
+  }
+};
+
+TEST_F(NodeMemFixture, AddressMapRoutesPmAndDram) {
+  NodeMemory mem(sim, params);
+  EXPECT_TRUE(mem.is_pm(0));
+  EXPECT_TRUE(mem.is_pm(params.pm_capacity - 1));
+  EXPECT_FALSE(mem.is_pm(NodeMemory::kDramBase));
+
+  const auto data = pattern(32);
+  mem.cpu_write(NodeMemory::kDramBase + 64, data);
+  std::vector<std::byte> out(32);
+  mem.cpu_read(NodeMemory::kDramBase + 64, out);
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(NodeMemFixture, CpuStoreToPmIsVolatileUntilFlush) {
+  NodeMemory mem(sim, params);
+  const auto data = pattern(64);
+  mem.cpu_write(512, data);
+  EXPECT_FALSE(mem.range_persistent(512, 64));
+  mem.clflush(0, 512, 64);
+  EXPECT_TRUE(mem.range_persistent(512, 64));
+  std::vector<std::byte> raw(64);
+  mem.pm().peek(512, raw);
+  EXPECT_EQ(raw, data);
+}
+
+TEST_F(NodeMemFixture, DmaWithoutDdioLandsInPersistDomain) {
+  NodeMemory mem(sim, params);
+  const auto data = pattern(128);
+  mem.dma_write(1024, data, /*ddio=*/false);
+  EXPECT_TRUE(mem.range_persistent(1024, 128));
+  std::vector<std::byte> raw(128);
+  mem.pm().peek(1024, raw);
+  EXPECT_EQ(raw, data);
+}
+
+TEST_F(NodeMemFixture, DmaWithDdioIsVolatileButCoherent) {
+  NodeMemory mem(sim, params);
+  const auto data = pattern(128);
+  mem.dma_write(1024, data, /*ddio=*/true);
+  EXPECT_FALSE(mem.range_persistent(1024, 128));
+
+  // A read-after-write check would succeed even though nothing is
+  // persistent yet — the paper's §2.4 failure mode.
+  std::vector<std::byte> readback(128);
+  mem.dma_read(1024, readback);
+  EXPECT_EQ(readback, data);
+
+  mem.crash();
+  std::vector<std::byte> raw(128);
+  mem.pm().peek(1024, raw);
+  EXPECT_EQ(raw, std::vector<std::byte>(128, std::byte{0}))
+      << "DDIO-buffered data must be lost on crash";
+}
+
+TEST_F(NodeMemFixture, CrashWipesDramKeepsPm) {
+  NodeMemory mem(sim, params);
+  const auto data = pattern(64);
+  mem.dma_write(0, data, /*ddio=*/false);
+  mem.cpu_write(NodeMemory::kDramBase, data);
+  mem.crash();
+  std::vector<std::byte> out(64);
+  mem.cpu_read(0, out);
+  EXPECT_EQ(out, data);
+  mem.cpu_read(NodeMemory::kDramBase, out);
+  EXPECT_EQ(out, std::vector<std::byte>(64, std::byte{0}));
+}
+
+TEST_F(NodeMemFixture, RangePersistentFalseForDram) {
+  NodeMemory mem(sim, params);
+  EXPECT_FALSE(mem.range_persistent(NodeMemory::kDramBase, 8));
+}
+
+TEST_F(NodeMemFixture, DeviceTimingHelpersRouteByAddress) {
+  NodeMemory mem(sim, params);
+  const SimTime pm_t = mem.device_write_complete_at(0, 0, 4096);
+  NodeMemory mem2(sim, params);
+  const SimTime dram_t =
+      mem2.device_write_complete_at(0, NodeMemory::kDramBase, 4096);
+  EXPECT_GT(pm_t, dram_t) << "PM writes are slower than DRAM";
+}
+
+}  // namespace
+}  // namespace prdma::mem

@@ -1,0 +1,221 @@
+// Property-style sweeps over the whole stack: system × size × mix
+// grids asserting invariants that must hold for every configuration,
+// plus randomized redo-log exercises.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "bench_util/micro.hpp"
+#include "core/durable_rpc.hpp"
+#include "core/redo_log.hpp"
+#include "core/wire.hpp"
+#include "sim/rng.hpp"
+
+namespace prdma {
+namespace {
+
+// --------------------------------------------------- stack-wide invariants
+
+using GridParam = std::tuple<rpcs::System, std::uint32_t /*size*/,
+                             double /*read_ratio*/>;
+
+class StackInvariants : public ::testing::TestWithParam<GridParam> {};
+
+std::string grid_name(const ::testing::TestParamInfo<GridParam>& info) {
+  std::string name{rpcs::name_of(std::get<0>(info.param))};
+  for (auto& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name + "_" + std::to_string(std::get<1>(info.param)) + "B_r" +
+         std::to_string(static_cast<int>(std::get<2>(info.param) * 100));
+}
+
+TEST_P(StackInvariants, EveryOpCompletesAndAccountingBalances) {
+  const auto [sys, size, read_ratio] = GetParam();
+  bench::MicroConfig cfg;
+  cfg.object_size = size;
+  cfg.read_ratio = read_ratio;
+  cfg.ops = 120;
+  cfg.seed = 99;
+  const auto res = bench::run_micro(sys, cfg);
+
+  // Liveness: everything the driver issued completed.
+  EXPECT_EQ(res.ops_completed, 120u);
+  // Server-side accounting matches the client's view.
+  EXPECT_EQ(res.server.ops_processed, 120u);
+  // Time sanity.
+  EXPECT_GT(res.duration, 0u);
+  EXPECT_GT(res.latency.min(), 0u);
+  EXPECT_GE(res.latency.max(), res.latency.min());
+  EXPECT_EQ(res.latency.count(), 120u);
+  // Write/read split covers all ops.
+  EXPECT_EQ(res.write_latency.count() + res.read_latency.count(), 120u);
+  // Durable systems must expose persist visibility for writes.
+  if (rpcs::info_of(sys).durable && res.write_latency.count() > 0) {
+    EXPECT_EQ(res.durable_latency.count(), res.write_latency.count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, StackInvariants,
+    ::testing::Combine(
+        ::testing::Values(rpcs::System::kFaRM, rpcs::System::kDaRPC,
+                          rpcs::System::kRFP, rpcs::System::kOctopus,
+                          rpcs::System::kWFlushRpc, rpcs::System::kSFlushRpc,
+                          rpcs::System::kWRFlushRpc,
+                          rpcs::System::kSRFlushRpc),
+        ::testing::Values(64u, 4096u),
+        ::testing::Values(0.0, 0.5)),
+    grid_name);
+
+// --------------------------------------------------- durable correctness
+
+class DurableContent : public ::testing::TestWithParam<core::FlushVariant> {};
+
+TEST_P(DurableContent, RandomOpStreamKeepsStoreConsistent) {
+  // Property: after any random stream of durable writes, the object
+  // store holds, for each object, exactly the payload pattern of the
+  // *last* write to it (FIFO processing guarantees this).
+  core::ModelParams params;
+  params.memory.pm_capacity = 64ull << 20;
+  params.max_payload = 1024;
+  params.object_count = 16;
+  core::Cluster cluster(params, 2);
+  core::DurableRpcServer server(cluster, 0, GetParam(), params);
+  auto client = server.connect_client(1);
+  server.start();
+
+  std::map<std::uint64_t, std::uint64_t> last_write_seq;
+  sim::spawn([](core::DurableRpcClient& c, sim::Rng rng,
+                std::map<std::uint64_t, std::uint64_t>& last) -> sim::Task<> {
+    for (int i = 0; i < 120; ++i) {
+      const std::uint64_t obj = rng.uniform(0, 15);
+      const auto res = co_await c.call(
+          core::RpcRequest{core::RpcOp::kWrite, obj, 256});
+      EXPECT_TRUE(res.ok);
+      last[obj] = res.tag;  // entry seq determines the payload pattern
+    }
+  }(*client, sim::Rng(5), last_write_seq));
+  cluster.sim().run();
+
+  for (const auto& [obj, seq] : last_write_seq) {
+    std::vector<std::byte> got(256);
+    cluster.node(0).mem().cpu_read(server.store().addr_of(obj), got);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      ASSERT_EQ(got[i], static_cast<std::byte>((seq * 131 + i * 7) & 0xFF))
+          << "obj " << obj << " byte " << i;
+    }
+  }
+}
+
+TEST_P(DurableContent, CrashAtRandomPointsNeverLosesAckedWrites) {
+  // Property: whatever instant the server dies, every write the client
+  // saw a durable-ACK for is in the object store after recovery.
+  for (const sim::SimTime crash_at : {500'000ull, 900'000ull, 1'500'000ull}) {
+    core::ModelParams params;
+    params.memory.pm_capacity = 64ull << 20;
+    params.max_payload = 512;
+    params.object_count = 4096;
+    params.rpc_processing = 30 * sim::kMicrosecond;
+    core::Cluster cluster(params, 2);
+    core::DurableRpcServer server(cluster, 0, GetParam(), params);
+    auto client = server.connect_client(1);
+    server.start();
+
+    // Each op writes a UNIQUE object, so "the last write to obj" is
+    // unambiguous even for the one in-flight op the crash may or may
+    // not have logged.
+    std::map<std::uint64_t, std::uint64_t> acked;  // obj -> seq
+    bool stop = false;
+    sim::spawn([](core::DurableRpcClient& c,
+                  std::map<std::uint64_t, std::uint64_t>& out,
+                  bool& stopped) -> sim::Task<> {
+      for (std::uint64_t i = 0; !stopped && i < 4'000; ++i) {
+        const auto res = co_await c.call(
+            core::RpcRequest{core::RpcOp::kWrite, i, 256});
+        if (res.ok) out[i] = res.tag;
+      }
+    }(*client, acked, stop));
+
+    cluster.sim().run_until(crash_at);
+    stop = true;
+    server.on_crash();
+    cluster.node(0).crash();
+    client->abort_pending();
+    cluster.node(0).restart();
+    sim::spawn([](core::DurableRpcServer& s) -> sim::Task<> {
+      co_await s.recover_and_restart();
+    }(server));
+    cluster.sim().run();
+
+    for (const auto& [obj, seq] : acked) {
+      std::vector<std::byte> got(8);
+      cluster.node(0).mem().cpu_read(server.store().addr_of(obj), got);
+      // The store holds this seq's pattern OR a later write to the
+      // same object that was also logged; either way byte 0 must match
+      // SOME committed pattern — verify against the recorded seq only
+      // when it was the last ack for that object.
+      ASSERT_EQ(got[0], static_cast<std::byte>((seq * 131) & 0xFF))
+          << "crash_at=" << crash_at << " obj=" << obj;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, DurableContent,
+                         ::testing::Values(core::FlushVariant::kWFlush,
+                                           core::FlushVariant::kSFlush,
+                                           core::FlushVariant::kWRFlush,
+                                           core::FlushVariant::kSRFlush),
+                         [](const auto& inf) {
+                           switch (inf.param) {
+                             case core::FlushVariant::kWFlush: return "WFlush";
+                             case core::FlushVariant::kSFlush: return "SFlush";
+                             case core::FlushVariant::kWRFlush:
+                               return "WRFlush";
+                             case core::FlushVariant::kSRFlush:
+                               return "SRFlush";
+                           }
+                           return "x";
+                         });
+
+// ------------------------------------------------------- redo-log fuzzing
+
+TEST(RedoLogProperty, RandomLandConsumeCyclesRecoverExactly) {
+  core::ModelParams params;
+  params.memory.pm_capacity = 16ull << 20;
+  core::Cluster cluster(params, 1);
+  core::LogLayout lay;
+  lay.slots = 8;
+  lay.payload_capacity = 256;
+  lay.base = cluster.node(0).pm_alloc().alloc(lay.total_bytes(), 256);
+  core::RedoLog log(cluster.node(0), lay);
+
+  sim::Rng rng(31);
+  std::uint64_t landed = 0;    // highest contiguously landed seq
+  std::uint64_t consumed = 0;  // durable watermark
+  for (int round = 0; round < 500; ++round) {
+    if (rng.bernoulli(0.6) && landed - consumed < lay.slots) {
+      // Land the next entry (client write reaching PM).
+      ++landed;
+      const auto payload = std::vector<std::byte>(
+          static_cast<std::size_t>(rng.uniform(0, 256)), std::byte{0x5A});
+      const auto image = core::encode_log_entry(
+          landed, core::RpcOp::kWrite, rng.uniform(0, 99), payload, 0);
+      cluster.node(0).mem().pm().poke(lay.slot_addr(landed), image);
+    } else if (consumed < landed) {
+      ++consumed;
+      core::store_u64(cluster.node(0).mem(), lay.consumed_addr(), consumed);
+    }
+    // Invariant: recovery returns exactly the landed-but-unconsumed
+    // contiguous suffix, in order.
+    const auto entries = log.recover();
+    ASSERT_EQ(entries.size(), landed - consumed) << "round " << round;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      ASSERT_EQ(entries[i].seq, consumed + 1 + i);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace prdma

@@ -1,0 +1,595 @@
+// Tests for the discrete-event engine, coroutine tasks and sync
+// primitives — the deterministic substrate everything else builds on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace prdma::sim {
+namespace {
+
+using namespace prdma::sim::literals;
+
+// ---------------------------------------------------------------- Simulator
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(Simulator, SameTimestampRunsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  std::vector<int> expect(50);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Simulator, NestedSchedulingAdvancesTime) {
+  Simulator sim;
+  SimTime seen = 0;
+  sim.schedule(10, [&] {
+    sim.schedule(15, [&] { seen = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 25u);
+}
+
+TEST(Simulator, SchedulingInThePastClampsToNow) {
+  Simulator sim;
+  SimTime seen = UINT64_MAX;
+  sim.schedule(10, [&] {
+    sim.schedule_at(3, [&] { seen = sim.now(); });  // in the past
+  });
+  sim.run();
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(10, [&] { ++ran; });
+  sim.schedule(20, [&] { ++ran; });
+  sim.schedule(21, [&] { ++ran; });
+  sim.run_until(20);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule(1, [&] {
+    ++ran;
+    sim.stop();
+  });
+  sim.schedule(2, [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(sim.stopped());
+  sim.clear_stop();
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  Rng rng(42);
+  SimTime last = 0;
+  bool monotonic = true;
+  for (int i = 0; i < 20000; ++i) {
+    sim.schedule(rng.uniform(0, 1'000'000), [&] {
+      if (sim.now() < last) monotonic = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(sim.events_executed(), 20000u);
+}
+
+// ---------------------------------------------------------------- Tasks
+
+TEST(Task, DelayAdvancesSimTime) {
+  Simulator sim;
+  SimTime when = 0;
+  spawn([](Simulator& s, SimTime& out) -> Task<> {
+    co_await delay(s, 100_us);
+    out = s.now();
+  }(sim, when));
+  sim.run();
+  EXPECT_EQ(when, 100_us);
+}
+
+TEST(Task, NestedAwaitPropagatesValues) {
+  Simulator sim;
+  int result = 0;
+
+  auto inner = [](Simulator& s) -> Task<int> {
+    co_await delay(s, 10);
+    co_return 21;
+  };
+  auto outer = [&inner](Simulator& s, int& out) -> Task<> {
+    const int a = co_await inner(s);
+    const int b = co_await inner(s);
+    out = a + b;
+  };
+  spawn(outer(sim, result));
+  sim.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(sim.now(), 20u);
+}
+
+TEST(Task, ExceptionPropagatesToAwaiter) {
+  Simulator sim;
+  bool caught = false;
+
+  auto thrower = [](Simulator& s) -> Task<int> {
+    co_await delay(s, 5);
+    throw std::runtime_error("boom");
+  };
+  auto catcher = [&thrower](Simulator& s, bool& flag) -> Task<> {
+    try {
+      (void)co_await thrower(s);
+    } catch (const std::runtime_error&) {
+      flag = true;
+    }
+  };
+  spawn(catcher(sim, caught));
+  sim.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Task, ImmediatelyReadyTaskCompletesWithoutDelay) {
+  Simulator sim;
+  std::string out;
+  auto instant = []() -> Task<std::string> { co_return "done"; };
+  auto runner = [&instant](std::string& o) -> Task<> {
+    o = co_await instant();
+  };
+  spawn(runner(out));
+  sim.run();
+  EXPECT_EQ(out, "done");
+  EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Task, ManyConcurrentTasksInterleaveDeterministically) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    spawn([](Simulator& s, std::vector<int>& ord, int id) -> Task<> {
+      co_await delay(s, static_cast<SimTime>(100 - id * 10));
+      ord.push_back(id);
+    }(sim, order, i));
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(Task, MoveOnlyResultTypesWork) {
+  Simulator sim;
+  std::unique_ptr<int> got;
+  auto maker = []() -> Task<std::unique_ptr<int>> {
+    co_return std::make_unique<int>(7);
+  };
+  auto runner = [&maker](std::unique_ptr<int>& out) -> Task<> {
+    out = co_await maker();
+  };
+  spawn(runner(got));
+  sim.run();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(*got, 7);
+}
+
+// ---------------------------------------------------------------- Event
+
+TEST(Event, WaitersResumeOnSet) {
+  Simulator sim;
+  Event ev(sim);
+  int resumed = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Event& e, int& n) -> Task<> {
+      const bool ok = co_await e.wait();
+      if (ok) ++n;
+    }(ev, resumed));
+  }
+  sim.schedule(50, [&] { ev.set(); });
+  sim.run();
+  EXPECT_EQ(resumed, 3);
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(Event, WaitOnSetEventIsImmediate) {
+  Simulator sim;
+  Event ev(sim);
+  ev.set();
+  bool ok = false;
+  spawn([](Event& e, bool& o) -> Task<> { o = co_await e.wait(); }(ev, ok));
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Event, AbortWakesWaitersWithFalse) {
+  Simulator sim;
+  Event ev(sim);
+  int aborted = 0;
+  spawn([](Event& e, int& n) -> Task<> {
+    if (!co_await e.wait()) ++n;
+  }(ev, aborted));
+  sim.schedule(10, [&] { ev.abort(); });
+  sim.run();
+  EXPECT_EQ(aborted, 1);
+  EXPECT_FALSE(ev.is_set());
+}
+
+TEST(Event, ResetReArms) {
+  Simulator sim;
+  Event ev(sim);
+  ev.set();
+  ev.reset();
+  EXPECT_FALSE(ev.is_set());
+  bool ok = false;
+  spawn([](Event& e, bool& o) -> Task<> { o = co_await e.wait(); }(ev, ok));
+  sim.schedule(5, [&] { ev.set(); });
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+// ---------------------------------------------------------------- Channel
+
+TEST(Channel, DeliversInFifoOrder) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<int> got;
+  spawn([](Channel<int>& c, std::vector<int>& out) -> Task<> {
+    for (;;) {
+      auto v = co_await c.recv();
+      if (!v) break;
+      out.push_back(*v);
+    }
+  }(ch, got));
+  sim.schedule(1, [&] {
+    ch.send(1);
+    ch.send(2);
+    ch.send(3);
+  });
+  sim.schedule(2, [&] { ch.close(); });
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Channel, RecvBeforeSendSuspends) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  SimTime when = 0;
+  int got = 0;
+  spawn([](Simulator& s, Channel<int>& c, SimTime& w, int& g) -> Task<> {
+    auto v = co_await c.recv();
+    w = s.now();
+    g = v.value_or(-1);
+  }(sim, ch, when, got));
+  sim.schedule(77, [&] { ch.send(9); });
+  sim.run();
+  EXPECT_EQ(got, 9);
+  EXPECT_EQ(when, 77u);
+}
+
+TEST(Channel, MultipleWaitersServedFifo) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  std::vector<std::pair<int, int>> got;  // (waiter, value)
+  for (int w = 0; w < 3; ++w) {
+    spawn([](Channel<int>& c, std::vector<std::pair<int, int>>& out,
+             int waiter) -> Task<> {
+      auto v = co_await c.recv();
+      if (v) out.emplace_back(waiter, *v);
+    }(ch, got, w));
+  }
+  sim.schedule(1, [&] {
+    ch.send(10);
+    ch.send(20);
+    ch.send(30);
+  });
+  sim.run();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], std::make_pair(0, 10));
+  EXPECT_EQ(got[1], std::make_pair(1, 20));
+  EXPECT_EQ(got[2], std::make_pair(2, 30));
+}
+
+TEST(Channel, CloseWakesPendingWaiterWithNullopt) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  bool got_nullopt = false;
+  spawn([](Channel<int>& c, bool& flag) -> Task<> {
+    auto v = co_await c.recv();
+    flag = !v.has_value();
+  }(ch, got_nullopt));
+  sim.schedule(10, [&] { ch.close(); });
+  sim.run();
+  EXPECT_TRUE(got_nullopt);
+}
+
+TEST(Channel, SendToClosedChannelIsDropped) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.close();
+  ch.send(5);
+  EXPECT_EQ(ch.size(), 0u);
+}
+
+TEST(Channel, ResetDropsQueueAndReopens) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  ch.send(1);
+  ch.send(2);
+  ch.reset();
+  EXPECT_EQ(ch.size(), 0u);
+  EXPECT_FALSE(ch.closed());
+  ch.send(3);
+  EXPECT_EQ(ch.size(), 1u);
+}
+
+TEST(Channel, TryRecvDoesNotBlock) {
+  Simulator sim;
+  Channel<int> ch(sim);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  ch.send(4);
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 4);
+}
+
+// ---------------------------------------------------------------- Semaphore
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  int active = 0;
+  int peak = 0;
+  for (int i = 0; i < 6; ++i) {
+    spawn([](Simulator& s, Semaphore& sm, int& act, int& pk) -> Task<> {
+      co_await sm.acquire();
+      SemaphoreGuard guard(sm);
+      ++act;
+      pk = std::max(pk, act);
+      co_await delay(s, 100);
+      --act;
+    }(sim, sem, active, peak));
+  }
+  sim.run();
+  EXPECT_EQ(peak, 2);
+  EXPECT_EQ(active, 0);
+  EXPECT_EQ(sem.available(), 2u);
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersIncrementsCount) {
+  Simulator sim;
+  Semaphore sem(sim, 0);
+  sem.release(3);
+  EXPECT_EQ(sem.available(), 3u);
+}
+
+// ---------------------------------------------------------------- WaitGroup
+
+TEST(WaitGroup, WaitsForAllTasks) {
+  Simulator sim;
+  WaitGroup wg(sim);
+  SimTime done_at = 0;
+  wg.add(3);
+  for (int i = 1; i <= 3; ++i) {
+    spawn([](Simulator& s, WaitGroup& w, int id) -> Task<> {
+      co_await delay(s, static_cast<SimTime>(id * 100));
+      w.done();
+    }(sim, wg, i));
+  }
+  spawn([](Simulator& s, WaitGroup& w, SimTime& at) -> Task<> {
+    co_await w.wait();
+    at = s.now();
+  }(sim, wg, done_at));
+  sim.run();
+  EXPECT_EQ(done_at, 300u);
+}
+
+TEST(WaitGroup, WaitWithNothingOutstandingResolves) {
+  Simulator sim;
+  WaitGroup wg(sim);
+  bool resolved = false;
+  spawn([](WaitGroup& w, bool& f) -> Task<> {
+    co_await w.wait();
+    f = true;
+  }(wg, resolved));
+  sim.run();
+  EXPECT_TRUE(resolved);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(7);
+  Rng b(7);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 2.5);
+}
+
+TEST(Rng, LognormalJitterMedianNearOne) {
+  Rng rng(13);
+  std::vector<double> v;
+  for (int i = 0; i < 10001; ++i) v.push_back(rng.lognormal_jitter(0.3));
+  std::nth_element(v.begin(), v.begin() + 5000, v.end());
+  EXPECT_NEAR(v[5000], 1.0, 0.05);
+  EXPECT_EQ(rng.lognormal_jitter(0.0), 1.0);
+}
+
+// ---------------------------------------------------------------- Zipfian
+
+class ZipfianTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfianTest, StaysInRangeAndIsSkewed) {
+  const double theta = GetParam();
+  const std::uint64_t n = 1000;
+  ZipfianGenerator zipf(n, theta);
+  Rng rng(17);
+  std::vector<std::uint64_t> counts(n, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    const auto k = zipf.next(rng);
+    ASSERT_LT(k, n);
+    ++counts[k];
+  }
+  // Head (top 1% of keys) must take a disproportionate share.
+  std::uint64_t head = 0;
+  for (std::size_t i = 0; i < n / 100; ++i) head += counts[i];
+  const double head_share = static_cast<double>(head) / draws;
+  EXPECT_GT(head_share, 0.15) << "theta=" << theta;
+  // Rank 0 should be the most popular key (within sampling noise).
+  const auto most = std::max_element(counts.begin(), counts.end());
+  EXPECT_LE(std::distance(counts.begin(), most), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ZipfianTest, ::testing::Values(0.7, 0.9, 0.99));
+
+TEST(LatestGenerator, PrefersNewestKeys) {
+  LatestGenerator latest(100);
+  Rng rng(23);
+  int newest_hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (latest.next(rng) >= 90) ++newest_hits;
+  }
+  EXPECT_GT(newest_hits, 5000);
+  latest.grow();
+  EXPECT_EQ(latest.size(), 101u);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(latest.next(rng), 101u);
+}
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 7; });
+  auto f2 = pool.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 7);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&](std::size_t i) { hits[i]. fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(8,
+                        [](std::size_t i) {
+                          if (i == 3) throw std::runtime_error("bad");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+// ------------------------------------------------------------- format_time
+
+TEST(FormatTime, AdaptiveUnits) {
+  EXPECT_EQ(format_time(500), "500ns");
+  EXPECT_EQ(format_time(1500), "1.50us");
+  EXPECT_EQ(format_time(2'500'000), "2.50ms");
+  EXPECT_EQ(format_time(3'000'000'000ull), "3.000s");
+}
+
+TEST(TransferTime, NeverFreeForNonZeroBytes) {
+  EXPECT_EQ(transfer_time(0, 1e9), 0u);
+  EXPECT_GE(transfer_time(1, 100e9), 1u);
+  EXPECT_EQ(transfer_time(1000, 1e9), 1000u);  // 1 GB/s -> 1 ns/B
+}
+
+}  // namespace
+}  // namespace prdma::sim

@@ -1,0 +1,209 @@
+// Tests for the macro-benchmark substrates: YCSB generator + runner,
+// synthetic graphs + PageRank, and the fault-injection experiment.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "fault/experiment.hpp"
+#include "graph/pagerank.hpp"
+#include "kv/ycsb.hpp"
+
+namespace prdma {
+namespace {
+
+// ------------------------------------------------------------------ YCSB
+
+TEST(YcsbGenerator, WorkloadMixesMatchSpecs) {
+  struct Expect {
+    kv::Workload w;
+    kv::KvOp::Kind major;
+    double major_share;
+  };
+  const Expect cases[] = {
+      {kv::Workload::kA, kv::KvOp::Kind::kRead, 0.5},
+      {kv::Workload::kB, kv::KvOp::Kind::kRead, 0.95},
+      {kv::Workload::kC, kv::KvOp::Kind::kRead, 1.0},
+      {kv::Workload::kD, kv::KvOp::Kind::kRead, 0.95},
+      {kv::Workload::kE, kv::KvOp::Kind::kScan, 0.95},
+      {kv::Workload::kF, kv::KvOp::Kind::kRead, 0.5},
+  };
+  for (const auto& c : cases) {
+    kv::YcsbGenerator gen(c.w, 1000, 42);
+    std::map<kv::KvOp::Kind, int> counts;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) ++counts[gen.next().kind];
+    const double share = static_cast<double>(counts[c.major]) / n;
+    EXPECT_NEAR(share, c.major_share, 0.02)
+        << "workload " << kv::workload_name(c.w);
+  }
+}
+
+TEST(YcsbGenerator, InsertsExtendKeySpace) {
+  kv::YcsbGenerator gen(kv::Workload::kD, 100, 7);
+  std::uint64_t max_insert_key = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto op = gen.next();
+    if (op.kind == kv::KvOp::Kind::kInsert) {
+      EXPECT_GE(op.key, 100u) << "inserts go to fresh keys";
+      max_insert_key = std::max(max_insert_key, op.key);
+    } else {
+      EXPECT_LT(op.key, gen.key_space());
+    }
+  }
+  EXPECT_GT(gen.key_space(), 100u);
+  EXPECT_EQ(max_insert_key, gen.key_space() - 1);
+}
+
+TEST(YcsbGenerator, ScansHaveBoundedLength) {
+  kv::YcsbGenerator gen(kv::Workload::kE, 1000, 9, 0.99, 10);
+  for (int i = 0; i < 2000; ++i) {
+    const auto op = gen.next();
+    if (op.kind == kv::KvOp::Kind::kScan) {
+      EXPECT_GE(op.scan_len, 1u);
+      EXPECT_LE(op.scan_len, 10u);
+    }
+  }
+}
+
+TEST(YcsbRun, WorkloadARunsOnDurableAndBaseline) {
+  for (const rpcs::System sys :
+       {rpcs::System::kWFlushRpc, rpcs::System::kFaRM}) {
+    kv::YcsbConfig cfg;
+    cfg.workload = kv::Workload::kA;
+    cfg.records = 512;
+    cfg.value_size = 1024;
+    cfg.ops = 300;
+    const auto res = kv::run_ycsb(sys, cfg);
+    EXPECT_EQ(res.ops_completed, 300u) << rpcs::name_of(sys);
+    EXPECT_GT(res.avg_us(), 0.0);
+    EXPECT_GE(res.rpcs_issued, res.ops_completed);
+  }
+}
+
+TEST(YcsbRun, ScanWorkloadIssuesMoreRpcsThanOps) {
+  kv::YcsbConfig cfg;
+  cfg.workload = kv::Workload::kE;
+  cfg.records = 512;
+  cfg.value_size = 512;
+  cfg.ops = 200;
+  const auto res = kv::run_ycsb(rpcs::System::kFaRM, cfg);
+  EXPECT_GT(res.rpcs_issued, res.ops_completed * 3)
+      << "scans fan out into multiple reads";
+}
+
+// ----------------------------------------------------------------- graph
+
+TEST(SyntheticGraph, MatchesSpecCounts) {
+  graph::GraphSpec spec{"test", 1000, 8000};
+  graph::SyntheticGraph g(spec, 11);
+  EXPECT_EQ(g.node_count(), 1000u);
+  EXPECT_EQ(g.edge_count(), 8000u);
+  std::uint64_t total = 0;
+  for (std::uint32_t u = 0; u < g.node_count(); ++u) total += g.out_degree(u);
+  EXPECT_EQ(total, 8000u);
+}
+
+TEST(SyntheticGraph, DegreeDistributionIsHeavyTailed) {
+  graph::GraphSpec spec{"test", 2000, 30000};
+  graph::SyntheticGraph g(spec, 5);
+  // In-degree skew: count how often each node appears as a target.
+  std::vector<std::uint32_t> indeg(g.node_count(), 0);
+  for (std::uint32_t u = 0; u < g.node_count(); ++u) {
+    for (std::uint32_t k = 0; k < g.out_degree(u); ++k) {
+      ++indeg[g.neighbors(u)[k]];
+    }
+  }
+  std::sort(indeg.begin(), indeg.end(), std::greater<>());
+  std::uint64_t top = 0;
+  for (std::size_t i = 0; i < indeg.size() / 100; ++i) top += indeg[i];
+  EXPECT_GT(static_cast<double>(top) / 30000.0, 0.07)
+      << "top 1% of nodes should attract far more than the uniform 1%";
+}
+
+TEST(SyntheticGraph, DeterministicForSeed) {
+  graph::GraphSpec spec{"t", 500, 3000};
+  graph::SyntheticGraph a(spec, 3);
+  graph::SyntheticGraph b(spec, 3);
+  for (std::uint32_t u = 0; u < 500; ++u) {
+    ASSERT_EQ(a.out_degree(u), b.out_degree(u));
+  }
+}
+
+TEST(PageRank, RanksSumToOneAndRpcsFlow) {
+  graph::GraphSpec spec{"small", 2000, 16000};
+  graph::PageRankConfig cfg;
+  cfg.iterations = 4;
+  const auto res = graph::run_pagerank(rpcs::System::kWFlushRpc, spec, cfg);
+  EXPECT_EQ(res.iterations, 4u);
+  EXPECT_NEAR(res.rank_sum, 1.0, 1e-6);
+  EXPECT_GT(res.top_rank, 1.0 / 2000.0) << "skew concentrates rank";
+  EXPECT_GT(res.rpcs, 0u);
+  EXPECT_GT(res.duration, 0u);
+}
+
+TEST(PageRank, LargerGraphTakesLonger) {
+  graph::PageRankConfig cfg;
+  cfg.iterations = 2;
+  graph::GraphSpec small{"s", 1000, 8000};
+  graph::GraphSpec large{"l", 4000, 32000};
+  const auto rs = graph::run_pagerank(rpcs::System::kFaRM, small, cfg);
+  const auto rl = graph::run_pagerank(rpcs::System::kFaRM, large, cfg);
+  EXPECT_GT(rl.duration, rs.duration);
+  EXPECT_GT(rl.rpcs, rs.rpcs);
+}
+
+// ----------------------------------------------------------------- fault
+
+TEST(FaultExperiment, CleanRunCompletesAllOps) {
+  fault::FailureRunConfig cfg;
+  cfg.ops = 200;
+  cfg.crashes = 0;
+  cfg.window = 4;
+  const auto res = fault::run_with_failures(rpcs::System::kWFlushRpc, cfg);
+  EXPECT_EQ(res.ops_completed, 200u);
+  EXPECT_EQ(res.crashes, 0u);
+  EXPECT_EQ(res.resends, 0u);
+}
+
+TEST(FaultExperiment, DurableSurvivesCrashesWithReplay) {
+  fault::FailureRunConfig cfg;
+  cfg.ops = 300;
+  cfg.crashes = 2;
+  cfg.window = 4;
+  const auto res = fault::run_with_failures(rpcs::System::kWFlushRpc, cfg);
+  EXPECT_EQ(res.ops_completed, 300u) << "every op completes despite crashes";
+  EXPECT_EQ(res.crashes, 2u);
+  EXPECT_GT(res.replayed, 0u) << "redo-log entries replayed server-side";
+}
+
+TEST(FaultExperiment, TraditionalSurvivesButResendsMore) {
+  fault::FailureRunConfig cfg;
+  cfg.ops = 300;
+  cfg.crashes = 2;
+  cfg.window = 4;
+  const auto durable = fault::run_with_failures(rpcs::System::kWFlushRpc, cfg);
+  const auto traditional = fault::run_with_failures(rpcs::System::kFaRM, cfg);
+  EXPECT_EQ(traditional.ops_completed, 300u);
+  EXPECT_EQ(traditional.replayed, 0u) << "no redo log to replay";
+  EXPECT_GE(traditional.resends, durable.resends);
+  EXPECT_GT(traditional.total, durable.total)
+      << "client-side retransmission cycles dominate (§5.4)";
+}
+
+TEST(FaultExperiment, Figure12CompositionIsMonotonic) {
+  const auto points =
+      fault::compose_figure12(0.0, {0.99, 0.9999}, /*seed=*/1, /*ops=*/300);
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    EXPECT_GT(p.normalized_time, 0.0);
+    EXPECT_LT(p.normalized_time, 1.0)
+        << "durable RPCs must win under failures";
+  }
+  EXPECT_LE(points[0].normalized_time, points[1].normalized_time)
+      << "lower availability -> bigger durable advantage";
+}
+
+}  // namespace
+}  // namespace prdma
