@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flush_hw.dir/ablation_flush_hw.cpp.o"
+  "CMakeFiles/ablation_flush_hw.dir/ablation_flush_hw.cpp.o.d"
+  "ablation_flush_hw"
+  "ablation_flush_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flush_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smartnic.dir/ablation_smartnic.cpp.o"
+  "CMakeFiles/ablation_smartnic.dir/ablation_smartnic.cpp.o.d"
+  "ablation_smartnic"
+  "ablation_smartnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smartnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_octopus_wflush.dir/case_octopus_wflush.cpp.o"
+  "CMakeFiles/case_octopus_wflush.dir/case_octopus_wflush.cpp.o.d"
+  "case_octopus_wflush"
+  "case_octopus_wflush.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_octopus_wflush.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for case_octopus_wflush.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_failure_recovery.dir/fig12_failure_recovery.cpp.o"
+  "CMakeFiles/fig12_failure_recovery.dir/fig12_failure_recovery.cpp.o.d"
+  "fig12_failure_recovery"
+  "fig12_failure_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_failure_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_object_size.dir/fig13_object_size.cpp.o"
+  "CMakeFiles/fig13_object_size.dir/fig13_object_size.cpp.o.d"
+  "fig13_object_size"
+  "fig13_object_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_object_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_network_load.dir/fig14_network_load.cpp.o"
+  "CMakeFiles/fig14_network_load.dir/fig14_network_load.cpp.o.d"
+  "fig14_network_load"
+  "fig14_network_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_network_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

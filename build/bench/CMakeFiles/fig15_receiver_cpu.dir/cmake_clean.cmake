@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_receiver_cpu.dir/fig15_receiver_cpu.cpp.o"
+  "CMakeFiles/fig15_receiver_cpu.dir/fig15_receiver_cpu.cpp.o.d"
+  "fig15_receiver_cpu"
+  "fig15_receiver_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_receiver_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

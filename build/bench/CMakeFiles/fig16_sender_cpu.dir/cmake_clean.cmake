@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sender_cpu.dir/fig16_sender_cpu.cpp.o"
+  "CMakeFiles/fig16_sender_cpu.dir/fig16_sender_cpu.cpp.o.d"
+  "fig16_sender_cpu"
+  "fig16_sender_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sender_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

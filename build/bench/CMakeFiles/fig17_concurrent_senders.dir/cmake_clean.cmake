@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_concurrent_senders.dir/fig17_concurrent_senders.cpp.o"
+  "CMakeFiles/fig17_concurrent_senders.dir/fig17_concurrent_senders.cpp.o.d"
+  "fig17_concurrent_senders"
+  "fig17_concurrent_senders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_concurrent_senders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

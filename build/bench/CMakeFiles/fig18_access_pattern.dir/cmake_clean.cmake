@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_access_pattern.dir/fig18_access_pattern.cpp.o"
+  "CMakeFiles/fig18_access_pattern.dir/fig18_access_pattern.cpp.o.d"
+  "fig18_access_pattern"
+  "fig18_access_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_access_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_batching.dir/fig19_batching.cpp.o"
+  "CMakeFiles/fig19_batching.dir/fig19_batching.cpp.o.d"
+  "fig19_batching"
+  "fig19_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_breakdown.dir/fig20_breakdown.cpp.o"
+  "CMakeFiles/fig20_breakdown.dir/fig20_breakdown.cpp.o.d"
+  "fig20_breakdown"
+  "fig20_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/durable_kv_store.dir/durable_kv_store.cpp.o"
+  "CMakeFiles/durable_kv_store.dir/durable_kv_store.cpp.o.d"
+  "durable_kv_store"
+  "durable_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/durable_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

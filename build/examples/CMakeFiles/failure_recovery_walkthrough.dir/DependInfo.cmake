@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/failure_recovery_walkthrough.cpp" "examples/CMakeFiles/failure_recovery_walkthrough.dir/failure_recovery_walkthrough.cpp.o" "gcc" "examples/CMakeFiles/failure_recovery_walkthrough.dir/failure_recovery_walkthrough.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fault/CMakeFiles/prdma_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_util/CMakeFiles/prdma_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpcs/CMakeFiles/prdma_rpcs.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/prdma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rnic/CMakeFiles/prdma_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/prdma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prdma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prdma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/prdma_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_recovery_walkthrough.dir/failure_recovery_walkthrough.cpp.o"
+  "CMakeFiles/failure_recovery_walkthrough.dir/failure_recovery_walkthrough.cpp.o.d"
+  "failure_recovery_walkthrough"
+  "failure_recovery_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_recovery_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

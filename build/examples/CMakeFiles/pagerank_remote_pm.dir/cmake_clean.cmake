@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_remote_pm.dir/pagerank_remote_pm.cpp.o"
+  "CMakeFiles/pagerank_remote_pm.dir/pagerank_remote_pm.cpp.o.d"
+  "pagerank_remote_pm"
+  "pagerank_remote_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_remote_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pagerank_remote_pm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/raw_verbs_persistence.cpp" "examples/CMakeFiles/raw_verbs_persistence.dir/raw_verbs_persistence.cpp.o" "gcc" "examples/CMakeFiles/raw_verbs_persistence.dir/raw_verbs_persistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rnic/CMakeFiles/prdma_rnic.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/prdma_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/prdma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/prdma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

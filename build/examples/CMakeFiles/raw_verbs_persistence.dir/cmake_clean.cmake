@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raw_verbs_persistence.dir/raw_verbs_persistence.cpp.o"
+  "CMakeFiles/raw_verbs_persistence.dir/raw_verbs_persistence.cpp.o.d"
+  "raw_verbs_persistence"
+  "raw_verbs_persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raw_verbs_persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_bench_util.dir/micro.cpp.o"
+  "CMakeFiles/prdma_bench_util.dir/micro.cpp.o.d"
+  "libprdma_bench_util.a"
+  "libprdma_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_core.dir/durable_rpc.cpp.o"
+  "CMakeFiles/prdma_core.dir/durable_rpc.cpp.o.d"
+  "CMakeFiles/prdma_core.dir/redo_log.cpp.o"
+  "CMakeFiles/prdma_core.dir/redo_log.cpp.o.d"
+  "CMakeFiles/prdma_core.dir/rpc.cpp.o"
+  "CMakeFiles/prdma_core.dir/rpc.cpp.o.d"
+  "libprdma_core.a"
+  "libprdma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_fault.dir/experiment.cpp.o"
+  "CMakeFiles/prdma_fault.dir/experiment.cpp.o.d"
+  "libprdma_fault.a"
+  "libprdma_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

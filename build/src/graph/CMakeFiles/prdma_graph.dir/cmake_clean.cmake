@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_graph.dir/pagerank.cpp.o"
+  "CMakeFiles/prdma_graph.dir/pagerank.cpp.o.d"
+  "libprdma_graph.a"
+  "libprdma_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

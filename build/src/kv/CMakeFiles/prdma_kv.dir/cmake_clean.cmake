@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_kv.dir/ycsb.cpp.o"
+  "CMakeFiles/prdma_kv.dir/ycsb.cpp.o.d"
+  "libprdma_kv.a"
+  "libprdma_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprdma_kv.a"
+)

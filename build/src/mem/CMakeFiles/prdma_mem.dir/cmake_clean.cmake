@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_mem.dir/llc.cpp.o"
+  "CMakeFiles/prdma_mem.dir/llc.cpp.o.d"
+  "libprdma_mem.a"
+  "libprdma_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_net.dir/fabric.cpp.o"
+  "CMakeFiles/prdma_net.dir/fabric.cpp.o.d"
+  "libprdma_net.a"
+  "libprdma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

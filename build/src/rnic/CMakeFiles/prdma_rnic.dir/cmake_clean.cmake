@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_rnic.dir/rnic.cpp.o"
+  "CMakeFiles/prdma_rnic.dir/rnic.cpp.o.d"
+  "libprdma_rnic.a"
+  "libprdma_rnic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_rnic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_rpcs.dir/baseline.cpp.o"
+  "CMakeFiles/prdma_rpcs.dir/baseline.cpp.o.d"
+  "CMakeFiles/prdma_rpcs.dir/registry.cpp.o"
+  "CMakeFiles/prdma_rpcs.dir/registry.cpp.o.d"
+  "libprdma_rpcs.a"
+  "libprdma_rpcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_rpcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_sim.dir/simulator.cpp.o"
+  "CMakeFiles/prdma_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/prdma_sim.dir/thread_pool.cpp.o"
+  "CMakeFiles/prdma_sim.dir/thread_pool.cpp.o.d"
+  "libprdma_sim.a"
+  "libprdma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

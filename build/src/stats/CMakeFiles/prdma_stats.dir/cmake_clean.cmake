@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prdma_stats.dir/histogram.cpp.o"
+  "CMakeFiles/prdma_stats.dir/histogram.cpp.o.d"
+  "libprdma_stats.a"
+  "libprdma_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prdma_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

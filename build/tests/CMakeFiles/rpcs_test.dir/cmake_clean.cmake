@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcs_test.dir/rpcs_test.cpp.o"
+  "CMakeFiles/rpcs_test.dir/rpcs_test.cpp.o.d"
+  "rpcs_test"
+  "rpcs_test.pdb"
+  "rpcs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
