@@ -88,6 +88,11 @@ class Flags {
   [[nodiscard]] bool flag(const std::string& key) const {
     return kv_.contains(key);
   }
+  [[nodiscard]] std::string str(const std::string& key,
+                                std::string def) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? std::move(def) : it->second;
+  }
 
  private:
   std::map<std::string, std::string> kv_;

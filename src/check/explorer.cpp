@@ -1,0 +1,280 @@
+#include "check/explorer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "bench_util/micro.hpp"
+#include "rpcs/registry.hpp"
+#include "sim/rng.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace prdma::check {
+
+using core::RpcOp;
+using core::RpcRequest;
+using core::RpcResult;
+using sim::SimTime;
+using sim::Task;
+
+namespace {
+
+/// Shared state between the write drivers and the recovery coroutine.
+struct Harness {
+  std::uint64_t remaining = 0;
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t resends = 0;
+  std::uint64_t object_count = 1;
+  std::uint32_t value_size = 0;
+  std::uint64_t durable_watermark = 0;  ///< media snapshot at the crash
+  sim::Event* up = nullptr;
+};
+
+Task<> write_driver(core::DurableRpcClient& client, Harness& h,
+                    sim::WaitGroup& wg) {
+  for (;;) {
+    if (h.remaining == 0) break;
+    --h.remaining;
+
+    RpcRequest req;
+    req.op = RpcOp::kWrite;
+    req.obj_id = h.issued++ % h.object_count;
+    req.len = h.value_size;
+
+    RpcResult res = co_await client.call(req);
+    while (!res.ok) {
+      if (!h.up->is_set()) {
+        (void)co_await h.up->wait();
+      }
+      if (res.tag != 0 && res.tag <= h.durable_watermark) {
+        // In the log before the lights went out: the server replayed it
+        // during recovery, nothing to re-send (§4.2).
+        res.ok = true;
+        break;
+      }
+      ++h.resends;
+      res = co_await client.call(req);
+    }
+    ++h.completed;
+  }
+  wg.done();
+}
+
+/// Waits for the crash (signalled from the simulator crash hook), then
+/// walks the server through restart + log replay and reopens the gate.
+Task<> recovery_loop(core::Cluster& cluster, core::DurableRpcServer& server,
+                     std::vector<core::DurableRpcClient*> clients,
+                     DurabilityOracle& oracle, Harness& h,
+                     sim::Event& crashed, SimTime restart_delay) {
+  if (!co_await crashed.wait()) co_return;
+  co_await sim::delay(cluster.sim(), restart_delay);
+  cluster.node(0).restart();
+  co_await server.recover_and_restart();
+  for (auto* c : clients) server.reconnect_client(*c);
+  oracle.after_recovery();
+  h.up->set();
+}
+
+}  // namespace
+
+ScheduleResult run_schedule(const ExplorerConfig& cfg, const Schedule& s,
+                            std::vector<SimTime>* boundaries) {
+  bench::MicroConfig mc;
+  mc.object_size = cfg.value_size;
+  mc.objects = 4096;
+  mc.seed = s.seed;
+  mc.heavy_load = cfg.heavy_processing;
+  core::ModelParams params = bench::params_for(mc);
+  params.log_slots = std::max(cfg.window * 2, 8u);
+  params.flow_threshold = std::max(cfg.window, 4u);
+  params.rnic.retransmit_interval = cfg.retransmit_interval;
+  params.rnic.ack_before_persist = cfg.ack_before_persist;
+  params.seed = s.seed;
+
+  core::Cluster cluster(params, 2);
+  const std::size_t client_nodes[] = {1};
+  auto dep = rpcs::make_deployment(cluster, rpcs::system_for(cfg.variant), 0,
+                                   client_nodes, params);
+  auto& server = dynamic_cast<core::DurableRpcServer&>(*dep.server);
+  auto& client = dynamic_cast<core::DurableRpcClient&>(*dep.clients[0]);
+
+  DurabilityOracle oracle(server);
+  oracle.attach_client(client);
+
+  if (boundaries != nullptr) {
+    client.session()->set_trace([boundaries, &cluster](rdma::Phase) {
+      boundaries->push_back(cluster.sim().now());
+    });
+    server.log(0).set_trace(
+        [boundaries, &cluster](core::RedoLog::TracePoint, std::uint64_t) {
+          boundaries->push_back(cluster.sim().now());
+        });
+  }
+
+  ScheduleResult result;
+  result.schedule = s;
+
+  sim::Event up(cluster.sim());
+  up.set();
+  sim::Event crashed(cluster.sim());
+
+  Harness h;
+  h.remaining = s.ops;
+  h.object_count = params.object_count;
+  h.value_size = cfg.value_size;
+  h.up = &up;
+
+  if (s.crash_at > 0) {
+    // The full power-failure sequence at one simulated nanosecond:
+    // software teardown, then hardware state loss (in-flight DMA lands
+    // torn on the PM media), then the crash-instant audit.
+    cluster.sim().add_crash_hook([&] {
+      up.reset();
+      server.on_crash();
+      cluster.node(0).crash();
+      client.abort_pending();
+      oracle.on_crash();
+      h.durable_watermark = server.durable_watermark(0);
+      crashed.set();
+    });
+    cluster.sim().schedule_crash_at(s.crash_at);
+    sim::spawn(recovery_loop(cluster, server, {&client}, oracle, h, crashed,
+                             cfg.restart_delay));
+  }
+
+  sim::WaitGroup wg(cluster.sim());
+  wg.add(cfg.window);
+  for (std::uint32_t d = 0; d < cfg.window; ++d) {
+    sim::spawn(write_driver(client, h, wg));
+  }
+
+  bool finished = false;
+  SimTime end = 0;
+  sim::spawn([](sim::WaitGroup& w, bool& f, SimTime& t,
+                sim::Simulator& sim) -> Task<> {
+    co_await w.wait();
+    f = true;
+    t = sim.now();
+  }(wg, finished, end, cluster.sim()));
+
+  cluster.sim().run();
+
+  result.crash_fired = cluster.sim().crashes_triggered() > 0;
+  result.ops_completed = h.completed;
+  result.resends = h.resends;
+  result.acks = oracle.acks_recorded();
+  result.replays = oracle.replays_observed();
+  result.end_time = finished ? end : cluster.sim().now();
+  result.violations = oracle.violations();
+
+  if (boundaries != nullptr) {
+    std::sort(boundaries->begin(), boundaries->end());
+    boundaries->erase(std::unique(boundaries->begin(), boundaries->end()),
+                      boundaries->end());
+  }
+  return result;
+}
+
+namespace {
+
+/// Evenly samples at most `cap` timestamps out of `points` (keeps ends).
+std::vector<SimTime> sample_boundaries(const std::vector<SimTime>& points,
+                                       std::uint32_t cap) {
+  if (points.size() <= cap) return points;
+  std::vector<SimTime> out;
+  out.reserve(cap);
+  for (std::uint32_t i = 0; i < cap; ++i) {
+    const std::size_t idx = (points.size() - 1) * i / (cap - 1);
+    out.push_back(points[idx]);
+  }
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+ExplorerReport explore(const ExplorerConfig& cfg) {
+  ExplorerReport rep;
+
+  // Phase 1: traced dry run — protocol-phase boundary timestamps.
+  std::vector<SimTime> trace;
+  const Schedule dry{cfg.seed, 0, cfg.ops};
+  const ScheduleResult base = run_schedule(cfg, dry, &trace);
+  rep.clean_end = base.end_time;
+  rep.boundary_points = sample_boundaries(trace, cfg.max_boundary_points);
+
+  const auto consider = [&](const Schedule& s) {
+    ScheduleResult r = run_schedule(cfg, s);
+    ++rep.schedules_run;
+    if (r.failed()) {
+      ++rep.schedules_failed;
+      if (!rep.first_failure.has_value()) rep.first_failure = std::move(r);
+    }
+  };
+
+  // Phase 2: targeted schedules straddling each phase boundary.
+  for (const SimTime t : rep.boundary_points) {
+    for (const std::int64_t dt : {-1, 0, 1}) {
+      const auto at = static_cast<std::int64_t>(t) + dt;
+      if (at < 1) continue;
+      consider(Schedule{cfg.seed, static_cast<SimTime>(at), cfg.ops});
+    }
+  }
+
+  // Phase 3: seeded random crash instants over the whole run.
+  sim::Rng rng(cfg.seed ^ 0xC2B2AE3D27D4EB4Full);
+  const SimTime span = std::max<SimTime>(base.end_time, 2);
+  for (std::uint32_t i = 0; i < cfg.random_schedules; ++i) {
+    consider(Schedule{cfg.seed, rng.uniform(1, span - 1), cfg.ops});
+  }
+
+  // Phase 4: shrink the first failure to a minimal reproducer (fewest
+  // driven ops that still violate an invariant at the same instant).
+  if (rep.first_failure.has_value()) {
+    Schedule best = rep.first_failure->schedule;
+    ScheduleResult best_result = *rep.first_failure;
+    std::uint64_t lo = 1;  // smallest op count not known to pass
+    std::uint64_t ops = best.ops;
+    while (ops > lo) {
+      const std::uint64_t cand = lo + (ops - lo) / 2;
+      Schedule t = best;
+      t.ops = cand;
+      ScheduleResult r = run_schedule(cfg, t);
+      if (r.failed()) {
+        ops = cand;
+        best = t;
+        best_result = std::move(r);
+      } else {
+        lo = cand + 1;
+      }
+    }
+    rep.minimal = std::move(best_result);
+    rep.reproducer = format_reproducer(best);
+  }
+  return rep;
+}
+
+std::string format_reproducer(const Schedule& s) {
+  std::ostringstream os;
+  os << "seed=" << s.seed << " crash_at=" << s.crash_at << "ns ops=" << s.ops;
+  return os.str();
+}
+
+std::optional<Schedule> parse_reproducer(const std::string& line) {
+  Schedule s;
+  unsigned long long seed = 0;
+  unsigned long long crash_at = 0;
+  unsigned long long ops = 0;
+  if (std::sscanf(line.c_str(), "seed=%llu crash_at=%lluns ops=%llu", &seed,
+                  &crash_at, &ops) != 3) {
+    return std::nullopt;
+  }
+  s.seed = seed;
+  s.crash_at = crash_at;
+  s.ops = ops;
+  return s;
+}
+
+}  // namespace prdma::check

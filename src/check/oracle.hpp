@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/durable_rpc.hpp"
+#include "sim/time.hpp"
+
+namespace prdma::check {
+
+/// The durability invariants the oracle enforces (§4.2: a persist-ACK
+/// is a promise that survives any power failure).
+enum class ViolationKind : std::uint8_t {
+  /// An acknowledged write is not reachable by recovery (its entry is
+  /// missing, torn, or beyond a gap in the replay chain).
+  kAckedLost,
+  /// An acknowledged write's payload on the persist media differs from
+  /// the bytes the client sent.
+  kAckedCorrupt,
+  /// Recovery replayed an entry whose media bytes fail the checksum
+  /// (torn data must never be re-executed).
+  kTornReplayed,
+  /// The durable watermark moved backwards.
+  kWatermarkRegressed,
+  /// The server claims a watermark above what is physically in the
+  /// persist domain.
+  kWatermarkOverclaim,
+};
+
+[[nodiscard]] constexpr const char* violation_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kAckedLost: return "acked-lost";
+    case ViolationKind::kAckedCorrupt: return "acked-corrupt";
+    case ViolationKind::kTornReplayed: return "torn-replayed";
+    case ViolationKind::kWatermarkRegressed: return "watermark-regressed";
+    case ViolationKind::kWatermarkOverclaim: return "watermark-overclaim";
+  }
+  return "?";
+}
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kAckedLost;
+  std::size_t conn = 0;
+  std::uint64_t seq = 0;
+  sim::SimTime at = 0;  ///< simulated instant the violation was detected
+  std::string detail;
+};
+
+/// Records every persist-ACK a DurableRpcClient observes and checks,
+/// at the crash instant and across recovery, that the system kept its
+/// promises. The oracle never trusts the implementation under test: it
+/// re-derives expected payload bytes from the deterministic pattern
+/// (core::deterministic_payload) and scans the persist media itself
+/// (NodeMemory::persisted_read), so a watermark computed from dirty
+/// cache lines or an ACK sent before the DMA landed is caught.
+///
+/// The oracle is a pure observer: it charges no simulated time and
+/// does not perturb the schedule, so attaching it keeps runs
+/// bit-identical.
+///
+/// Scope: write durability. Reads carry no payload to lose and are
+/// re-issued by clients after a crash (§5.5: flushes exist for writes);
+/// the oracle therefore records write ACKs only and expects write-only
+/// workloads when asserting the full invariant set.
+class DurabilityOracle {
+ public:
+  explicit DurabilityOracle(core::DurableRpcServer& server);
+
+  /// Installs the persist-ACK hook on `client`. Call once per client
+  /// before driving load.
+  void attach_client(core::DurableRpcClient& client);
+
+  /// Crash-instant audit. Must run after the server node's hardware
+  /// state settled (Node::crash() returned): every acknowledged,
+  /// still-unconsumed write must be byte-exact on media and within the
+  /// recoverable chain.
+  void on_crash();
+
+  /// Post-recovery audit: every acknowledged write that was unconsumed
+  /// at the crash must have been replayed.
+  void after_recovery();
+
+  /// Watermark audit, valid at ANY simulated instant: monotone, and
+  /// never above the oracle's independent media scan. Invoked
+  /// automatically on every ACK; harnesses may call it extra.
+  void observe_watermark();
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+
+  [[nodiscard]] std::uint64_t acks_recorded() const { return acks_; }
+  [[nodiscard]] std::uint64_t replays_observed() const { return replays_; }
+  [[nodiscard]] std::uint64_t watermark_samples() const { return samples_; }
+
+  /// One line per violation (diagnostics / reproducer output).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  struct AckRecord {
+    std::uint32_t payload_len = 0;
+    sim::SimTime acked_at = 0;
+  };
+
+  struct ConnState {
+    std::map<std::uint64_t, AckRecord> acked;  ///< seq -> record
+    std::uint64_t last_watermark = 0;
+    std::uint64_t consumed_at_crash = 0;
+    std::uint64_t watermark_at_crash = 0;
+    std::set<std::uint64_t> replayed;
+    bool crashed = false;
+  };
+
+  void record_ack(std::size_t conn, std::uint64_t seq, std::uint32_t len);
+  void on_replay(std::size_t conn, const core::LogEntryView& e);
+
+  /// Re-derives the durable watermark from media bytes alone,
+  /// recomputing payload checksums instead of trusting stored ones.
+  [[nodiscard]] std::uint64_t independent_scan(std::size_t conn) const;
+
+  /// Byte-exact media comparison of entry `seq` against the
+  /// deterministic payload pattern.
+  [[nodiscard]] bool media_payload_exact(std::size_t conn, std::uint64_t seq,
+                                         std::uint32_t len) const;
+
+  void flag(ViolationKind kind, std::size_t conn, std::uint64_t seq,
+            std::string detail);
+
+  core::DurableRpcServer& server_;
+  std::vector<ConnState> conns_;
+  std::vector<Violation> violations_;
+  std::uint64_t acks_ = 0;
+  std::uint64_t replays_ = 0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace prdma::check

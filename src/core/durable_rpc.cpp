@@ -26,15 +26,6 @@ std::string_view variant_name(FlushVariant v) {
 
 namespace {
 
-/// Deterministic payload pattern so crash tests can verify content.
-std::vector<std::byte> make_payload(std::uint64_t seq, std::uint32_t len) {
-  std::vector<std::byte> p(len);
-  for (std::uint32_t i = 0; i < len; ++i) {
-    p[i] = static_cast<std::byte>((seq * 131 + i * 7) & 0xFF);
-  }
-  return p;
-}
-
 /// Awaitable wrapper over Rnic::persist_range (the RFlush building
 /// block, §4.1.2). If the node crashes mid-flush the event never
 /// fires; the caller's loop is already torn down by channel resets.
@@ -402,9 +393,10 @@ void DurableRpcServer::on_crash() {
 }
 
 std::uint64_t DurableRpcServer::durable_watermark(std::size_t conn_idx) const {
-  const Conn& conn = *conns_.at(conn_idx);
-  return conn.log.consumed() +
-         static_cast<std::uint64_t>(conn.log.recover().size());
+  // Media view, not the coherent one: consumed() + recover() can count
+  // entries whose bytes are still dirty in the LLC (SFlush's cache
+  // mirror) or torn on media — durable only in appearance.
+  return conns_.at(conn_idx)->log.durable_watermark();
 }
 
 sim::Task<> DurableRpcServer::recover_and_restart() {
@@ -417,6 +409,7 @@ sim::Task<> DurableRpcServer::recover_and_restart() {
     conn->completed_floor = conn->log.consumed();
     conn->next_seq = conn->completed_floor + entries.size() + 1;
     for (const auto& e : entries) {
+      if (replay_hook_) replay_hook_(conn->idx, e);
       co_await process_item(WorkItem{conn.get(), e, true});
     }
   }
@@ -566,7 +559,7 @@ sim::Task<RpcResult> DurableRpcClient::transmit_entry(RpcOp op,
   res.tag = seq;
   const std::uint32_t payload_len = op == RpcOp::kWrite ? len * batch : 0;
   const std::uint64_t resp_slot = (seq - 1) % window_size_;
-  const auto payload = make_payload(seq, payload_len);
+  const auto payload = deterministic_payload(seq, payload_len);
   const auto image = encode_log_entry(seq, op, obj_id, payload, resp_slot,
                                       batch, op == RpcOp::kRead ? len : 0);
   const std::uint64_t stage =
@@ -628,6 +621,7 @@ sim::Task<RpcResult> DurableRpcClient::transmit_entry(RpcOp op,
   if (op == RpcOp::kWrite) {
     // Remote persistence is visible: the RPC is complete for the
     // sender even though the server processes it asynchronously.
+    if (ack_hook_) ack_hook_(seq, payload_len);
     res.completed_at = sim.now();
     res.ok = true;
     co_return res;

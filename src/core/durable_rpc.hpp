@@ -1,9 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <set>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/node.hpp"
@@ -51,6 +53,23 @@ class DurableRpcClient : public RpcClient {
   /// Sequence of the next entry this client will emit.
   [[nodiscard]] std::uint64_t next_seq() const { return next_seq_; }
 
+  /// Which server-side connection this client is (index into the
+  /// server's redo logs).
+  [[nodiscard]] std::size_t conn_index() const { return conn_idx_; }
+
+  /// The client's verbs session (the durability oracle installs phase
+  /// traces here to derive targeted crash timestamps).
+  [[nodiscard]] rdma::QpSession* session() { return session_.get(); }
+
+  /// Persist-ACK hook: fires at the simulated instant this client
+  /// observes remote persistence for write `seq` (the moment it would
+  /// report durability to its application). Payload bytes are the
+  /// deterministic pattern for `seq`, so (seq, payload_len) fully
+  /// determines the acknowledged content.
+  using AckHook = std::function<void(std::uint64_t seq,
+                                     std::uint32_t payload_len)>;
+  void set_ack_hook(AckHook fn) { ack_hook_ = std::move(fn); }
+
   /// Highest sequence the server has acknowledged as persisted/consumed
   /// (from the notify words mirrored into client memory).
   [[nodiscard]] std::uint64_t consumed_seen() const;
@@ -89,6 +108,7 @@ class DurableRpcClient : public RpcClient {
   std::uint64_t staging_slot_bytes_ = 0;
   std::uint64_t resp_slot_bytes_ = 0;
   bool aborted_ = false;
+  AckHook ack_hook_;
 };
 
 /// Server half: per-connection redo logs in PM, arrival pumps
@@ -134,8 +154,20 @@ class DurableRpcServer : public RpcServer {
   }
 
   /// Highest entry sequence of connection `conn_idx` that is durable in
-  /// the log (used by clients to decide what needs re-sending).
+  /// the log (used by clients to decide what needs re-sending). Media
+  /// view — never counts bytes stuck in volatile caches or NIC SRAM.
   [[nodiscard]] std::uint64_t durable_watermark(std::size_t conn_idx) const;
+
+  /// Read-only view of connection `conn_idx`'s redo log (oracle use).
+  [[nodiscard]] const RedoLog& log(std::size_t conn_idx) const {
+    return conns_.at(conn_idx)->log;
+  }
+
+  /// Replay hook: fires for every log entry recovery is about to
+  /// re-execute (before its side effects are applied).
+  using ReplayHook =
+      std::function<void(std::size_t conn_idx, const LogEntryView& e)>;
+  void set_replay_hook(ReplayHook fn) { replay_hook_ = std::move(fn); }
 
  private:
   friend class DurableRpcClient;
@@ -193,6 +225,7 @@ class DurableRpcServer : public RpcServer {
   std::vector<std::unique_ptr<Conn>> conns_;
   std::unique_ptr<sim::Channel<WorkItem>> work_q_;
   ServerStats stats_;
+  ReplayHook replay_hook_;
   bool running_ = false;
   /// Bumped on every crash; coroutines resumed across the boundary
   /// observe the mismatch and abandon their work (zombie guard).

@@ -1,7 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/params.hpp"
 #include "host/host.hpp"
@@ -21,6 +24,7 @@ class Node {
   Node(sim::Simulator& sim, sim::Rng& rng, net::Fabric& fabric,
        net::NodeId id, const ModelParams& params)
       : id_(id),
+        sim_(sim),
         rng_(rng.fork()),
         mem_(sim, params.memory),
         rnic_(sim, rng_, fabric, mem_, id, params.rnic),
@@ -28,7 +32,10 @@ class Node {
         pm_alloc_(0, params.memory.pm_capacity),
         dram_alloc_(mem::NodeMemory::kDramBase, params.memory.dram_capacity) {}
 
+  ~Node() { detach_crash_hook(); }
+
   [[nodiscard]] net::NodeId id() const { return id_; }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] mem::NodeMemory& mem() { return mem_; }
   [[nodiscard]] rnic::Rnic& rnic() { return rnic_; }
   [[nodiscard]] host::Host& host() { return host_; }
@@ -36,8 +43,12 @@ class Node {
   [[nodiscard]] rdma::RegionAllocator& pm_alloc() { return pm_alloc_; }
   [[nodiscard]] rdma::RegionAllocator& dram_alloc() { return dram_alloc_; }
 
-  /// Power failure of this machine.
+  /// Power failure of this machine. Crash listeners run first (software
+  /// teardown — an RPC server stopping its pumps), then the hardware
+  /// loses its volatile state: in-flight DMA lands torn, SRAM, dirty
+  /// LLC lines and DRAM vanish, PM survives.
   void crash() {
+    for (const auto& listener : crash_listeners_) listener();
     rnic_.crash();
     mem_.crash();
   }
@@ -47,14 +58,47 @@ class Node {
   /// recovery from the redo log.
   void restart() { rnic_.restart(); }
 
+  // ---- crash-hook interface (crash-schedule exploration) ----
+
+  /// Registers software that must be torn down when this node loses
+  /// power; invoked (registration order) at the start of crash().
+  void add_crash_listener(std::function<void()> fn) {
+    crash_listeners_.push_back(std::move(fn));
+  }
+
+  void clear_crash_listeners() { crash_listeners_.clear(); }
+
+  /// Wires this node to the simulator's crash-hook registry: every
+  /// Simulator::trigger_crash() now power-fails this node. Idempotent.
+  void attach_crash_hook() {
+    if (crash_hook_ != 0) return;
+    crash_hook_ = sim_.add_crash_hook([this] { crash(); });
+  }
+
+  void detach_crash_hook() {
+    if (crash_hook_ == 0) return;
+    sim_.remove_crash_hook(crash_hook_);
+    crash_hook_ = 0;
+  }
+
+  /// Schedules a power failure of this node at absolute simulated time
+  /// `t` — any nanosecond, including mid-RDMA-write or mid-persist.
+  void schedule_crash_at(sim::SimTime t) {
+    attach_crash_hook();
+    sim_.schedule_crash_at(t);
+  }
+
  private:
   net::NodeId id_;
+  sim::Simulator& sim_;
   sim::Rng rng_;
   mem::NodeMemory mem_;
   rnic::Rnic rnic_;
   host::Host host_;
   rdma::RegionAllocator pm_alloc_;
   rdma::RegionAllocator dram_alloc_;
+  std::vector<std::function<void()>> crash_listeners_;
+  sim::Simulator::CrashHookId crash_hook_ = 0;
 };
 
 /// A simulated testbed: simulator + fabric + N nodes, built from one

@@ -6,6 +6,15 @@
 
 namespace prdma::core {
 
+std::vector<std::byte> deterministic_payload(std::uint64_t seq,
+                                             std::uint32_t len) {
+  std::vector<std::byte> p(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    p[i] = static_cast<std::byte>((seq * 131 + i * 7) & 0xFF);
+  }
+  return p;
+}
+
 std::vector<std::byte> encode_log_entry(std::uint64_t seq, RpcOp op,
                                         std::uint64_t obj_id,
                                         std::span<const std::byte> payload,
@@ -29,9 +38,18 @@ std::vector<std::byte> encode_log_entry(std::uint64_t seq, RpcOp op,
 
 std::optional<LogEntryView> decode_entry_at(const mem::NodeMemory& mem,
                                             std::uint64_t addr,
-                                            std::uint64_t payload_cap) {
+                                            std::uint64_t payload_cap,
+                                            bool persisted_view) {
+  const auto load = [&mem, persisted_view](std::uint64_t a,
+                                           std::span<std::byte> out) {
+    if (persisted_view) {
+      mem.persisted_read(a, out);
+    } else {
+      mem.cpu_read(a, out);
+    }
+  };
   std::vector<std::byte> header(LogLayout::kEntryHeaderBytes);
-  mem.cpu_read(addr, header);
+  load(addr, header);
   ByteReader r(header);
 
   LogEntryView e;
@@ -53,7 +71,7 @@ std::optional<LogEntryView> decode_entry_at(const mem::NodeMemory& mem,
   if (e.batch == 0) return std::nullopt;
 
   std::byte commit_raw[8];
-  mem.cpu_read(addr + LogLayout::kEntryHeaderBytes + e.payload_len, commit_raw);
+  load(addr + LogLayout::kEntryHeaderBytes + e.payload_len, commit_raw);
   std::memcpy(&e.seq, commit_raw, 8);
   if (e.seq == 0) return std::nullopt;
   return e;
@@ -91,6 +109,7 @@ sim::Task<> RedoLog::mark_consumed(std::uint64_t seq) {
   store_u64(mem, layout_.consumed_addr(), seq);
   const auto done = mem.clflush(sim.now(), layout_.consumed_addr(), 8);
   co_await sim::delay(sim, done - sim.now());
+  trace(TracePoint::kMarkConsumed, seq);
 }
 
 std::vector<LogEntryView> RedoLog::recover() const {
@@ -100,9 +119,50 @@ std::vector<LogEntryView> RedoLog::recover() const {
     auto e = peek(seq);
     if (!e.has_value()) break;        // first gap terminates the scan
     if (!checksum_ok(*e)) break;      // torn entry: data not fully down
+    trace(TracePoint::kRecoverReplay, seq);
     out.push_back(*e);
   }
   return out;
+}
+
+// ------------------------------------------------- physical-media views
+
+std::uint64_t RedoLog::consumed_persisted() const {
+  std::byte raw[8];
+  node_.mem().persisted_read(layout_.consumed_addr(), raw);
+  std::uint64_t v = 0;
+  std::memcpy(&v, raw, 8);
+  return v;
+}
+
+std::optional<LogEntryView> RedoLog::peek_persisted(std::uint64_t seq) const {
+  auto e = decode_entry_at(node_.mem(), layout_.slot_addr(seq),
+                           layout_.payload_capacity, /*persisted_view=*/true);
+  if (!e.has_value() || e->seq != seq) return std::nullopt;
+  return e;
+}
+
+bool RedoLog::checksum_ok_persisted(const LogEntryView& e) const {
+  const std::uint64_t slot = layout_.slot_addr(e.seq);
+  std::byte sum_raw[8];
+  node_.mem().persisted_read(slot + 16, sum_raw);
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, sum_raw, 8);
+
+  std::vector<std::byte> payload(e.payload_len);
+  node_.mem().persisted_read(e.payload_addr, payload);
+  return fnv1a(payload) == stored;
+}
+
+std::uint64_t RedoLog::durable_watermark() const {
+  const std::uint64_t from = consumed_persisted();
+  std::uint64_t mark = from;
+  for (std::uint64_t seq = from + 1; seq <= from + layout_.slots; ++seq) {
+    auto e = peek_persisted(seq);
+    if (!e.has_value() || !checksum_ok_persisted(*e)) break;
+    mark = seq;
+  }
+  return mark;
 }
 
 }  // namespace prdma::core

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -65,6 +66,14 @@ struct LogLayout {
   }
 };
 
+/// Deterministic per-sequence payload pattern shared by the durable
+/// RPC client and the crash-consistency oracle: because every write's
+/// bytes are a pure function of its sequence number, a post-crash
+/// checker can recompute what *should* be in the log and compare it
+/// against what physically survived.
+std::vector<std::byte> deterministic_payload(std::uint64_t seq,
+                                             std::uint32_t len);
+
 /// Builds the single-write image of a log entry (client side).
 std::vector<std::byte> encode_log_entry(std::uint64_t seq, RpcOp op,
                                         std::uint64_t obj_id,
@@ -91,10 +100,14 @@ struct LogEntryView {
 
 /// Decodes an entry image at `addr` (log slot or message buffer).
 /// Returns nullopt if the header is implausible or no commit word is
-/// present. `payload_cap` bounds the length field.
+/// present. `payload_cap` bounds the length field. With
+/// `persisted_view` the bytes come from the physical media
+/// (NodeMemory::persisted_read) instead of the coherent view — what a
+/// post-crash reader would find.
 std::optional<LogEntryView> decode_entry_at(const mem::NodeMemory& mem,
                                             std::uint64_t addr,
-                                            std::uint64_t payload_cap);
+                                            std::uint64_t payload_cap,
+                                            bool persisted_view = false);
 
 /// Server-side view of one connection's redo log.
 class RedoLog {
@@ -102,6 +115,17 @@ class RedoLog {
   RedoLog(Node& server, LogLayout layout);
 
   [[nodiscard]] const LogLayout& layout() const { return layout_; }
+
+  /// Protocol-phase trace points the crash-schedule explorer derives
+  /// targeted crash timestamps from.
+  enum class TracePoint : std::uint8_t {
+    kMarkConsumed,   ///< consumed watermark durably advanced to `seq`
+    kRecoverReplay,  ///< recovery scan returned `seq` for replay
+  };
+  using TraceFn = std::function<void(TracePoint, std::uint64_t seq)>;
+
+  /// Installs (or clears, with nullptr) the trace hook.
+  void set_trace(TraceFn fn) const { trace_ = std::move(fn); }
 
   /// Decodes the entry with sequence `seq` if its commit word is
   /// present (does NOT verify the checksum — see checksum_ok).
@@ -123,9 +147,40 @@ class RedoLog {
   /// data from the client (§4.2).
   [[nodiscard]] std::vector<LogEntryView> recover() const;
 
+  // ---- physical-media (persist domain) views ----
+  //
+  // The coherent accessors above can overstate durability mid-run:
+  // a dirty LLC line satisfies cpu_read but would not survive a crash.
+  // These variants read the media directly and are therefore valid at
+  // ANY simulated instant, which is what the durability oracle and the
+  // client-facing watermark need. Post-crash (LLC empty) the two views
+  // coincide.
+
+  /// Consumed watermark as physically persisted.
+  [[nodiscard]] std::uint64_t consumed_persisted() const;
+
+  /// Entry decode from the persist domain only.
+  [[nodiscard]] std::optional<LogEntryView> peek_persisted(
+      std::uint64_t seq) const;
+
+  /// Payload checksum validation against media bytes.
+  [[nodiscard]] bool checksum_ok_persisted(const LogEntryView& e) const;
+
+  /// Honest durable watermark: the highest sequence S such that every
+  /// entry in (consumed_persisted, S] is fully in the persist domain
+  /// with a valid checksum. Never exceeds what a crash at this instant
+  /// would leave recoverable — the invariant the oracle enforces.
+  [[nodiscard]] std::uint64_t durable_watermark() const;
+
  private:
+  void trace(TracePoint p, std::uint64_t seq) const {
+    if (trace_) trace_(p, seq);
+  }
+
   Node& node_;
   LogLayout layout_;
+  /// Mutable: recover() is logically const but must still be traceable.
+  mutable TraceFn trace_;
 };
 
 }  // namespace prdma::core

@@ -1,8 +1,10 @@
 #include "fault/experiment.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "bench_util/micro.hpp"
+#include "check/oracle.hpp"
 #include "core/durable_rpc.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -88,17 +90,18 @@ Task<> driver(core::RpcClient& client, Harness& h, FailureRunConfig cfg,
 
 Task<> orchestrator(core::Cluster& cluster, core::RpcServer& server,
                     std::vector<core::RpcClient*> clients, Harness& h,
-                    FailureRunConfig cfg, FailureRunResult& out) {
+                    FailureRunConfig cfg, FailureRunResult& out,
+                    check::DurabilityOracle* oracle) {
   auto* durable_server = dynamic_cast<core::DurableRpcServer*>(&server);
   for (std::uint32_t i = 0; i < cfg.crashes; ++i) {
     if (!co_await h.crash_trigger->wait()) break;
     h.crash_trigger->reset();
     h.up->reset();
 
-    // Power failure at the server.
-    server.on_crash();
-    cluster.node(0).crash();
-    for (auto* c : clients) c->abort_pending();
+    // Power failure at the server: the simulator's crash hook (wired
+    // up in run_with_failures) runs the whole teardown — software
+    // stop, hardware state loss, durability audit.
+    cluster.sim().trigger_crash();
     ++out.crashes;
 
     // What made it into the redo log before the lights went out?
@@ -110,6 +113,7 @@ Task<> orchestrator(core::Cluster& cluster, core::RpcServer& server,
     cluster.node(0).restart();
     co_await server.recover_and_restart();
     for (auto* c : clients) server.reconnect_client(*c);
+    if (oracle != nullptr) oracle->after_recovery();
 
     h.crash_requested = false;
     h.up->set();
@@ -134,6 +138,25 @@ FailureRunResult run_with_failures(rpcs::System system,
   const std::size_t client_nodes[] = {1};
   auto dep = rpcs::make_deployment(cluster, system, 0, client_nodes, params);
 
+  // Audit durable systems with the durability oracle (a pure observer:
+  // it charges no simulated time, so results stay bit-identical).
+  std::unique_ptr<check::DurabilityOracle> oracle;
+  if (auto* ds = dynamic_cast<core::DurableRpcServer*>(dep.server.get())) {
+    oracle = std::make_unique<check::DurabilityOracle>(*ds);
+    for (auto& c : dep.clients) {
+      oracle->attach_client(dynamic_cast<core::DurableRpcClient&>(*c));
+    }
+  }
+
+  // The full power-failure sequence, runnable at any simulated instant
+  // via Simulator::trigger_crash().
+  cluster.sim().add_crash_hook([&] {
+    dep.server->on_crash();
+    cluster.node(0).crash();
+    for (auto& c : dep.clients) c->abort_pending();
+    if (oracle) oracle->on_crash();
+  });
+
   FailureRunResult result;
   sim::Event up(cluster.sim());
   up.set();
@@ -157,7 +180,7 @@ FailureRunResult run_with_failures(rpcs::System system,
                       sim::Rng(cfg.seed * 31 + d), wg, cluster.sim()));
   }
   sim::spawn(orchestrator(cluster, *dep.server, {dep.clients[0].get()}, h,
-                          cfg, result));
+                          cfg, result, oracle.get()));
 
   bool finished = false;
   SimTime end = 0;
@@ -173,6 +196,7 @@ FailureRunResult run_with_failures(rpcs::System system,
   result.ops_completed = h.completed;
   result.resends = h.resends;
   result.replayed = dep.server->stats().recoveries;
+  result.oracle_violations = oracle ? oracle->violations().size() : 0;
   return result;
 }
 

@@ -45,6 +45,10 @@ struct FailureRunResult {
   /// Extra time attributable to failures: total minus the measured
   /// failure-free run of the same workload.
   sim::SimTime failure_overhead = 0;
+  /// Durability-oracle violations across the run's crashes (durable
+  /// systems only — a correct implementation reports 0; traditional
+  /// baselines are not audited).
+  std::uint64_t oracle_violations = 0;
 };
 
 /// Runs the crash/recovery experiment for `system` (a durable RPC or a

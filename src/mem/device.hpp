@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -139,6 +140,24 @@ class PmDevice final : public Device {
 
   [[nodiscard]] bool persistent() const override { return true; }
   void crash() override { /* contents retained by definition */ }
+
+  /// Crash-instant landing of an in-flight DMA write: only the
+  /// cache-line-aligned prefix that physically reached the media
+  /// before the power failed is applied; the tail of `data` is lost.
+  /// Models a torn entry — recovery must detect it by checksum (§4.2).
+  void torn_write(std::uint64_t addr, std::span<const std::byte> data,
+                  std::uint64_t persisted_bytes) {
+    persisted_bytes = std::min<std::uint64_t>(persisted_bytes, data.size());
+    persisted_bytes = line_down(persisted_bytes);
+    if (persisted_bytes < data.size()) ++torn_writes_;
+    if (persisted_bytes > 0) poke(addr, data.first(persisted_bytes));
+  }
+
+  /// Number of in-flight writes that landed partially across crashes.
+  [[nodiscard]] std::uint64_t torn_writes() const { return torn_writes_; }
+
+ private:
+  std::uint64_t torn_writes_ = 0;
 };
 
 /// Volatile DRAM: contents are lost on power failure.

@@ -96,6 +96,20 @@ class NodeMemory {
     cpu_read(addr, out);
   }
 
+  /// Physical-media load: bypasses the LLC and returns exactly what is
+  /// in the persist domain *right now* — what a post-crash reader would
+  /// see. DRAM addresses read as zeros (they do not survive). This is
+  /// the honest basis for durable watermarks and the durability oracle:
+  /// a coherent read can overstate persistence (dirty lines), a media
+  /// read cannot.
+  void persisted_read(std::uint64_t addr, std::span<std::byte> out) const {
+    if (is_pm(addr)) {
+      pm_.peek(addr, out);
+    } else {
+      std::fill(out.begin(), out.end(), std::byte{0});
+    }
+  }
+
   /// True iff every byte of [addr, addr+len) is in the persist domain
   /// right now (PM address and no dirty cache line over it).
   [[nodiscard]] bool range_persistent(std::uint64_t addr, std::uint64_t len) const {

@@ -1,14 +1,47 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "rdma/completer.hpp"
 #include "rnic/rnic.hpp"
 #include "sim/task.hpp"
 
 namespace prdma::rdma {
+
+/// Protocol phases a QpSession passes through; the crash-schedule
+/// explorer (src/check/) records their timestamps to derive targeted
+/// crash points ("just after the write posted, just before the flush
+/// completed", ...).
+enum class Phase : std::uint8_t {
+  kWritePosted,
+  kSendPosted,
+  kReadPosted,
+  kWFlushPosted,
+  kSFlushPosted,
+  kWriteDone,
+  kSendDone,
+  kReadDone,
+  kFlushDone,
+};
+
+[[nodiscard]] constexpr const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kWritePosted: return "write-posted";
+    case Phase::kSendPosted: return "send-posted";
+    case Phase::kReadPosted: return "read-posted";
+    case Phase::kWFlushPosted: return "wflush-posted";
+    case Phase::kSFlushPosted: return "sflush-posted";
+    case Phase::kWriteDone: return "write-done";
+    case Phase::kSendDone: return "send-done";
+    case Phase::kReadDone: return "read-done";
+    case Phase::kFlushDone: return "flush-done";
+  }
+  return "?";
+}
 
 /// Client-side convenience wrapper over one connected QP: every verb
 /// becomes an awaitable that resolves with its work completion.
@@ -17,48 +50,70 @@ namespace prdma::rdma {
 /// completer can serve several sessions sharing a CQ).
 class QpSession {
  public:
+  using TraceFn = std::function<void(Phase)>;
+
   QpSession(rnic::Rnic& nic, rnic::Qp& qp, Completer& completer)
       : nic_(nic), qp_(qp), completer_(completer) {}
 
   [[nodiscard]] rnic::Qp& qp() { return qp_; }
   [[nodiscard]] rnic::Rnic& nic() { return nic_; }
 
+  /// Installs (or clears, with nullptr) the phase trace hook. The
+  /// callback runs at the simulated instant of the transition; read
+  /// nic().simulator().now() for the timestamp.
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
   sim::Task<std::optional<rnic::Wc>> send(
       std::uint64_t local_addr, std::uint64_t len,
       std::optional<std::uint32_t> imm = std::nullopt) {
     const std::uint64_t wr = completer_.fresh_wr();
+    trace(Phase::kSendPosted);
     nic_.post_send(qp_, local_addr, len, wr, imm);
-    co_return co_await completer_.wait(wr);
+    auto wc = co_await completer_.wait(wr);
+    trace(Phase::kSendDone);
+    co_return wc;
   }
 
   sim::Task<std::optional<rnic::Wc>> write(
       std::uint64_t local_addr, std::uint64_t len, std::uint64_t remote_addr,
       std::optional<std::uint32_t> imm = std::nullopt) {
     const std::uint64_t wr = completer_.fresh_wr();
+    trace(Phase::kWritePosted);
     nic_.post_write(qp_, local_addr, len, remote_addr, wr, imm);
-    co_return co_await completer_.wait(wr);
+    auto wc = co_await completer_.wait(wr);
+    trace(Phase::kWriteDone);
+    co_return wc;
   }
 
   sim::Task<std::optional<rnic::Wc>> read(std::uint64_t remote_addr,
                                           std::uint64_t len,
                                           std::uint64_t local_addr) {
     const std::uint64_t wr = completer_.fresh_wr();
+    trace(Phase::kReadPosted);
     nic_.post_read(qp_, remote_addr, len, local_addr, wr);
-    co_return co_await completer_.wait(wr);
+    auto wc = co_await completer_.wait(wr);
+    trace(Phase::kReadDone);
+    co_return wc;
   }
 
   sim::Task<std::optional<rnic::Wc>> wflush(std::uint64_t remote_addr,
                                             std::uint64_t len) {
     const std::uint64_t wr = completer_.fresh_wr();
+    trace(Phase::kWFlushPosted);
     nic_.post_wflush(qp_, remote_addr, len, wr);
-    co_return co_await completer_.wait(wr);
+    auto wc = co_await completer_.wait(wr);
+    trace(Phase::kFlushDone);
+    co_return wc;
   }
 
   sim::Task<std::optional<rnic::Wc>> sflush(std::uint64_t pm_dest_addr,
                                             std::uint64_t len) {
     const std::uint64_t wr = completer_.fresh_wr();
+    trace(Phase::kSFlushPosted);
     nic_.post_sflush(qp_, pm_dest_addr, len, wr);
-    co_return co_await completer_.wait(wr);
+    auto wc = co_await completer_.wait(wr);
+    trace(Phase::kFlushDone);
+    co_return wc;
   }
 
   /// Fire-and-forget post variants (completion intentionally ignored;
@@ -66,19 +121,26 @@ class QpSession {
   void post_write_nowait(std::uint64_t local_addr, std::uint64_t len,
                          std::uint64_t remote_addr,
                          std::optional<std::uint32_t> imm = std::nullopt) {
+    trace(Phase::kWritePosted);
     nic_.post_write(qp_, local_addr, len, remote_addr, Completer::kSilentWr,
                     imm);
   }
 
   void post_send_nowait(std::uint64_t local_addr, std::uint64_t len,
                         std::optional<std::uint32_t> imm = std::nullopt) {
+    trace(Phase::kSendPosted);
     nic_.post_send(qp_, local_addr, len, Completer::kSilentWr, imm);
   }
 
  private:
+  void trace(Phase p) {
+    if (trace_) trace_(p);
+  }
+
   rnic::Rnic& nic_;
   rnic::Qp& qp_;
   Completer& completer_;
+  TraceFn trace_;
 };
 
 /// Establishes a connected QP pair between two RNICs (the connection

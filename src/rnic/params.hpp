@@ -46,6 +46,14 @@ struct RnicParams {
   /// NAK/error paths.
   bool enforce_mr = false;
 
+  /// FAULT-INJECTION MUTANT (off in every real configuration): the
+  /// RNIC acknowledges a WFlush immediately on receipt, *before* the
+  /// covered data drained out of its volatile buffers into the persist
+  /// domain — exactly the ack-vs-durability window broken remote-
+  /// persistence implementations exhibit. Exists so the durability
+  /// oracle (src/check/) can prove it detects the bug class.
+  bool ack_before_persist = false;
+
   /// §4.5 smartNIC mode: the RNIC itself issues receiver-initiated
   /// RFlushes for configured regions (lookup-table driven) and
   /// notifies the sender — zero receiver-CPU involvement. Off by

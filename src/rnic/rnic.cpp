@@ -616,6 +616,26 @@ void Rnic::handle_read_req(Packet p) {
 }
 
 void Rnic::handle_wflush(Packet p) {
+  if (params_.ack_before_persist) {
+    // MUTANT (see RnicParams::ack_before_persist): acknowledge the
+    // flush right away, while the covered bytes may still be in SRAM /
+    // in-flight DMA. A crash between this ACK and the DMA completion
+    // loses or tears acknowledged data — the durability oracle must
+    // flag it.
+    ++flushes_;
+    release_sram(p.wire_bytes());
+    Packet ack;
+    ack.src = id_;
+    ack.dst = p.src;
+    ack.src_qp = p.dst_qp;
+    ack.dst_qp = p.src_qp;
+    ack.op = WireOp::kFlushAck;
+    ack.wr_id = p.wr_id;
+    ack.seq = p.seq;
+    transmit_control(std::move(ack));
+    return;
+  }
+
   // Persist [remote_addr, +len): wait for in-flight DMA to land, THEN
   // write back any DDIO-dirty lines (they only exist once the DMA
   // applied), then charge either the emulated read-after-write cost or
@@ -721,7 +741,8 @@ void Rnic::enqueue_dma_write(std::uint64_t addr, net::PayloadPtr payload,
     // future start would stall unrelated CPU flushes artificially.
     done = pcie_done + mem_.device_write_cost(addr, len);
   }
-  pending_.push_back(PendingDma{addr, len, done});
+  pending_.push_back(PendingDma{addr, len, done, begin, payload, src_off,
+                                to_llc});
 
   const std::uint64_t epoch = epoch_;
   sim_.schedule_at(done, [this, epoch, addr, payload = std::move(payload),
@@ -832,6 +853,23 @@ void Rnic::crash() {
   for (const Packet& p : backlog_) bytes_lost_ += p.wire_bytes();
   sram_used_ = 0;
   backlog_.clear();
+
+  // In-flight DMA: a non-DDIO write headed for PM lands *partially* —
+  // the line-aligned prefix proportional to its elapsed transfer time
+  // is already on the media when the power fails (torn entry). DDIO
+  // fills and DRAM-bound writes are purely volatile and vanish whole.
+  const SimTime now = sim_.now();
+  for (const PendingDma& d : pending_) {
+    if (d.done <= now || d.payload == nullptr) continue;  // landed/no data
+    if (d.ddio || !mem_.is_pm(d.addr)) continue;
+    std::uint64_t persisted = 0;
+    if (now > d.begin && d.done > d.begin) {
+      persisted = d.len * (now - d.begin) / (d.done - d.begin);
+    }
+    mem_.pm().torn_write(
+        d.addr, std::span<const std::byte>(d.payload->data() + d.src_off, d.len),
+        persisted);
+  }
   pending_.clear();
   dma_busy_until_ = 0;
   tx_busy_until_ = 0;

@@ -146,6 +146,14 @@ class Rnic {
     std::uint64_t addr;
     std::uint64_t len;
     sim::SimTime done;
+    /// Crash-tearing model: when power fails mid-transfer, the
+    /// line-aligned prefix proportional to elapsed transfer time has
+    /// physically reached the media (non-DDIO PM writes only; DDIO
+    /// fills and DRAM are volatile and simply vanish).
+    sim::SimTime begin = 0;
+    net::PayloadPtr payload = nullptr;
+    std::uint64_t src_off = 0;
+    bool ddio = false;
   };
 
   // -- receive path --

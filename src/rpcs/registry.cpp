@@ -35,6 +35,16 @@ const SystemInfo& info_of(System s) {
 
 std::string_view name_of(System s) { return info_of(s).name; }
 
+System system_for(core::FlushVariant v) {
+  switch (v) {
+    case FlushVariant::kWFlush: return System::kWFlushRpc;
+    case FlushVariant::kSFlush: return System::kSFlushRpc;
+    case FlushVariant::kWRFlush: return System::kWRFlushRpc;
+    case FlushVariant::kSRFlush: return System::kSRFlushRpc;
+  }
+  throw std::invalid_argument("unknown flush variant");
+}
+
 std::vector<System> write_family() {
   return {System::kL5, System::kRFP, System::kOctopus, System::kFaRM,
           System::kScaleRPC};

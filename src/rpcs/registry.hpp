@@ -49,6 +49,11 @@ const std::vector<SystemInfo>& all_systems();
 const SystemInfo& info_of(System s);
 std::string_view name_of(System s);
 
+/// Maps a durable-RPC flush variant to its System enumerator (the
+/// crash-schedule explorer iterates FlushVariants, the registry and
+/// fault harness speak System).
+System system_for(core::FlushVariant v);
+
 /// Systems compared against the write-primitive durable RPCs in the
 /// paper's figures (L5, RFP, Octopus, FaRM, ScaleRPC).
 std::vector<System> write_family();

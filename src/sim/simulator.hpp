@@ -51,6 +51,41 @@ class Simulator {
   /// Clears the stop flag so the simulation can be resumed.
   void clear_stop() { stopped_ = false; }
 
+  // ---- crash hooks (fault injection) ----
+  //
+  // A crash hook is a callback the fault machinery registers to model a
+  // power failure: the explorer (src/check/) schedules trigger_crash()
+  // at an arbitrary simulated nanosecond and every registered hook runs
+  // — in registration order — at that exact instant, mid-protocol if
+  // need be. Hooks stay registered across crashes (a run may inject
+  // several) and are removed explicitly.
+
+  using CrashHookId = std::uint64_t;
+
+  /// Registers `fn` to run on every trigger_crash(). Returns an id for
+  /// remove_crash_hook().
+  CrashHookId add_crash_hook(std::function<void()> fn);
+
+  void remove_crash_hook(CrashHookId id);
+
+  /// Fires every registered crash hook now, in registration order.
+  void trigger_crash();
+
+  /// Schedules trigger_crash() at absolute simulated time `t` — the
+  /// entry point for nanosecond-precise crash schedules.
+  void schedule_crash_at(SimTime t) {
+    schedule_at(t, [this] { trigger_crash(); });
+  }
+
+  /// Number of trigger_crash() invocations since construction.
+  [[nodiscard]] std::uint64_t crashes_triggered() const {
+    return crashes_triggered_;
+  }
+
+  [[nodiscard]] std::size_t crash_hook_count() const {
+    return crash_hooks_.size();
+  }
+
   /// Number of events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
@@ -74,10 +109,18 @@ class Simulator {
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
 
+  struct CrashHook {
+    CrashHookId id;
+    std::function<void()> fn;
+  };
+
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  CrashHookId next_crash_hook_ = 1;
+  std::uint64_t crashes_triggered_ = 0;
+  std::vector<CrashHook> crash_hooks_;
   // Hand-rolled binary min-heap: std::priority_queue's const top() blocks
   // moving the callable out, and events are pure move-only traffic here.
   std::vector<Event> heap_;

@@ -320,3 +320,78 @@ INSTANTIATE_TEST_SUITE_P(
 
 }  // namespace
 }  // namespace prdma::rpcs
+
+// ===================================================================
+// Crash-path asymmetry (§5.4): after a server power failure,
+// traditional baselines must re-send every interrupted request (and
+// its data) from the client, while the durable RPCs replay committed
+// log entries server-side and re-send nothing that was acknowledged.
+// ===================================================================
+
+#include "fault/experiment.hpp"
+
+namespace prdma::rpcs {
+namespace {
+
+fault::FailureRunConfig crash_config(std::uint64_t seed) {
+  fault::FailureRunConfig cfg;
+  cfg.read_ratio = 0.0;  // writes are where durability semantics differ
+  cfg.ops = 240;
+  cfg.crashes = 2;
+  cfg.window = 4;
+  cfg.value_size = 2048;
+  cfg.seed = seed;
+  cfg.heavy_processing = true;  // a real backlog spans the crash instant
+  return cfg;
+}
+
+class TraditionalCrash : public ::testing::TestWithParam<System> {};
+
+TEST_P(TraditionalCrash, ResendsEverythingReplaysNothing) {
+  const auto r = fault::run_with_failures(GetParam(), crash_config(5));
+  EXPECT_EQ(r.crashes, 2u);
+  EXPECT_EQ(r.ops_completed, 240u);
+  EXPECT_GT(r.resends, 0u)
+      << "a baseline client must re-drive requests lost in the crash";
+  EXPECT_EQ(r.replayed, 0u)
+      << "baselines have no redo log to replay from";
+}
+
+INSTANTIATE_TEST_SUITE_P(Crash, TraditionalCrash,
+                         ::testing::Values(System::kFaRM, System::kL5,
+                                           System::kDaRPC),
+                         [](const auto& info) {
+                           return std::string(name_of(info.param));
+                         });
+
+class DurableCrash : public ::testing::TestWithParam<System> {};
+
+TEST_P(DurableCrash, ReplaysFromTheLogWithoutDataResend) {
+  const auto r = fault::run_with_failures(GetParam(), crash_config(5));
+  EXPECT_EQ(r.crashes, 2u);
+  EXPECT_EQ(r.ops_completed, 240u);
+  EXPECT_GT(r.replayed, 0u)
+      << "committed-but-unprocessed entries must replay server-side";
+  // At most the in-flight window can need re-sending per crash; the
+  // watermark spares everything that reached the log.
+  EXPECT_LE(r.resends, 2u * 4u)
+      << "the log watermark should spare the client most re-sends";
+  EXPECT_EQ(r.oracle_violations, 0u)
+      << "the durability oracle audits every crash in the harness";
+}
+
+INSTANTIATE_TEST_SUITE_P(Crash, DurableCrash,
+                         ::testing::Values(System::kWFlushRpc,
+                                           System::kSFlushRpc,
+                                           System::kWRFlushRpc,
+                                           System::kSRFlushRpc),
+                         [](const auto& info) {
+                           std::string name(name_of(info.param));
+                           for (auto& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace prdma::rpcs

@@ -593,3 +593,60 @@ TEST(TransferTime, NeverFreeForNonZeroBytes) {
 
 }  // namespace
 }  // namespace prdma::sim
+
+// ===================================================================
+// End-to-end determinism: the engine's contract is that identical
+// seeds give bit-identical runs. Hold it through the FULL stack — all
+// thirteen RPC systems, through the crash/recovery harness and the
+// micro-benchmark — so any hidden nondeterminism (iteration order,
+// uninitialised state, wall-clock leakage) fails loudly here instead
+// of surfacing as an unreproducible crash schedule.
+// ===================================================================
+
+#include "bench_util/micro.hpp"
+#include "fault/experiment.hpp"
+
+namespace prdma::sim {
+namespace {
+
+TEST(Determinism, FailureRunsAreBitIdenticalForEverySystem) {
+  for (const auto& info : rpcs::all_systems()) {
+    fault::FailureRunConfig cfg;
+    cfg.ops = 160;
+    cfg.crashes = 1;
+    cfg.window = 4;
+    cfg.value_size = 1024;
+    cfg.seed = 7;
+    cfg.heavy_processing = false;
+    const auto a = fault::run_with_failures(info.system, cfg);
+    const auto b = fault::run_with_failures(info.system, cfg);
+    EXPECT_EQ(a.total, b.total) << info.name;
+    EXPECT_EQ(a.ops_completed, b.ops_completed) << info.name;
+    EXPECT_EQ(a.resends, b.resends) << info.name;
+    EXPECT_EQ(a.replayed, b.replayed) << info.name;
+    EXPECT_EQ(a.crashes, b.crashes) << info.name;
+    EXPECT_EQ(a.oracle_violations, b.oracle_violations) << info.name;
+  }
+}
+
+TEST(Determinism, MicroBenchIsBitIdenticalForEverySystem) {
+  for (const auto& info : rpcs::all_systems()) {
+    bench::MicroConfig cfg;
+    cfg.objects = 512;
+    cfg.object_size = 1024;
+    cfg.ops = 300;
+    cfg.seed = 11;
+    const auto a = bench::run_micro(info.system, cfg);
+    const auto b = bench::run_micro(info.system, cfg);
+    EXPECT_EQ(a.duration, b.duration) << info.name;
+    EXPECT_EQ(a.ops_completed, b.ops_completed) << info.name;
+    EXPECT_EQ(a.kops, b.kops) << info.name;
+    EXPECT_EQ(a.latency.mean(), b.latency.mean()) << info.name;
+    EXPECT_EQ(a.latency.p99(), b.latency.p99()) << info.name;
+    EXPECT_EQ(a.server.ops_processed, b.server.ops_processed) << info.name;
+    EXPECT_EQ(a.server.critical_sw_ns, b.server.critical_sw_ns) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace prdma::sim
