@@ -4,11 +4,13 @@
 // stops proving persistence. This bench quantifies the latency cost;
 // the correctness side is pinned by tests (RnicDdio.*).
 //
-// Flags: --ops=N (default 4000), --seed=N, --quick
+// Flags: --ops=N (default 4000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -17,16 +19,17 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Ablation — DDIO off (paper default) vs on; write-only, 4KB\n\n");
 
-  bench::TablePrinter table(
-      {"System", "DDIO off (us)", "DDIO on (us)", "On/Off"});
-  for (const rpcs::System sys :
-       {rpcs::System::kFaRM, rpcs::System::kScaleRPC, rpcs::System::kDaRPC,
-        rpcs::System::kWFlushRpc, rpcs::System::kSFlushRpc,
-        rpcs::System::kWRFlushRpc, rpcs::System::kSRFlushRpc}) {
-    double lat[2] = {0, 0};
+  const std::vector<rpcs::System> systems = {
+      rpcs::System::kFaRM, rpcs::System::kScaleRPC, rpcs::System::kDaRPC,
+      rpcs::System::kWFlushRpc, rpcs::System::kSFlushRpc,
+      rpcs::System::kWRFlushRpc, rpcs::System::kSRFlushRpc};
+
+  std::vector<bench::MicroCell> cells;
+  for (const rpcs::System sys : systems) {
     for (const bool ddio : {false, true}) {
       bench::MicroConfig cfg;
       cfg.object_size = 4096;
@@ -34,13 +37,21 @@ int main(int argc, char** argv) {
       cfg.seed = seed;
       cfg.read_ratio = 0.0;
       cfg.ddio = ddio;
-      const auto res = bench::run_micro(sys, cfg);
-      lat[ddio ? 1 : 0] = res.avg_us();
+      cells.push_back({sys, cfg});
     }
+  }
+  const auto results = bench::run_micro_cells(runner, cells);
+
+  bench::TablePrinter table(
+      {"System", "DDIO off (us)", "DDIO on (us)", "On/Off"});
+  std::size_t k = 0;
+  for (const rpcs::System sys : systems) {
+    const double off = results[k++].avg_us();
+    const double on = results[k++].avg_us();
     table.add_row({std::string(rpcs::name_of(sys)),
-                   bench::TablePrinter::num(lat[0], 1),
-                   bench::TablePrinter::num(lat[1], 1),
-                   bench::TablePrinter::num(lat[1] / lat[0], 2)});
+                   bench::TablePrinter::num(off, 1),
+                   bench::TablePrinter::num(on, 1),
+                   bench::TablePrinter::num(on / off, 2)});
   }
   table.print();
   return 0;

@@ -4,11 +4,13 @@
 // hardware support would deliver. Also sweeps the SFlush addressing
 // delay, the model's most conservative assumption.
 //
-// Flags: --ops=N (default 4000), --seed=N, --quick
+// Flags: --ops=N (default 4000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -17,31 +19,52 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Ablation — emulated Flush (paper §4.1.3) vs idealised RNIC\n");
   std::printf("hardware; write-only, 1KB objects\n\n");
 
+  const std::vector<rpcs::System> systems = {
+      rpcs::System::kWFlushRpc, rpcs::System::kSFlushRpc,
+      rpcs::System::kWRFlushRpc, rpcs::System::kSRFlushRpc};
+  const std::uint64_t addressing_us[] = {0, 1, 3, 7, 14, 28};
+
+  // One cell list for both tables: emulated/hardware pairs first, then
+  // the addressing sweep.
+  std::vector<bench::MicroCell> cells;
+  for (const rpcs::System sys : systems) {
+    for (const bool emulate : {true, false}) {
+      bench::MicroConfig cfg;
+      cfg.object_size = 1024;
+      cfg.ops = ops;
+      cfg.seed = seed;
+      cfg.read_ratio = 0.0;
+      cfg.emulate_flush = emulate;
+      cells.push_back({sys, cfg});
+    }
+  }
+  for (const std::uint64_t us : addressing_us) {
+    bench::MicroConfig cfg;
+    cfg.object_size = 1024;
+    cfg.ops = ops;
+    cfg.seed = seed;
+    cfg.read_ratio = 0.0;
+    cfg.sflush_addressing_us = us;
+    cells.push_back({rpcs::System::kSFlushRpc, cfg});
+  }
+  const auto results = bench::run_micro_cells(runner, cells);
+
+  std::size_t k = 0;
   {
     bench::TablePrinter table(
         {"System", "Emulated (us)", "Hardware (us)", "Speedup"});
-    for (const rpcs::System sys :
-         {rpcs::System::kWFlushRpc, rpcs::System::kSFlushRpc,
-          rpcs::System::kWRFlushRpc, rpcs::System::kSRFlushRpc}) {
-      double lat[2] = {0, 0};
-      for (const bool emulate : {true, false}) {
-        bench::MicroConfig cfg;
-        cfg.object_size = 1024;
-        cfg.ops = ops;
-        cfg.seed = seed;
-        cfg.read_ratio = 0.0;
-        cfg.emulate_flush = emulate;
-        const auto res = bench::run_micro(sys, cfg);
-        lat[emulate ? 0 : 1] = res.avg_us();
-      }
+    for (const rpcs::System sys : systems) {
+      const double emulated = results[k++].avg_us();
+      const double hardware = results[k++].avg_us();
       table.add_row({std::string(rpcs::name_of(sys)),
-                     bench::TablePrinter::num(lat[0], 1),
-                     bench::TablePrinter::num(lat[1], 1),
-                     bench::TablePrinter::num(lat[0] / lat[1], 2)});
+                     bench::TablePrinter::num(emulated, 1),
+                     bench::TablePrinter::num(hardware, 1),
+                     bench::TablePrinter::num(emulated / hardware, 2)});
     }
     table.print();
   }
@@ -49,15 +72,9 @@ int main(int argc, char** argv) {
   std::printf("\nSFlush addressing-delay sweep (emulated mode, paper default"
               " 7us):\n\n");
   bench::TablePrinter sweep({"Addressing (us)", "SFlush-RPC avg (us)"});
-  for (const std::uint64_t us : {0ull, 1ull, 3ull, 7ull, 14ull, 28ull}) {
-    bench::MicroConfig cfg;
-    cfg.object_size = 1024;
-    cfg.ops = ops;
-    cfg.seed = seed;
-    cfg.read_ratio = 0.0;
-    cfg.sflush_addressing_us = us;
-    const auto res = bench::run_micro(rpcs::System::kSFlushRpc, cfg);
-    sweep.add_row({std::to_string(us), bench::TablePrinter::num(res.avg_us(), 1)});
+  for (const std::uint64_t us : addressing_us) {
+    sweep.add_row({std::to_string(us),
+                   bench::TablePrinter::num(results[k++].avg_us(), 1)});
   }
   sweep.print();
   return 0;

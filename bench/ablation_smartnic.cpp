@@ -3,11 +3,13 @@
 // paper's predicted hardware). The NIC-issued variant removes the
 // receiver CPU from the persistence path entirely.
 //
-// Flags: --ops=N (default 4000), --seed=N, --quick
+// Flags: --ops=N (default 4000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -16,12 +18,12 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Ablation — W-RFlush-RPC: CPU-emulated RFlush vs smartNIC\n");
   std::printf("(§4.5); write-only, 1KB objects\n\n");
 
-  bench::TablePrinter table({"RFlush executor", "avg write (us)",
-                             "receiver critical SW (us/op)"});
+  std::vector<bench::MicroCell> cells;
   for (const bool smartnic : {false, true}) {
     bench::MicroConfig cfg;
     cfg.object_size = 1024;
@@ -29,7 +31,15 @@ int main(int argc, char** argv) {
     cfg.seed = seed;
     cfg.read_ratio = 0.0;
     cfg.smartnic_rflush = smartnic;
-    const auto res = bench::run_micro(rpcs::System::kWRFlushRpc, cfg);
+    cells.push_back({rpcs::System::kWRFlushRpc, cfg});
+  }
+  const auto results = bench::run_micro_cells(runner, cells);
+
+  bench::TablePrinter table({"RFlush executor", "avg write (us)",
+                             "receiver critical SW (us/op)"});
+  std::size_t k = 0;
+  for (const bool smartnic : {false, true}) {
+    const auto& res = results[k++];
     table.add_row({smartnic ? "smartNIC (hardware)" : "receiver CPU (emulated)",
                    bench::TablePrinter::num(res.avg_us(), 2),
                    bench::TablePrinter::num(res.receiver_sw_ns / 1e3, 2)});

@@ -3,11 +3,13 @@
 // durability when the RPC response returns — after server processing.
 // With WFlush, remote persistence is visible at the flush ACK.
 //
-// Flags: --ops=N (default 3000), --seed=N, --quick
+// Flags: --ops=N (default 3000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 #include "core/node.hpp"
 #include "rpcs/baseline.hpp"
@@ -66,12 +68,21 @@ int main(int argc, char** argv) {
   std::printf("Case study §4.4.1 — Octopus retrofitted with WFlush\n");
   std::printf("(Fig. 7a); 4KB durable writes\n\n");
 
+  // 2 loads × {plain, +WFlush}: four independent cells.
+  bench::SweepRunner runner(bench::jobs_from(flags));
+  const auto outcomes = runner.map_n(4, [&](std::size_t i) {
+    const bool heavy = i / 2 != 0;
+    return run(i % 2 == 0 ? rpcs::octopus_config()
+                          : rpcs::octopus_wflush_config(),
+               ops, seed, heavy);
+  });
+
   for (const bool heavy : {false, true}) {
     std::printf("%s load:\n", heavy ? "Heavy (100us processing)" : "Light");
     bench::TablePrinter table(
         {"System", "durable visible (us)", "RPC complete (us)"});
-    const auto plain = run(rpcs::octopus_config(), ops, seed, heavy);
-    const auto flushed = run(rpcs::octopus_wflush_config(), ops, seed, heavy);
+    const Outcome& plain = outcomes[heavy ? 2 : 0];
+    const Outcome& flushed = outcomes[heavy ? 3 : 1];
     table.add_row({"Octopus", bench::TablePrinter::num(plain.durable_us, 1),
                    bench::TablePrinter::num(plain.complete_us, 1)});
     table.add_row({"Octopus+WFlush",

@@ -9,10 +9,12 @@
 //        --ops=N --window=N --value=BYTES --seed=N
 //        --mutant (ack-before-persist fault; pair with --value=32768)
 //        --repro="seed=S crash_at=Tns ops=N" (re-run one schedule)
+//        --jobs=N (parallel schedules; output is identical at any N)
 
 #include <cstdio>
 #include <string>
 
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 #include "check/explorer.hpp"
 
@@ -44,6 +46,7 @@ check::ExplorerConfig config_from(const bench::Flags& flags,
       static_cast<std::uint32_t>(flags.u64("schedules", 32));
   cfg.ack_before_persist = flags.flag("mutant");
   cfg.restart_delay = 1 * sim::kMillisecond;
+  cfg.jobs = bench::jobs_from(flags);
   return cfg;
 }
 

@@ -6,11 +6,13 @@
 //   * sequential durable flushes (primary, then backup),
 //   * a traditional RPC chain (FaRM to primary, then to backup).
 //
-// Flags: --ops=N (default 2000), --seed=N, --quick
+// Flags: --ops=N (default 2000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 #include "core/durable_rpc.hpp"
 #include "rpcs/registry.hpp"
@@ -109,13 +111,19 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = flags.u64("seed", 1);
 
   std::printf("Extension §4.5 — two-replica durable writes (4KB)\n\n");
+  bench::SweepRunner runner(bench::jobs_from(flags));
+  const std::vector<double> lats = runner.map_n(3, [&](std::size_t i) {
+    if (i == 0) return run_durable(true, ops, seed);
+    if (i == 1) return run_durable(false, ops, seed);
+    return run_traditional(ops, seed);
+  });
   bench::TablePrinter table({"Scheme", "replication latency (us)"});
   table.add_row({"WFlush-RPC, parallel replicas",
-                 bench::TablePrinter::num(run_durable(true, ops, seed), 1)});
+                 bench::TablePrinter::num(lats[0], 1)});
   table.add_row({"WFlush-RPC, sequential replicas",
-                 bench::TablePrinter::num(run_durable(false, ops, seed), 1)});
+                 bench::TablePrinter::num(lats[1], 1)});
   table.add_row({"Traditional (FaRM) chain",
-                 bench::TablePrinter::num(run_traditional(ops, seed), 1)});
+                 bench::TablePrinter::num(lats[2], 1)});
   table.print();
   std::printf("\nParallel durable flushes overlap the two persistence\n");
   std::printf("round-trips — the paper's foundation for replication\n");

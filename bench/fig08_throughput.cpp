@@ -3,13 +3,14 @@
 // for 32 B / 1 KB / 64 KB objects. Micro-benchmark per §5.1/§5.2:
 // zipfian access, R:W 1:1.
 //
-// Flags: --ops=N (per cell, default 6000), --seed=N, --quick
+// Flags: --ops=N (per cell, default 6000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -18,9 +19,9 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1500 : 6000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   const std::vector<std::uint32_t> sizes = {32, 1024, 64 * 1024};
-  const char* size_names[] = {"32B", "1KB", "64KB"};
 
   std::printf("Fig. 8 — RPC throughput (KOPS), micro-benchmark\n");
   std::printf("zipfian(0.99), R:W 1:1, ops/cell=%llu, seed=%llu\n\n",
@@ -31,28 +32,35 @@ int main(int argc, char** argv) {
     std::printf("(%c) %s load%s\n", heavy ? 'a' : 'b',
                 heavy ? "Heavy" : "Light",
                 heavy ? " (100us injected processing)" : "");
-    bench::TablePrinter table({"System", "32B", "1KB", "64KB"});
-    // system -> row of cells
-    std::vector<std::vector<std::string>> rows;
     const auto lineup = rpcs::evaluation_lineup(32);
+    const auto skip = [&](rpcs::System sys, std::uint32_t size) {
+      return rpcs::info_of(sys).max_object != 0 &&
+             size > rpcs::info_of(sys).max_object;
+    };
+
+    std::vector<bench::MicroCell> cells;
     for (const rpcs::System sys : lineup) {
-      std::vector<std::string> row{std::string(rpcs::name_of(sys))};
-      for (std::size_t si = 0; si < sizes.size(); ++si) {
-        const std::uint32_t size = sizes[si];
-        if (rpcs::info_of(sys).max_object != 0 &&
-            size > rpcs::info_of(sys).max_object) {
-          row.push_back("-");
-          continue;
-        }
+      for (const std::uint32_t size : sizes) {
+        if (skip(sys, size)) continue;
         bench::MicroConfig cfg;
         cfg.object_size = size;
         cfg.ops = ops;
         cfg.seed = seed;
         cfg.heavy_load = heavy;
         cfg.durable_pipeline = 2;  // §4.2: senders run ahead of processing
-        const auto res = bench::run_micro(sys, cfg);
-        row.push_back(bench::TablePrinter::num(res.kops, 1));
-        (void)size_names;
+        cells.push_back({sys, cfg});
+      }
+    }
+    const auto results = bench::run_micro_cells(runner, cells);
+
+    bench::TablePrinter table({"System", "32B", "1KB", "64KB"});
+    std::size_t k = 0;
+    for (const rpcs::System sys : lineup) {
+      std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+      for (const std::uint32_t size : sizes) {
+        row.push_back(skip(sys, size)
+                          ? "-"
+                          : bench::TablePrinter::num(results[k++].kops, 1));
       }
       table.add_row(std::move(row));
     }

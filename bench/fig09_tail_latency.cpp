@@ -1,11 +1,13 @@
 // Reproduces Fig. 9: 95th / 99th percentile and average latency of the
 // RPC systems for 1 KB and 64 KB objects (micro-benchmark, §5.2).
 //
-// Flags: --ops=N (default 6000), --seed=N, --quick
+// Flags: --ops=N (default 6000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -14,6 +16,7 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1500 : 6000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 9 — tail and average RPC latency (us)\n");
   std::printf("zipfian(0.99), R:W 1:1, ops/cell=%llu, seed=%llu\n\n",
@@ -24,15 +27,23 @@ int main(int argc, char** argv) {
   const char* labels[] = {"(a) 1KB objects", "(b) 64KB objects"};
   for (int si = 0; si < 2; ++si) {
     std::printf("%s\n", labels[si]);
-    bench::TablePrinter table({"System", "95th", "99th", "Avg"});
+    std::vector<bench::MicroCell> cells;
+    std::vector<rpcs::System> systems;
     for (const rpcs::System sys : rpcs::evaluation_lineup(sizes[si])) {
       if (sys == rpcs::System::kFaSST) continue;  // not in the paper's Fig. 9
       bench::MicroConfig cfg;
       cfg.object_size = sizes[si];
       cfg.ops = ops;
       cfg.seed = seed;
-      const auto res = bench::run_micro(sys, cfg);
-      table.add_row({std::string(rpcs::name_of(sys)),
+      cells.push_back({sys, cfg});
+      systems.push_back(sys);
+    }
+    const auto results = bench::run_micro_cells(runner, cells);
+
+    bench::TablePrinter table({"System", "95th", "99th", "Avg"});
+    for (std::size_t k = 0; k < systems.size(); ++k) {
+      const auto& res = results[k];
+      table.add_row({std::string(rpcs::name_of(systems[k])),
                      bench::TablePrinter::num(res.p95_us(), 1),
                      bench::TablePrinter::num(res.p99_us(), 1),
                      bench::TablePrinter::num(res.avg_us(), 1)});

@@ -4,10 +4,12 @@
 // system (§5.3). Synthetic graphs at the paper's node/edge counts
 // stand in for the originals (DESIGN.md §1).
 //
-// Flags: --iters=N (default 10), --seed=N, --quick
+// Flags: --iters=N (default 10), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 #include "graph/pagerank.hpp"
 
@@ -19,6 +21,7 @@ int main(int argc, char** argv) {
   cfg.iterations = static_cast<std::uint32_t>(
       flags.u64("iters", flags.flag("quick") ? 3 : 10));
   cfg.seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 10 — PageRank execution time (simulated ms), %u"
               " iterations\n\n",
@@ -26,13 +29,28 @@ int main(int argc, char** argv) {
 
   const graph::GraphSpec specs[] = {graph::kWordAssociation, graph::kEnron,
                                     graph::kDblp};
+  const auto lineup = rpcs::evaluation_lineup(cfg.page_bytes);
+
+  struct Cell {
+    rpcs::System sys;
+    graph::GraphSpec spec;
+  };
+  std::vector<Cell> cells;
+  for (const rpcs::System sys : lineup) {
+    for (const auto& spec : specs) cells.push_back({sys, spec});
+  }
+  const auto results = runner.map(cells, [&cfg](const Cell& c) {
+    return graph::run_pagerank(c.sys, c.spec, cfg);
+  });
+
   bench::TablePrinter table(
       {"System", "wordassociation-2011", "enron", "dblp-2010"});
-  for (const rpcs::System sys : rpcs::evaluation_lineup(cfg.page_bytes)) {
+  std::size_t k = 0;
+  for (const rpcs::System sys : lineup) {
     std::vector<std::string> row{std::string(rpcs::name_of(sys))};
-    for (const auto& spec : specs) {
-      const auto res = graph::run_pagerank(sys, spec, cfg);
-      row.push_back(bench::TablePrinter::num(sim::to_ms(res.duration), 1));
+    for (std::size_t i = 0; i < std::size(specs); ++i) {
+      row.push_back(
+          bench::TablePrinter::num(sim::to_ms(results[k++].duration), 1));
     }
     table.add_row(std::move(row));
   }

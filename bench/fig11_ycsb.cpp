@@ -2,10 +2,12 @@
 // against a KV store with values in remote PM (§5.3: 50 K objects,
 // 8 B keys, 4 KB values, zipfian 0.99).
 //
-// Flags: --ops=N (per workload, default 4000), --seed=N, --quick
+// Flags: --ops=N (per workload, default 4000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 #include "kv/ycsb.hpp"
 
@@ -15,22 +17,38 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 11 — YCSB average op latency (us), 4KB values\n\n");
 
   const kv::Workload workloads[] = {kv::Workload::kA, kv::Workload::kB,
                                     kv::Workload::kC, kv::Workload::kD,
                                     kv::Workload::kE, kv::Workload::kF};
-  bench::TablePrinter table({"System", "A", "B", "C", "D", "E", "F"});
-  for (const rpcs::System sys : rpcs::evaluation_lineup(64 * 1024)) {
-    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+  const auto lineup = rpcs::evaluation_lineup(64 * 1024);
+
+  struct Cell {
+    rpcs::System sys;
+    kv::YcsbConfig cfg;
+  };
+  std::vector<Cell> cells;
+  for (const rpcs::System sys : lineup) {
     for (const kv::Workload w : workloads) {
       kv::YcsbConfig cfg;
       cfg.workload = w;
       cfg.ops = ops;
       cfg.seed = seed;
-      const auto res = kv::run_ycsb(sys, cfg);
-      row.push_back(bench::TablePrinter::num(res.avg_us(), 1));
+      cells.push_back({sys, cfg});
+    }
+  }
+  const auto results = runner.map(
+      cells, [](const Cell& c) { return kv::run_ycsb(c.sys, c.cfg); });
+
+  bench::TablePrinter table({"System", "A", "B", "C", "D", "E", "F"});
+  std::size_t k = 0;
+  for (const rpcs::System sys : lineup) {
+    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+    for (std::size_t i = 0; i < std::size(workloads); ++i) {
+      row.push_back(bench::TablePrinter::num(results[k++].avg_us(), 1));
     }
     table.add_row(std::move(row));
   }

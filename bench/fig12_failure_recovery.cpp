@@ -8,10 +8,13 @@
 // 1e9-RPC totals are composed from those measurements for each server
 // availability level (simulating 1e9 RPCs directly is out of reach).
 //
-// Flags: --ops=N (per measurement, default 1200), --seed=N, --quick
+// Flags: --ops=N (per measurement, default 1200), --seed=N, --jobs=N,
+//        --quick
 
 #include <cstdio>
+#include <vector>
 
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 #include "fault/experiment.hpp"
 
@@ -21,6 +24,7 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 400 : 1200);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 12 — execution time with failures, durable (WFlush-RPC)\n");
   std::printf("normalized to a traditional RPC system (FaRM-style)\n");
@@ -34,11 +38,11 @@ int main(int argc, char** argv) {
 
   bench::TablePrinter table(
       {"Availability", "100%Read", "50%R+50%W", "100%Write"});
-  std::vector<std::vector<fault::AvailabilityPoint>> columns;
-  for (const auto& mix : mixes) {
-    columns.push_back(
-        fault::compose_figure12(mix.read_ratio, availabilities, seed, ops));
-  }
+  const std::vector<std::vector<fault::AvailabilityPoint>> columns =
+      runner.map_n(std::size(mixes), [&](std::size_t mi) {
+        return fault::compose_figure12(mixes[mi].read_ratio, availabilities,
+                                       seed, ops);
+      });
   for (std::size_t ai = 0; ai < availabilities.size(); ++ai) {
     char label[32];
     std::snprintf(label, sizeof label, "%.3f%%", availabilities[ai] * 100.0);

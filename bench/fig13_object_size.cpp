@@ -3,11 +3,13 @@
 // below ~4 KB and transfer-dominated above; send-based RPCs (DaRPC)
 // are the most size-sensitive.
 //
-// Flags: --ops=N (default 4000), --seed=N, --quick
+// Flags: --ops=N (default 4000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -16,25 +18,38 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 13 — average latency (us) vs object size\n\n");
 
   const std::uint32_t sizes[] = {64, 256, 1024, 4096, 16384};
-  bench::TablePrinter table({"System", "64B", "256B", "1KB", "4KB", "16KB"});
-  for (const rpcs::System sys : rpcs::evaluation_lineup(64)) {
-    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+  const auto lineup = rpcs::evaluation_lineup(64);
+  const auto skip = [](rpcs::System sys, std::uint32_t size) {
+    const auto& info = rpcs::info_of(sys);
+    return info.max_object != 0 && size > info.max_object;
+  };
+
+  std::vector<bench::MicroCell> cells;
+  for (const rpcs::System sys : lineup) {
     for (const std::uint32_t size : sizes) {
-      const auto& info = rpcs::info_of(sys);
-      if (info.max_object != 0 && size > info.max_object) {
-        row.push_back("-");
-        continue;
-      }
+      if (skip(sys, size)) continue;
       bench::MicroConfig cfg;
       cfg.object_size = size;
       cfg.ops = ops;
       cfg.seed = seed;
-      const auto res = bench::run_micro(sys, cfg);
-      row.push_back(bench::TablePrinter::num(res.avg_us(), 1));
+      cells.push_back({sys, cfg});
+    }
+  }
+  const auto results = bench::run_micro_cells(runner, cells);
+
+  bench::TablePrinter table({"System", "64B", "256B", "1KB", "4KB", "16KB"});
+  std::size_t k = 0;
+  for (const rpcs::System sys : lineup) {
+    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+    for (const std::uint32_t size : sizes) {
+      row.push_back(skip(sys, size)
+                        ? "-"
+                        : bench::TablePrinter::num(results[k++].avg_us(), 1));
     }
     table.add_row(std::move(row));
   }

@@ -4,11 +4,13 @@
 // persistence path); write-based RPCs are more load-sensitive than
 // send-based ones.
 //
-// Flags: --ops=N (default 4000), --seed=N, --load=0.85, --quick
+// Flags: --ops=N (default 4000), --seed=N, --load=0.85, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -18,23 +20,30 @@ int main(int argc, char** argv) {
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
   const double busy = flags.real("load", 0.85);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 14 — avg latency (us), idle vs busy network (load=%.2f)\n\n",
               busy);
 
-  bench::TablePrinter table({"System", "Idle", "Busy", "Busy/Idle"});
-  for (const rpcs::System sys : rpcs::evaluation_lineup(64 * 1024)) {
-    double idle = 0;
-    double loaded = 0;
+  const auto lineup = rpcs::evaluation_lineup(64 * 1024);
+  std::vector<bench::MicroCell> cells;
+  for (const rpcs::System sys : lineup) {
     for (const bool is_busy : {false, true}) {
       bench::MicroConfig cfg;
       cfg.object_size = 16 * 1024;
       cfg.ops = ops;
       cfg.seed = seed;
       cfg.net_load = is_busy ? busy : 0.0;
-      const auto res = bench::run_micro(sys, cfg);
-      (is_busy ? loaded : idle) = res.avg_us();
+      cells.push_back({sys, cfg});
     }
+  }
+  const auto results = bench::run_micro_cells(runner, cells);
+
+  bench::TablePrinter table({"System", "Idle", "Busy", "Busy/Idle"});
+  std::size_t k = 0;
+  for (const rpcs::System sys : lineup) {
+    const double idle = results[k++].avg_us();
+    const double loaded = results[k++].avg_us();
     table.add_row({std::string(rpcs::name_of(sys)),
                    bench::TablePrinter::num(idle, 1),
                    bench::TablePrinter::num(loaded, 1),

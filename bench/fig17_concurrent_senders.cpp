@@ -6,11 +6,13 @@
 // The workload is write-only: the durable-RPC completion point (remote
 // persistence) is the metric under study, exactly as in §5.5.
 //
-// Flags: --ops=N (per sender, default 300), --seed=N, --quick
+// Flags: --ops=N (per sender, default 300), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -20,15 +22,16 @@ int main(int argc, char** argv) {
   const std::uint64_t per_sender =
       flags.u64("ops", flags.flag("quick") ? 100 : 300);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 17 — avg latency (us) vs concurrent senders\n");
   std::printf("write-only workload, 1KB objects, %llu ops/sender\n\n",
               static_cast<unsigned long long>(per_sender));
 
   const std::size_t counts[] = {10, 20, 30, 40, 50};
-  bench::TablePrinter table({"System", "10", "20", "30", "40", "50"});
-  for (const rpcs::System sys : rpcs::evaluation_lineup(1024)) {
-    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+  const auto lineup = rpcs::evaluation_lineup(1024);
+  std::vector<bench::MicroCell> cells;
+  for (const rpcs::System sys : lineup) {
     for (const std::size_t n : counts) {
       bench::MicroConfig cfg;
       cfg.object_size = 1024;
@@ -38,8 +41,17 @@ int main(int argc, char** argv) {
       cfg.seed = seed;
       cfg.server_cores = 20;    // testbed: 20-core Xeon Gold 6230 (§5.1)
       cfg.server_workers = 16;
-      const auto res = bench::run_micro(sys, cfg);
-      row.push_back(bench::TablePrinter::num(res.avg_us(), 1));
+      cells.push_back({sys, cfg});
+    }
+  }
+  const auto results = bench::run_micro_cells(runner, cells);
+
+  bench::TablePrinter table({"System", "10", "20", "30", "40", "50"});
+  std::size_t k = 0;
+  for (const rpcs::System sys : lineup) {
+    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+    for (std::size_t i = 0; i < std::size(counts); ++i) {
+      row.push_back(bench::TablePrinter::num(results[k++].avg_us(), 1));
     }
     table.add_row(std::move(row));
   }

@@ -3,11 +3,13 @@
 // Flush completes long before processing); for read-intensive ones
 // they match the baselines (reads take the ordinary response path).
 //
-// Flags: --ops=N (default 4000), --seed=N, --quick
+// Flags: --ops=N (default 4000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -16,15 +18,15 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 18 — avg latency (us) vs read/write mix (4KB objects,\n");
   std::printf("heavy load: 100us injected processing)\n\n");
 
   const double read_ratios[] = {0.05, 0.50, 0.95};
-  bench::TablePrinter table(
-      {"System", "5%r+95%w", "50%r+50%w", "95%r+5%w"});
-  for (const rpcs::System sys : rpcs::evaluation_lineup(64 * 1024)) {
-    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+  const auto lineup = rpcs::evaluation_lineup(64 * 1024);
+  std::vector<bench::MicroCell> cells;
+  for (const rpcs::System sys : lineup) {
     for (const double rr : read_ratios) {
       bench::MicroConfig cfg;
       cfg.object_size = 4096;
@@ -32,8 +34,18 @@ int main(int argc, char** argv) {
       cfg.seed = seed;
       cfg.read_ratio = rr;
       cfg.heavy_load = true;
-      const auto res = bench::run_micro(sys, cfg);
-      row.push_back(bench::TablePrinter::num(res.avg_us(), 1));
+      cells.push_back({sys, cfg});
+    }
+  }
+  const auto results = bench::run_micro_cells(runner, cells);
+
+  bench::TablePrinter table(
+      {"System", "5%r+95%w", "50%r+50%w", "95%r+5%w"});
+  std::size_t k = 0;
+  for (const rpcs::System sys : lineup) {
+    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+    for (std::size_t i = 0; i < std::size(read_ratios); ++i) {
+      row.push_back(bench::TablePrinter::num(results[k++].avg_us(), 1));
     }
     table.add_row(std::move(row));
   }

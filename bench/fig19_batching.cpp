@@ -4,11 +4,13 @@
 // flush) than for send-based DaRPC, whose software cost scales with
 // the message size.
 //
-// Flags: --ops=N (total sub-ops, default 8000), --seed=N, --quick
+// Flags: --ops=N (total sub-ops, default 8000), --seed=N, --jobs=N, --quick
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -17,6 +19,7 @@ int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 2000 : 8000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 19 — total execution time (simulated ms) vs batch size\n");
   std::printf("1KB writes, %llu total operations\n\n",
@@ -27,9 +30,8 @@ int main(int argc, char** argv) {
       rpcs::System::kSRFlushRpc, rpcs::System::kSFlushRpc,
       rpcs::System::kWRFlushRpc, rpcs::System::kWFlushRpc};
 
-  bench::TablePrinter table({"System", "batch=1", "batch=4", "batch=8"});
+  std::vector<bench::MicroCell> cells;
   for (const rpcs::System sys : systems) {
-    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
     for (const std::uint32_t batch : {1u, 4u, 8u}) {
       bench::MicroConfig cfg;
       cfg.object_size = 1024;
@@ -37,8 +39,18 @@ int main(int argc, char** argv) {
       cfg.ops = ops / batch;  // same total sub-operations
       cfg.read_ratio = 0.0;
       cfg.seed = seed;
-      const auto res = bench::run_micro(sys, cfg);
-      row.push_back(bench::TablePrinter::num(sim::to_ms(res.duration), 2));
+      cells.push_back({sys, cfg});
+    }
+  }
+  const auto results = bench::run_micro_cells(runner, cells);
+
+  bench::TablePrinter table({"System", "batch=1", "batch=4", "batch=8"});
+  std::size_t k = 0;
+  for (const rpcs::System sys : systems) {
+    std::vector<std::string> row{std::string(rpcs::name_of(sys))};
+    for (int i = 0; i < 3; ++i) {
+      row.push_back(
+          bench::TablePrinter::num(sim::to_ms(results[k++].duration), 2));
     }
     table.add_row(std::move(row));
   }

@@ -7,12 +7,14 @@
 // RPCs the receiver column counts only work the client waits on —
 // asynchronous processing is the whole point of §4.2.
 //
-// Flags: --ops=N (default 4000), --seed=N, --quick
+// Flags: --ops=N (default 4000), --seed=N, --jobs=N, --quick
 
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -24,14 +26,23 @@ int main(int argc, char** argv) {
 
   std::printf("Fig. 20 — latency breakdown (us/op), YCSB-A-like workload\n\n");
 
-  bench::TablePrinter table({"System", "Sender SW", "RTT (hw)", "Receiver SW",
-                             "Total", "SW share"});
-  for (const rpcs::System sys : rpcs::evaluation_lineup(64 * 1024)) {
+  bench::SweepRunner runner(bench::jobs_from(flags));
+  const auto lineup = rpcs::evaluation_lineup(64 * 1024);
+  std::vector<bench::MicroCell> cells;
+  for (const rpcs::System sys : lineup) {
     bench::MicroConfig cfg;
     cfg.object_size = 4096;
     cfg.ops = ops;
     cfg.seed = seed;
-    const auto res = bench::run_micro(sys, cfg);
+    cells.push_back({sys, cfg});
+  }
+  const auto results = bench::run_micro_cells(runner, cells);
+
+  bench::TablePrinter table({"System", "Sender SW", "RTT (hw)", "Receiver SW",
+                             "Total", "SW share"});
+  for (std::size_t k = 0; k < lineup.size(); ++k) {
+    const rpcs::System sys = lineup[k];
+    const auto& res = results[k];
     const double total = res.latency.mean();
     const double sender = res.sender_sw_ns;
     const double receiver = res.receiver_sw_ns;

@@ -5,7 +5,7 @@
 //  - tail latency               (Fig. 9 p99, terciles)
 //  - scalability                (Fig. 17 latency growth 5 -> 20 senders)
 //
-// Flags: --ops=N (default 2500), --seed=N, --quick
+// Flags: --ops=N (default 2500), --seed=N, --jobs=N, --quick
 
 #include <algorithm>
 #include <cstdio>
@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -49,21 +50,22 @@ int main(int argc, char** argv) {
   };
   std::vector<Row> rows;
 
-  for (const rpcs::System sys : rpcs::evaluation_lineup(4096)) {
+  bench::SweepRunner runner(bench::jobs_from(flags));
+  const auto lineup = rpcs::evaluation_lineup(4096);
+  // Five measurements per system, in a fixed order the formatting loop
+  // below consumes back.
+  std::vector<bench::MicroCell> cells;
+  for (const rpcs::System sys : lineup) {
     bench::MicroConfig base;
     base.object_size = 4096;
     base.ops = ops;
     base.seed = seed;
 
-    const auto idle = bench::run_micro(sys, base);
-
     auto busy_net_cfg = base;
     busy_net_cfg.net_load = 0.85;
-    const auto busy_net = bench::run_micro(sys, busy_net_cfg);
 
     auto busy_cpu_cfg = base;
     busy_cpu_cfg.server_cpu_load = 3.0;
-    const auto busy_cpu = bench::run_micro(sys, busy_cpu_cfg);
 
     // Scalability on the testbed-scale server (as in Fig. 17).
     auto few_cfg = base;
@@ -75,10 +77,22 @@ int main(int argc, char** argv) {
     auto many_cfg = few_cfg;
     many_cfg.clients = 20;
     many_cfg.ops = 150 * 20;
-    const auto few = bench::run_micro(sys, few_cfg);
-    const auto many = bench::run_micro(sys, many_cfg);
 
-    rows.push_back(Row{sys, busy_net.avg_us(), busy_cpu.avg_us(),
+    cells.push_back({sys, base});
+    cells.push_back({sys, busy_net_cfg});
+    cells.push_back({sys, busy_cpu_cfg});
+    cells.push_back({sys, few_cfg});
+    cells.push_back({sys, many_cfg});
+  }
+  const auto results = bench::run_micro_cells(runner, cells);
+
+  for (std::size_t s = 0; s < lineup.size(); ++s) {
+    const auto& idle = results[5 * s];
+    const auto& busy_net = results[5 * s + 1];
+    const auto& busy_cpu = results[5 * s + 2];
+    const auto& few = results[5 * s + 3];
+    const auto& many = results[5 * s + 4];
+    rows.push_back(Row{lineup[s], busy_net.avg_us(), busy_cpu.avg_us(),
                        idle.p99_us(), many.avg_us() / few.avg_us()});
   }
 

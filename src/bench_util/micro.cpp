@@ -1,5 +1,7 @@
 #include "bench_util/micro.hpp"
 
+#include "bench_util/sweep.hpp"
+
 #include <algorithm>
 
 #include "core/node.hpp"
@@ -151,6 +153,7 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
 
   result.duration = end_time;
   result.server = dep.server->stats();
+  result.sim_events = cluster.sim().events_executed();
   if (result.ops_completed > 0) {
     std::uint64_t client_sw = 0;
     for (const std::size_t i : client_nodes) {
@@ -167,6 +170,13 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
                   sim::to_ms(end_time);
   }
   return result;
+}
+
+std::vector<MicroResult> run_micro_cells(SweepRunner& runner,
+                                         const std::vector<MicroCell>& cells) {
+  return runner.map(cells, [](const MicroCell& c) {
+    return run_micro(c.system, c.cfg);
+  });
 }
 
 }  // namespace prdma::bench

@@ -56,6 +56,7 @@ struct MicroResult {
   prdma::sim::SimTime duration = 0;
   core::ServerStats server;
   std::uint64_t ops_completed = 0;
+  std::uint64_t sim_events = 0;  ///< simulator events the cell replayed
   double sender_sw_ns = 0.0;    ///< client software per op (measured)
   double receiver_sw_ns = 0.0;  ///< receiver critical-path software per op
 
@@ -79,5 +80,18 @@ std::uint64_t effective_objects(const MicroConfig& cfg);
 
 /// Runs one cell of the §5.2 micro-benchmark for `system`.
 MicroResult run_micro(rpcs::System system, const MicroConfig& cfg);
+
+/// One (system, config) cell of a sweep grid, for SweepRunner::map.
+struct MicroCell {
+  rpcs::System system;
+  MicroConfig cfg;
+};
+
+class SweepRunner;
+
+/// Runs every cell (in parallel per `runner`) and returns the results
+/// in cell order — byte-identical to calling run_micro serially.
+std::vector<MicroResult> run_micro_cells(SweepRunner& runner,
+                                         const std::vector<MicroCell>& cells);
 
 }  // namespace prdma::bench

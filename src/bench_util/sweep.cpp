@@ -1,0 +1,31 @@
+#include "bench_util/sweep.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace prdma::bench {
+
+std::size_t SweepRunner::default_jobs() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+sim::ThreadPool& SweepRunner::pool() {
+  if (!pool_) pool_ = std::make_unique<sim::ThreadPool>(jobs_);
+  return *pool_;
+}
+
+void SweepRunner::for_each(std::size_t n,
+                           const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (jobs_ <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool().parallel_for(n, fn);
+}
+
+std::size_t jobs_from(const Flags& flags) {
+  return static_cast<std::size_t>(flags.u64("jobs", 1));
+}
+
+}  // namespace prdma::bench

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "rpcs/registry.hpp"
 #include "sim/rng.hpp"
 #include "sim/sync.hpp"
@@ -205,21 +206,20 @@ ExplorerReport explore(const ExplorerConfig& cfg) {
   rep.clean_end = base.end_time;
   rep.boundary_points = sample_boundaries(trace, cfg.max_boundary_points);
 
-  const auto consider = [&](const Schedule& s) {
-    ScheduleResult r = run_schedule(cfg, s);
-    ++rep.schedules_run;
-    if (r.failed()) {
-      ++rep.schedules_failed;
-      if (!rep.first_failure.has_value()) rep.first_failure = std::move(r);
-    }
-  };
+  // The candidate list is generated up front, in serial order (every
+  // RNG draw happens here, before any schedule runs), then mapped over
+  // SweepRunner workers. Results come back in submission order, so the
+  // scan below — and with it first_failure, the reproducer, the whole
+  // report — is byte-identical at any cfg.jobs value.
+  std::vector<Schedule> candidates;
 
   // Phase 2: targeted schedules straddling each phase boundary.
   for (const SimTime t : rep.boundary_points) {
     for (const std::int64_t dt : {-1, 0, 1}) {
       const auto at = static_cast<std::int64_t>(t) + dt;
       if (at < 1) continue;
-      consider(Schedule{cfg.seed, static_cast<SimTime>(at), cfg.ops});
+      candidates.push_back(Schedule{cfg.seed, static_cast<SimTime>(at),
+                                    cfg.ops});
     }
   }
 
@@ -227,7 +227,20 @@ ExplorerReport explore(const ExplorerConfig& cfg) {
   sim::Rng rng(cfg.seed ^ 0xC2B2AE3D27D4EB4Full);
   const SimTime span = std::max<SimTime>(base.end_time, 2);
   for (std::uint32_t i = 0; i < cfg.random_schedules; ++i) {
-    consider(Schedule{cfg.seed, rng.uniform(1, span - 1), cfg.ops});
+    candidates.push_back(Schedule{cfg.seed, rng.uniform(1, span - 1),
+                                  cfg.ops});
+  }
+
+  bench::SweepRunner runner(cfg.jobs);
+  std::vector<ScheduleResult> results = runner.map(
+      candidates, [&cfg](const Schedule& s) { return run_schedule(cfg, s); });
+
+  for (ScheduleResult& r : results) {
+    ++rep.schedules_run;
+    if (r.failed()) {
+      ++rep.schedules_failed;
+      if (!rep.first_failure.has_value()) rep.first_failure = std::move(r);
+    }
   }
 
   // Phase 4: shrink the first failure to a minimal reproducer (fewest

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -29,6 +30,11 @@ struct ExplorerConfig {
   bool heavy_processing = false;
   sim::SimTime restart_delay = 1 * sim::kMillisecond;
   sim::SimTime retransmit_interval = 100 * sim::kMillisecond;
+  /// Worker threads for independent schedules (0 = hardware
+  /// concurrency). Every schedule is a pure function of (cfg, s), so
+  /// the report is byte-identical at any jobs value; only wall-clock
+  /// changes (DESIGN.md §7.1).
+  std::size_t jobs = 1;
 };
 
 /// One point in crash-schedule space: with this config, crash the

@@ -722,7 +722,7 @@ void Rnic::handle_sflush(Packet p) {
 
 void Rnic::enqueue_dma_write(std::uint64_t addr, net::PayloadPtr payload,
                              std::uint64_t src_off, std::uint64_t len,
-                             bool ddio, std::function<void(SimTime)> on_done) {
+                             bool ddio, DmaCallback on_done) {
   // The engine pipelines transaction setup: occupancy is the bus
   // transfer; the setup latency delays this transfer's completion but
   // does not block successors.
@@ -747,7 +747,7 @@ void Rnic::enqueue_dma_write(std::uint64_t addr, net::PayloadPtr payload,
   const std::uint64_t epoch = epoch_;
   sim_.schedule_at(done, [this, epoch, addr, payload = std::move(payload),
                           src_off, len, ddio, done,
-                          on_done = std::move(on_done)] {
+                          on_done = std::move(on_done)]() mutable {
     if (epoch != epoch_ || !alive_) return;  // crash: data lost in flight
     if (payload != nullptr) {
       mem_.dma_write(addr,
@@ -776,21 +776,23 @@ void Rnic::prune_pending() {
 // -------------------------------------------------------- local persist
 
 void Rnic::persist_range(std::uint64_t addr, std::uint64_t len,
-                         std::function<void(SimTime)> on_done) {
+                         DmaCallback on_done) {
   const SimTime drained = std::max(sim_.now(), drain_time(addr, len));
   const std::uint64_t epoch = epoch_;
-  sim_.schedule_at(drained,
-                   [epoch, this, addr, len, on_done = std::move(on_done)] {
-                     if (epoch != epoch_ || !alive_) return;
-                     SimTime t = sim_.now();
-                     if (mem_.is_pm(addr) && mem_.llc().is_dirty(addr, len)) {
-                       t = mem_.clflush(t, addr, len);
-                     }
-                     sim_.schedule_at(t, [epoch, this, t, on_done] {
-                       if (epoch != epoch_ || !alive_) return;
-                       on_done(t);
-                     });
-                   });
+  sim_.schedule_at(
+      drained,
+      [epoch, this, addr, len, on_done = std::move(on_done)]() mutable {
+        if (epoch != epoch_ || !alive_) return;
+        SimTime t = sim_.now();
+        if (mem_.is_pm(addr) && mem_.llc().is_dirty(addr, len)) {
+          t = mem_.clflush(t, addr, len);
+        }
+        sim_.schedule_at(t, [epoch, this, t,
+                             on_done = std::move(on_done)]() mutable {
+          if (epoch != epoch_ || !alive_) return;
+          on_done(t);
+        });
+      });
 }
 
 void Rnic::configure_auto_persist(Qp& qp, std::uint64_t addr,

@@ -1,0 +1,214 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace prdma::sim {
+
+namespace detail {
+
+/// Process-wide count of InlineFunction heap fallbacks (captures larger
+/// than the inline capacity). Atomic: independent simulations run on
+/// SweepRunner worker threads. The engine's steady-state contract is
+/// that this never moves while events execute — pinned by sim_test and
+/// measured by bench/engine_perf.
+inline std::atomic<std::uint64_t> g_inline_fn_heap_allocs{0};
+
+}  // namespace detail
+
+/// Total InlineFunction heap-fallback allocations since process start.
+inline std::uint64_t inline_fn_heap_allocs() {
+  return detail::g_inline_fn_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/// Move-only callable with small-buffer-optimised storage, the engine's
+/// replacement for std::function on every per-event path.
+///
+/// Captures up to `Capacity` bytes live inline — scheduling such a
+/// callable performs zero heap allocations. Larger captures fall back
+/// to the heap (counted, see inline_fn_heap_allocs()) so correctness
+/// never depends on a capture fitting; only performance does. Unlike
+/// std::function the wrapper is move-only, so move-only captures
+/// (unique_ptr, packaged_task) work directly.
+template <typename Sig, std::size_t Capacity>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kCapacity = Capacity;
+  static constexpr std::size_t kAlign = alignof(std::max_align_t);
+  static_assert(Capacity >= sizeof(void*), "capacity below pointer size");
+
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-*)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& fn) {  // NOLINT(google-explicit-*): drop-in for lambdas
+    init(std::forward<F>(fn));
+  }
+
+  /// Constructs the callable in place, replacing any held one. The
+  /// scheduling hot path uses this to build captures directly inside a
+  /// slab slot — one construction per event, no intermediate moves.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  void emplace(F&& fn) {
+    reset();
+    init(std::forward<F>(fn));
+  }
+
+  InlineFunction(InlineFunction&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+    o.ops_ = nullptr;
+  }
+
+  InlineFunction& operator=(InlineFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  /// Invokes the callable and destroys it through a single indirection,
+  /// leaving *this empty — the engine's per-event epilogue (every event
+  /// runs exactly once, so invoke and destroy always pair up).
+  R consume(Args... args) {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    return ops->invoke_destroy(buf_, std::forward<Args>(args)...);
+  }
+
+  /// True when the held callable lives in the inline buffer (testing).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+ private:
+  template <typename D>
+  static constexpr bool fits_inline = sizeof(D) <= Capacity &&
+                                      alignof(D) <= kAlign &&
+                                      std::is_nothrow_move_constructible_v<D>;
+
+  template <typename F, typename D = std::decay_t<F>>
+  void init(F&& fn) {
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      detail::g_inline_fn_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Invokes, then destroys the callable (see consume()).
+    R (*invoke_destroy)(void*, Args&&...);
+    /// Move-constructs the callable at dst from src, destroys src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static D* object(void* buf) noexcept {
+    return std::launder(reinterpret_cast<D*>(buf));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* buf, Args&&... args) -> R {
+        return (*object<D>(buf))(std::forward<Args>(args)...);
+      },
+      [](void* buf, Args&&... args) -> R {
+        D* d = object<D>(buf);
+        if constexpr (std::is_void_v<R>) {
+          (*d)(std::forward<Args>(args)...);
+          d->~D();
+        } else {
+          R r = (*d)(std::forward<Args>(args)...);
+          d->~D();
+          return r;
+        }
+      },
+      [](void* dst, void* src) noexcept {
+        D* s = object<D>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* buf) noexcept { object<D>(buf)->~D(); },
+      true,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* buf, Args&&... args) -> R {
+        return (**object<D*>(buf))(std::forward<Args>(args)...);
+      },
+      [](void* buf, Args&&... args) -> R {
+        D* p = *object<D*>(buf);
+        if constexpr (std::is_void_v<R>) {
+          (*p)(std::forward<Args>(args)...);
+          delete p;
+        } else {
+          R r = (*p)(std::forward<Args>(args)...);
+          delete p;
+          return r;
+        }
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*object<D*>(src));
+      },
+      [](void* buf) noexcept { delete *object<D*>(buf); },
+      false,
+  };
+
+  const Ops* ops_ = nullptr;
+  alignas(kAlign) unsigned char buf_[Capacity];
+};
+
+/// Inline budget for simulator events. Sized to the largest hot-path
+/// capture in the tree: the RNIC DMA-completion continuation — `this`,
+/// epoch, address/offset/length bookkeeping, a PayloadPtr and a nested
+/// DMA-done InlineFunction (~192 B with padding). sim_test pins the
+/// zero-allocation property end-to-end through a full micro cell, so a
+/// capture outgrowing this budget fails a test instead of silently
+/// reintroducing a per-event malloc.
+inline constexpr std::size_t kEventInlineBytes = 232;
+
+/// The simulator's event callable: one scheduled unit of work.
+using InlineTask = InlineFunction<void(), kEventInlineBytes>;
+
+}  // namespace prdma::sim

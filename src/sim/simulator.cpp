@@ -1,36 +1,79 @@
 #include "sim/simulator.hpp"
 
 #include <cstdio>
+#include <string>
 
 namespace prdma::sim {
 
-void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t s = free_head_;
+    free_head_ = slot(s).next_free;
+    slot(s).next_free = kNoSlot;
+    return s;
+  }
+  if (slab_size_ == slab_.size() * kSlabChunkSlots) {
+    slab_.push_back(std::make_unique<Slot[]>(kSlabChunkSlots));
+    ++pool_allocs_;
+  }
+  return static_cast<std::uint32_t>(slab_size_++);
+}
+
+void Simulator::release_slot(std::uint32_t s) {
+  slot(s).fn.reset();
+  slot(s).next_free = free_head_;
+  free_head_ = s;
+}
+
+void Simulator::schedule_at(SimTime t, InlineTask fn) {
+  const std::uint32_t s = acquire_slot();
+  slot(s).fn = std::move(fn);
+  push_entry(t, s);
+}
+
+void Simulator::push_entry(SimTime t, std::uint32_t slot) {
   if (t < now_) t = now_;  // never schedule into the past
-  heap_.push_back(Event{t, next_seq_++, std::move(fn)});
+  if (heap_.size() == heap_.capacity()) ++pool_allocs_;
+  heap_.push_back(HeapEntry{t, next_seq_++, slot});
   sift_up(heap_.size() - 1);
 }
 
+// 4-ary hole-insertion heap: half the levels of a binary heap and one
+// entry store per level instead of a swap — both matter when sifting is
+// the hot loop. (time, seq) is a total order, so the pop sequence is
+// identical for any heap arity; determinism does not depend on layout.
+
 void Simulator::sift_up(std::size_t i) {
+  const HeapEntry entry = heap_[i];
   while (i > 0) {
-    const std::size_t parent = (i - 1) / 2;
-    if (!heap_[i].before(heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
+    const std::size_t parent = (i - 1) / 4;
+    if (!entry.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
     i = parent;
   }
+  heap_[i] = entry;
 }
 
 void Simulator::sift_down(std::size_t i) {
   const std::size_t n = heap_.size();
+  const HeapEntry entry = heap_[i];
   for (;;) {
-    std::size_t smallest = i;
-    const std::size_t l = 2 * i + 1;
-    const std::size_t r = 2 * i + 2;
-    if (l < n && heap_[l].before(heap_[smallest])) smallest = l;
-    if (r < n && heap_[r].before(heap_[smallest])) smallest = r;
-    if (smallest == i) break;
-    std::swap(heap_[i], heap_[smallest]);
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    // Pull the likely next level in while this one is compared.
+    if (4 * first + 1 < n) {
+      __builtin_prefetch(static_cast<const void*>(&heap_[4 * first + 1]));
+    }
+    std::size_t smallest = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].before(heap_[smallest])) smallest = c;
+    }
+    if (!heap_[smallest].before(entry)) break;
+    heap_[i] = heap_[smallest];
     i = smallest;
   }
+  heap_[i] = entry;
 }
 
 Simulator::CrashHookId Simulator::add_crash_hook(std::function<void()> fn) {
@@ -56,13 +99,21 @@ void Simulator::trigger_crash() {
 
 bool Simulator::step() {
   if (heap_.empty()) return false;
-  Event ev = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
+  const HeapEntry top = heap_.front();
+  // Start pulling the task's slot into cache while the sift below runs;
+  // the slab is large enough that this fetch otherwise stalls invoke.
+  __builtin_prefetch(static_cast<const void*>(&slot(top.slot)));
+  heap_.front() = heap_.back();
   heap_.pop_back();
   if (!heap_.empty()) sift_down(0);
-  now_ = ev.time;
+  now_ = top.time;
   ++executed_;
-  ev.fn();
+  // Invoke in place — the chunked slab keeps the slot's address stable
+  // even when the callback schedules enough new events to grow the
+  // slab. The slot is recycled right after, so steady state holds the
+  // high-water mark of pending events plus one.
+  slot(top.slot).fn.consume();
+  release_slot(top.slot);
   return true;
 }
 

@@ -1,10 +1,14 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace prdma::sim {
@@ -15,6 +19,13 @@ namespace prdma::sim {
 /// (FIFO via a monotonically increasing sequence number), so a run is a
 /// pure function of the initial schedule and the RNG seed. This property
 /// is load-bearing: every benchmark in bench/ is reproducible bit-for-bit.
+///
+/// Hot-path layout: callables are move-only InlineTasks (no per-event
+/// heap allocation for captures within the inline budget) parked in a
+/// slab of recycled slots, while the priority queue orders 24-byte
+/// (time, seq, slot) entries. Once the slab and heap vectors reach
+/// their high-water marks, steady-state scheduling performs zero
+/// allocations — measured by bench/engine_perf and pinned by sim_test.
 class Simulator {
  public:
   Simulator() = default;
@@ -25,12 +36,25 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at now() + delay.
-  void schedule(SimTime delay, std::function<void()> fn) {
-    schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  void schedule(SimTime delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Schedules `fn` to run at absolute time `t` (clamped to now()).
-  void schedule_at(SimTime t, std::function<void()> fn);
+  /// The capture is constructed directly inside a recycled slab slot —
+  /// no intermediate InlineTask moves on the hot path.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineTask>>>
+  void schedule_at(SimTime t, F&& fn) {
+    const std::uint32_t s = acquire_slot();
+    slot(s).fn.emplace(std::forward<F>(fn));
+    push_entry(t, s);
+  }
+
+  /// Overload for a pre-built task (move-assigned into the slot).
+  void schedule_at(SimTime t, InlineTask fn);
 
   /// Executes the next pending event, if any. Returns false when idle.
   bool step();
@@ -58,7 +82,9 @@ class Simulator {
   // at an arbitrary simulated nanosecond and every registered hook runs
   // — in registration order — at that exact instant, mid-protocol if
   // need be. Hooks stay registered across crashes (a run may inject
-  // several) and are removed explicitly.
+  // several) and are removed explicitly. Registration is rare and the
+  // snapshot in trigger_crash() needs copies, so hooks stay
+  // std::function rather than InlineTask.
 
   using CrashHookId = std::uint64_t;
 
@@ -92,22 +118,60 @@ class Simulator {
   /// Number of events currently pending.
   [[nodiscard]] std::size_t pending() const { return heap_.size(); }
 
-  /// Timestamp of the next pending event; only valid when pending() > 0.
-  [[nodiscard]] SimTime next_event_time() const { return heap_.front().time; }
+  /// Timestamp of the next pending event. Calling this with
+  /// pending() == 0 is a contract violation (asserts in debug builds).
+  [[nodiscard]] SimTime next_event_time() const {
+    assert(!heap_.empty() && "next_event_time() requires pending() > 0");
+    return heap_.front().time;
+  }
+
+  /// Times the event-storage vectors (slot slab / heap) had to grow.
+  /// Flat after warm-up: the free-list recycles slots, so a steady
+  /// workload schedules forever without touching the allocator.
+  [[nodiscard]] std::uint64_t pool_allocations() const { return pool_allocs_; }
+
+  /// Event slots currently owned by the slab (high-water mark of
+  /// concurrently pending events, plus the one executing).
+  [[nodiscard]] std::size_t slab_slots() const { return slab_size_; }
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+  /// Slab chunk geometry: fixed-size chunks give every slot a stable
+  /// address, so step() can invoke a task in place while the callback
+  /// grows the slab underneath it.
+  static constexpr std::size_t kSlabChunkShift = 8;
+  static constexpr std::size_t kSlabChunkSlots = std::size_t{1}
+                                                << kSlabChunkShift;
+
+  /// One recycled event slot. `next_free` threads the free-list when
+  /// the slot is vacant.
+  struct Slot {
+    InlineTask fn;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  /// Compact heap entry: ordering data only, so sift operations move
+  /// 24 bytes instead of whole events.
+  struct HeapEntry {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
 
-    [[nodiscard]] bool before(const Event& o) const {
+    [[nodiscard]] bool before(const HeapEntry& o) const {
       return time != o.time ? time < o.time : seq < o.seq;
     }
   };
 
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  /// Links an occupied slot into the queue at time `t` (clamped to now()).
+  void push_entry(SimTime t, std::uint32_t slot);
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
+
+  [[nodiscard]] Slot& slot(std::uint32_t i) {
+    return slab_[i >> kSlabChunkShift][i & (kSlabChunkSlots - 1)];
+  }
 
   struct CrashHook {
     CrashHookId id;
@@ -120,10 +184,15 @@ class Simulator {
   bool stopped_ = false;
   CrashHookId next_crash_hook_ = 1;
   std::uint64_t crashes_triggered_ = 0;
+  std::uint64_t pool_allocs_ = 0;
   std::vector<CrashHook> crash_hooks_;
-  // Hand-rolled binary min-heap: std::priority_queue's const top() blocks
-  // moving the callable out, and events are pure move-only traffic here.
-  std::vector<Event> heap_;
+  std::vector<std::unique_ptr<Slot[]>> slab_;
+  std::size_t slab_size_ = 0;  ///< slots handed out across all chunks
+  std::uint32_t free_head_ = kNoSlot;
+  // Hand-rolled 4-ary min-heap: std::priority_queue's const top() blocks
+  // moving entries out, and (time, seq) FIFO needs the explicit tie-break.
+  // Arity does not affect the pop order — the comparator is total.
+  std::vector<HeapEntry> heap_;
 };
 
 }  // namespace prdma::sim

@@ -1,6 +1,8 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
 
 namespace prdma::sim {
 
@@ -23,9 +25,17 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::enqueue(Job job) {
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> job;
+    Job job;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -39,20 +49,54 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futs.push_back(submit([&fn, i] { fn(i); }));
+  if (n == 0) return;
+
+  // One strip per worker, each pulling indices from a shared atomic
+  // counter. The caller blocks until *every strip* has finished, so no
+  // queued strip can outlive this stack frame's shared state.
+  struct Shared {
+    const std::function<void(std::size_t)>* fn;
+    std::atomic<std::size_t> next{0};
+    std::size_t n;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::size_t strips_done = 0;
+    std::size_t strips = 0;
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+  };
+  Shared shared;
+  shared.fn = &fn;
+  shared.n = n;
+  shared.strips = std::min(n, workers_.size());
+
+  for (std::size_t s = 0; s < shared.strips; ++s) {
+    enqueue(Job([state = &shared] {
+      for (;;) {
+        const std::size_t i =
+            state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= state->n) break;
+        try {
+          (*state->fn)(i);
+        } catch (...) {
+          // Keep the failure from the lowest index so the exception the
+          // caller sees is independent of worker interleaving.
+          std::lock_guard lock(state->mu);
+          if (!state->error || i < state->error_index) {
+            state->error = std::current_exception();
+            state->error_index = i;
+          }
+        }
+      }
+      std::lock_guard lock(state->mu);
+      if (++state->strips_done == state->strips) state->done_cv.notify_all();
+    }));
   }
-  std::exception_ptr first_error;
-  for (auto& f : futs) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+
+  std::unique_lock lock(shared.mu);
+  shared.done_cv.wait(lock,
+                      [&shared] { return shared.strips_done == shared.strips; });
+  if (shared.error) std::rethrow_exception(shared.error);
 }
 
 }  // namespace prdma::sim

@@ -8,7 +8,10 @@
 #include <mutex>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "sim/inline_function.hpp"
 
 namespace prdma::sim {
 
@@ -20,6 +23,12 @@ namespace prdma::sim {
 /// regardless of host scheduling (DESIGN.md §7.1).
 class ThreadPool {
  public:
+  /// Queued unit of work. Move-only so a packaged_task can live in the
+  /// job directly — submit() used to wrap it in a shared_ptr purely to
+  /// make the closure copyable for std::function, paying two heap
+  /// allocations per job.
+  using Job = InlineFunction<void(), 56>;
+
   explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency());
   ~ThreadPool();
 
@@ -31,26 +40,25 @@ class ThreadPool {
   /// Enqueues a callable; the future resolves with its result.
   template <typename F, typename R = std::invoke_result_t<F>>
   std::future<R> submit(F&& fn) {
-    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
-    std::future<R> fut = task->get_future();
-    {
-      std::lock_guard lock(mu_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> fut = task.get_future();
+    enqueue(Job([t = std::move(task)]() mutable { t(); }));
     return fut;
   }
 
   /// Runs fn(i) for i in [0, n), blocking until every call finished.
-  /// Exceptions from any call propagate (the first one encountered).
+  /// Every index runs even if some throw; afterwards the exception from
+  /// the *lowest-index* failing call is rethrown, so the propagated
+  /// error does not depend on worker scheduling.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  void enqueue(Job job);
   void worker_loop();
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Job> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <numeric>
 #include <sstream>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 namespace prdma::bench {
@@ -166,6 +170,70 @@ TEST(Flags, ParsesReals) {
   const char* argv[] = {"prog", "--load=0.85"};
   Flags f(2, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(f.real("load", 0.0), 0.85);
+}
+
+// ----------------------------------------------------------- SweepRunner
+
+TEST(SweepRunner, JobsFromFlagsDefaultsToSerial) {
+  const char* argv[] = {"prog"};
+  EXPECT_EQ(jobs_from(Flags(1, const_cast<char**>(argv))), 1u);
+  const char* argv4[] = {"prog", "--jobs=4"};
+  EXPECT_EQ(jobs_from(Flags(2, const_cast<char**>(argv4))), 4u);
+  const char* argv0[] = {"prog", "--jobs=0"};
+  // 0 = hardware concurrency, resolved by the runner itself.
+  EXPECT_EQ(SweepRunner(jobs_from(Flags(2, const_cast<char**>(argv0)))).jobs(),
+            SweepRunner::default_jobs());
+}
+
+TEST(SweepRunner, MapReturnsResultsInSubmissionOrder) {
+  SweepRunner runner(4);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  const std::vector<int> out =
+      runner.map(items, [](const int& v) { return v * 3; });
+  ASSERT_EQ(out.size(), items.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(SweepRunner, MapNParityAcrossJobCounts) {
+  const auto cell = [](std::size_t i) {
+    // Deterministic per-cell work with its own state, as the contract
+    // (DESIGN.md §7.1) requires of every sweep cell.
+    std::uint64_t h = 0x9E3779B97F4A7C15ull + i;
+    for (int r = 0; r < 1000; ++r) h = h * 6364136223846793005ull + i;
+    return h;
+  };
+  SweepRunner serial(1);
+  SweepRunner wide(8);
+  EXPECT_EQ(serial.map_n(64, cell), wide.map_n(64, cell));
+}
+
+TEST(SweepRunner, RunMicroCellsMatchesSerialRunMicro) {
+  // The real thing end-to-end: whole simulations on worker threads must
+  // merge byte-identically to the serial loop.
+  std::vector<MicroCell> cells;
+  for (const auto sys :
+       {rpcs::System::kWFlushRpc, rpcs::System::kFaRM, rpcs::System::kSFlushRpc,
+        rpcs::System::kWFlushRpc}) {
+    MicroConfig cfg;
+    cfg.object_size = 512;
+    cfg.ops = 120;
+    cfg.seed = 5 + cells.size();
+    cells.push_back({sys, cfg});
+  }
+  SweepRunner parallel(4);
+  const auto par = run_micro_cells(parallel, cells);
+  ASSERT_EQ(par.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto ref = run_micro(cells[i].system, cells[i].cfg);
+    EXPECT_EQ(par[i].duration, ref.duration) << i;
+    EXPECT_EQ(par[i].ops_completed, ref.ops_completed) << i;
+    EXPECT_DOUBLE_EQ(par[i].kops, ref.kops) << i;
+    EXPECT_EQ(par[i].sim_events, ref.sim_events) << i;
+    EXPECT_EQ(par[i].latency.p99(), ref.latency.p99()) << i;
+  }
 }
 
 }  // namespace

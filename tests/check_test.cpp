@@ -180,6 +180,42 @@ TEST(Mutant, AckBeforePersistIsCaughtAndShrunk) {
   EXPECT_GT(v.at, 0u);
 }
 
+TEST(Explorer, ParallelJobsReportIsBitIdenticalToSerial) {
+  // The whole point of the sweep runner: --jobs only changes wall
+  // clock. Run the mutant hunt serial and 8-wide; every field of the
+  // report — counts, boundary harvest, first failure, shrunken minimal
+  // reproducer line — must match bit for bit.
+  ExplorerConfig cfg = mutant_config();
+  cfg.random_schedules = 12;
+  ExplorerConfig wide = cfg;
+  wide.jobs = 8;
+  const auto a = explore(cfg);
+  const auto b = explore(wide);
+  EXPECT_EQ(a.schedules_run, b.schedules_run);
+  EXPECT_EQ(a.schedules_failed, b.schedules_failed);
+  EXPECT_EQ(a.clean_end, b.clean_end);
+  EXPECT_EQ(a.boundary_points, b.boundary_points);
+  ASSERT_EQ(a.first_failure.has_value(), b.first_failure.has_value());
+  ASSERT_TRUE(a.first_failure.has_value())
+      << "mutant config must fail under both job counts";
+  EXPECT_EQ(a.first_failure->schedule.seed, b.first_failure->schedule.seed);
+  EXPECT_EQ(a.first_failure->schedule.crash_at,
+            b.first_failure->schedule.crash_at);
+  EXPECT_EQ(a.first_failure->schedule.ops, b.first_failure->schedule.ops);
+  ASSERT_EQ(a.first_failure->violations.size(),
+            b.first_failure->violations.size());
+  for (std::size_t i = 0; i < a.first_failure->violations.size(); ++i) {
+    EXPECT_EQ(a.first_failure->violations[i].kind,
+              b.first_failure->violations[i].kind);
+    EXPECT_EQ(a.first_failure->violations[i].seq,
+              b.first_failure->violations[i].seq);
+    EXPECT_EQ(a.first_failure->violations[i].at,
+              b.first_failure->violations[i].at);
+  }
+  ASSERT_EQ(a.minimal.has_value(), b.minimal.has_value());
+  EXPECT_EQ(a.reproducer, b.reproducer);
+}
+
 TEST(Mutant, ShrunkenReproducerRoundTrips) {
   const ExplorerConfig cfg = mutant_config();
   const auto rep = explore(cfg);

@@ -3,12 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <functional>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/sync.hpp"
@@ -127,6 +131,151 @@ TEST(Simulator, ManyEventsStressOrdering) {
   sim.run();
   EXPECT_TRUE(monotonic);
   EXPECT_EQ(sim.events_executed(), 20000u);
+}
+
+TEST(Simulator, SameTimestampFifoStressAcrossCollidingTimes) {
+  // Heavy duplicate-timestamp load: 200 events on each of 64 distinct
+  // times, scheduled round-robin so collisions interleave in the heap.
+  // Within a timestamp, execution order must equal scheduling order —
+  // the (time, seq) contract — regardless of heap arity or slot reuse.
+  Simulator sim;
+  std::vector<std::vector<int>> per_time(64);
+  for (int round = 0; round < 200; ++round) {
+    for (int t = 0; t < 64; ++t) {
+      sim.schedule_at(static_cast<SimTime>(t * 10), [&per_time, t, round] {
+        per_time[static_cast<std::size_t>(t)].push_back(round);
+      });
+    }
+  }
+  sim.run();
+  for (const auto& order : per_time) {
+    ASSERT_EQ(order.size(), 200u);
+    EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  }
+  EXPECT_EQ(sim.events_executed(), 200u * 64u);
+}
+
+TEST(Simulator, SteadyStateSchedulingIsAllocationFree) {
+  // Warm up to the high-water mark, then keep a self-rescheduling ring
+  // running: the slab free-list and heap capacity must absorb all
+  // further churn with zero growth of either counter.
+  Simulator sim;
+  std::uint64_t remaining = 50'000;
+  struct Ballast {  // big enough to defeat any std::function-style SSO
+    unsigned char bytes[64] = {};
+  };
+  const Ballast ballast;
+  std::function<void()> pump = [&] {
+    if (remaining == 0) return;
+    --remaining;
+    sim.schedule((remaining % 13) + 1, [&sim, &pump, ballast] { pump(); });
+  };
+  for (int i = 0; i < 100; ++i) pump();
+  for (int i = 0; i < 5'000; ++i) sim.step();  // warm-up window
+  const std::uint64_t pool0 = sim.pool_allocations();
+  const std::uint64_t heap0 = inline_fn_heap_allocs();
+  sim.run();
+  EXPECT_EQ(remaining, 0u);
+  EXPECT_EQ(sim.pool_allocations(), pool0) << "slab or heap vector grew";
+  EXPECT_EQ(inline_fn_heap_allocs(), heap0) << "a capture fell back to heap";
+}
+
+TEST(Simulator, SlabRecyclesSlotsAcrossEventWaves) {
+  Simulator sim;
+  for (int wave = 0; wave < 10; ++wave) {
+    for (int i = 0; i < 100; ++i) sim.schedule(i, [] {});
+    sim.run();
+  }
+  // Ten waves of 100 concurrent events each: the slab never needs more
+  // than one wave's worth of slots (rounded up to the chunk size).
+  EXPECT_LE(sim.slab_slots(), 256u);
+  EXPECT_EQ(sim.events_executed(), 1000u);
+}
+
+// -------------------------------------------------------- InlineFunction
+
+TEST(InlineFunction, SmallCaptureStaysInlineWithoutAllocating) {
+  const std::uint64_t heap0 = inline_fn_heap_allocs();
+  int hits = 0;
+  unsigned char payload[kEventInlineBytes - 16] = {};
+  InlineTask task([&hits, payload] { hits += 1 + payload[0]; });
+  EXPECT_TRUE(task.is_inline());
+  EXPECT_EQ(inline_fn_heap_allocs(), heap0);
+  task();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, OversizedCaptureFallsBackToHeapAndStillRuns) {
+  const std::uint64_t heap0 = inline_fn_heap_allocs();
+  int hits = 0;
+  unsigned char payload[kEventInlineBytes + 64] = {};
+  InlineTask task([&hits, payload] { hits += 1 + payload[0]; });
+  EXPECT_FALSE(task.is_inline());
+  EXPECT_EQ(inline_fn_heap_allocs(), heap0 + 1);
+  task();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, MoveTransfersTheCallable) {
+  int hits = 0;
+  InlineTask a([&hits] { ++hits; });
+  InlineTask b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  InlineTask c;
+  c = std::move(b);
+  EXPECT_FALSE(static_cast<bool>(b));  // NOLINT(bugprone-use-after-move)
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, MoveOnlyCapturesWork) {
+  // std::function rejects move-only captures; the engine's tasks and
+  // the pool's jobs rely on them (packaged_task, unique_ptr).
+  auto value = std::make_unique<int>(41);
+  InlineFunction<int(), 64> fn([v = std::move(value)] { return *v + 1; });
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(InlineFunction, DestroysTheCaptureExactlyOnce) {
+  const auto token = std::make_shared<int>(7);
+  EXPECT_EQ(token.use_count(), 1);
+  {
+    InlineTask task([token] {});
+    EXPECT_EQ(token.use_count(), 2);
+    InlineTask moved(std::move(task));
+    EXPECT_EQ(token.use_count(), 2) << "relocate must not duplicate";
+    moved.reset();
+    EXPECT_EQ(token.use_count(), 1);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFunction, ConsumeInvokesAndLeavesEmpty) {
+  const auto token = std::make_shared<int>(0);
+  InlineTask task([token] { ++*token; });
+  EXPECT_EQ(token.use_count(), 2);
+  task.consume();
+  EXPECT_EQ(*token, 1);
+  EXPECT_FALSE(static_cast<bool>(task));
+  EXPECT_EQ(token.use_count(), 1) << "consume must destroy the capture";
+}
+
+TEST(InlineFunction, EmplaceReplacesTheHeldCallable) {
+  const auto old_token = std::make_shared<int>(0);
+  InlineTask task([old_token] {});
+  EXPECT_EQ(old_token.use_count(), 2);
+  int hits = 0;
+  task.emplace([&hits] { ++hits; });
+  EXPECT_EQ(old_token.use_count(), 1) << "emplace must destroy the old";
+  task();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFunction, PassesArgumentsThrough) {
+  InlineFunction<int(int, int), 32> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(20, 22), 42);
 }
 
 // ---------------------------------------------------------------- Tasks
@@ -574,6 +723,44 @@ TEST(ThreadPool, ZeroThreadsClampedToOne) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 1u);
   EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, SubmitAcceptsMoveOnlyCallables) {
+  ThreadPool pool(2);
+  auto p = std::make_unique<int>(9);
+  auto f = pool.submit([p = std::move(p)] { return *p * 2; });
+  EXPECT_EQ(f.get(), 18);
+}
+
+TEST(ThreadPool, ParallelForPropagatesLowestIndexException) {
+  // Two cells throw; which one a worker reaches first is a race, but
+  // the caller must always observe the LOWEST failing index so error
+  // reports don't depend on thread scheduling.
+  ThreadPool pool(4);
+  for (int round = 0; round < 25; ++round) {
+    try {
+      pool.parallel_for(64, [](std::size_t i) {
+        if (i == 11 || i == 47) {
+          throw std::runtime_error("cell " + std::to_string(i));
+        }
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "cell 11");
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForRunsEveryCellDespiteAnException) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(32);
+  EXPECT_THROW(pool.parallel_for(32,
+                                 [&](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i == 5) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 // ------------------------------------------------------------- format_time
