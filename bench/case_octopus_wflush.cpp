@@ -10,6 +10,7 @@
 
 #include "bench_util/micro.hpp"
 #include "bench_util/sweep.hpp"
+#include "bench_util/flags.hpp"
 #include "bench_util/table.hpp"
 #include "core/node.hpp"
 #include "rpcs/baseline.hpp"
@@ -62,6 +63,10 @@ Outcome run(rpcs::BaselineConfig config, std::uint64_t ops,
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 800 : 3000);
   const std::uint64_t seed = flags.u64("seed", 1);
 

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "bench_util/sweep.hpp"
+#include "bench_util/flags.hpp"
 #include "bench_util/table.hpp"
 #include "check/explorer.hpp"
 
@@ -54,6 +55,10 @@ check::ExplorerConfig config_from(const bench::Flags& flags,
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   const std::string chosen = flags.str("variant", "all");
 
   std::printf("Crash-schedule explorer — durability oracle verdicts\n");

@@ -30,11 +30,14 @@
 #include <utility>
 #include <vector>
 
+#include "bench_util/flags.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/micro.hpp"
 #include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 #include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
+#include "trace/tracer.hpp"
 
 using namespace prdma;
 
@@ -157,6 +160,10 @@ double wall_seconds_since(std::chrono::steady_clock::time_point t0) {
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   const std::uint64_t events = flags.u64("events", 1'000'000);
   const std::uint64_t pingers = flags.u64("pingers", 1024);
   const std::uint64_t micro_ops = flags.u64("ops", 2000);
@@ -209,25 +216,68 @@ int main(int argc, char** argv) {
   engine.print();
   std::printf("speedup vs legacy: %.2fx\n\n", new_eps / legacy_eps);
 
-  // ---- 2. reference micro cell ------------------------------------
+  // ---- 2. reference micro cell + tracer overhead ------------------
+  // Same cell at every tracer depth. kOff is the zero-allocs reference;
+  // kCounters (the default of every micro cell) and kFull must match
+  // its heap-fallback count exactly — recording is preallocated — and
+  // the wall-clock delta over the records folded in is the per-span
+  // overhead the tracing layer charges (DESIGN.md §7.2).
   bench::MicroConfig mc;
   mc.object_size = 1024;
   mc.ops = micro_ops;
   mc.read_ratio = 0.0;
-  const std::uint64_t mheap0 = sim::inline_fn_heap_allocs();
-  const auto m0 = std::chrono::steady_clock::now();
-  const auto mres = bench::run_micro(rpcs::System::kWFlushRpc, mc);
-  const double micro_secs = wall_seconds_since(m0);
-  const std::uint64_t micro_fallbacks = sim::inline_fn_heap_allocs() - mheap0;
+
+  const auto timed_cell = [&mc](trace::Mode mode, double& secs,
+                                std::uint64_t& fallbacks) {
+    mc.trace_mode = mode;
+    const std::uint64_t h0 = sim::inline_fn_heap_allocs();
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = bench::run_micro(rpcs::System::kWFlushRpc, mc);
+    secs = wall_seconds_since(t0);
+    fallbacks = sim::inline_fn_heap_allocs() - h0;
+    return res;
+  };
+
+  double micro_secs = 0, counters_secs = 0, full_secs = 0;
+  std::uint64_t micro_fallbacks = 0, counters_fallbacks = 0,
+                full_fallbacks = 0;
+  const auto mres = timed_cell(trace::Mode::kOff, micro_secs, micro_fallbacks);
+  const auto cres =
+      timed_cell(trace::Mode::kCounters, counters_secs, counters_fallbacks);
+  const auto fres = timed_cell(trace::Mode::kFull, full_secs, full_fallbacks);
+  mc.trace_mode = trace::Mode::kCounters;  // back to the default
+
   const double micro_eps = static_cast<double>(mres.sim_events) / micro_secs;
+  const auto records = static_cast<double>(
+      std::max<std::uint64_t>(fres.breakdown.total_samples(), 1));
+  const double counters_span_ns =
+      std::max(0.0, (counters_secs - micro_secs) * 1e9 / records);
+  const double full_span_ns =
+      std::max(0.0, (full_secs - micro_secs) * 1e9 / records);
 
   std::printf("reference micro cell (WFlush-RPC, 1KB writes, %llu ops):\n",
               static_cast<unsigned long long>(micro_ops));
   std::printf("  %llu events in %.3fs -> %.2fM events/sec, "
-              "%llu heap fallbacks\n\n",
+              "%llu heap fallbacks\n",
               static_cast<unsigned long long>(mres.sim_events), micro_secs,
               micro_eps / 1e6,
               static_cast<unsigned long long>(micro_fallbacks));
+  std::printf("  tracer overhead over %.0f records: counters %+.1f ns/span "
+              "(%llu fallbacks), full %+.1f ns/span (%llu fallbacks)\n",
+              records, counters_span_ns,
+              static_cast<unsigned long long>(counters_fallbacks),
+              full_span_ns, static_cast<unsigned long long>(full_fallbacks));
+
+  // Tracing must be an observer: the simulation itself is unchanged at
+  // any depth, and recording never falls back to the heap.
+  const bool trace_inert =
+      mres.sim_events == cres.sim_events && mres.sim_events == fres.sim_events &&
+      mres.duration == cres.duration && mres.duration == fres.duration &&
+      mres.ops_completed == cres.ops_completed &&
+      mres.ops_completed == fres.ops_completed &&
+      counters_fallbacks == micro_fallbacks && full_fallbacks == micro_fallbacks;
+  std::printf("  tracing inert (identical sim, no extra fallbacks): %s\n\n",
+              trace_inert ? "yes" : "NO — DIVERGED");
 
   // ---- 3. sweep wall-clock: jobs=1 vs jobs=N ----------------------
   std::vector<bench::MicroCell> cells;
@@ -263,37 +313,37 @@ int main(int argc, char** argv) {
               identical ? "identical" : "DIVERGED");
 
   // ---- 4. JSON record ---------------------------------------------
-  if (FILE* f = std::fopen(out.c_str(), "w")) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"bench\": \"engine_perf\",\n"
-                 "  \"events\": %llu,\n"
-                 "  \"events_per_sec\": %.0f,\n"
-                 "  \"events_per_sec_legacy\": %.0f,\n"
-                 "  \"speedup_vs_legacy\": %.3f,\n"
-                 "  \"steady_state_allocs_per_event\": %.6f,\n"
-                 "  \"micro_cell_events\": %llu,\n"
-                 "  \"micro_cell_events_per_sec\": %.0f,\n"
-                 "  \"micro_cell_heap_fallbacks\": %llu,\n"
-                 "  \"sweep_cells\": %zu,\n"
-                 "  \"sweep_jobs\": %zu,\n"
-                 "  \"sweep_serial_secs\": %.3f,\n"
-                 "  \"sweep_parallel_secs\": %.3f,\n"
-                 "  \"sweep_speedup\": %.3f,\n"
-                 "  \"sweep_identical\": %s\n"
-                 "}\n",
-                 static_cast<unsigned long long>(events), new_eps, legacy_eps,
-                 new_eps / legacy_eps, allocs_per_event,
-                 static_cast<unsigned long long>(mres.sim_events), micro_eps,
-                 static_cast<unsigned long long>(micro_fallbacks),
-                 cells.size(), sweep_jobs, serial_secs, parallel_secs,
-                 serial_secs / parallel_secs, identical ? "true" : "false");
-    std::fclose(f);
-    std::printf("\nwrote %s\n", out.c_str());
-  } else {
+  bench::Json doc = bench::Json::object();
+  doc.set("bench", bench::Json::str("engine_perf"))
+      .set("events", bench::Json::num(events))
+      .set("events_per_sec", bench::Json::num(new_eps))
+      .set("events_per_sec_legacy", bench::Json::num(legacy_eps))
+      .set("speedup_vs_legacy", bench::Json::num(new_eps / legacy_eps))
+      .set("steady_state_allocs_per_event", bench::Json::num(allocs_per_event))
+      .set("micro_cell_events", bench::Json::num(mres.sim_events))
+      .set("micro_cell_events_per_sec", bench::Json::num(micro_eps))
+      .set("micro_cell_heap_fallbacks", bench::Json::num(micro_fallbacks))
+      .set("tracer_records", bench::Json::num(
+               static_cast<std::uint64_t>(records)))
+      .set("tracer_counters_ns_per_span", bench::Json::num(counters_span_ns))
+      .set("tracer_full_ns_per_span", bench::Json::num(full_span_ns))
+      .set("tracer_counters_heap_fallbacks",
+           bench::Json::num(counters_fallbacks))
+      .set("tracer_full_heap_fallbacks", bench::Json::num(full_fallbacks))
+      .set("tracer_inert", bench::Json::boolean(trace_inert))
+      .set("sweep_cells", bench::Json::num(
+               static_cast<std::uint64_t>(cells.size())))
+      .set("sweep_jobs", bench::Json::num(
+               static_cast<std::uint64_t>(sweep_jobs)))
+      .set("sweep_serial_secs", bench::Json::num(serial_secs))
+      .set("sweep_parallel_secs", bench::Json::num(parallel_secs))
+      .set("sweep_speedup", bench::Json::num(serial_secs / parallel_secs))
+      .set("sweep_identical", bench::Json::boolean(identical));
+  if (!bench::emit_json(out, doc)) {
     std::printf("\nfailed to open %s for writing\n", out.c_str());
     return 2;
   }
+  std::printf("\nwrote %s\n", out.c_str());
 
-  return identical && steady_allocs == 0 ? 0 : 1;
+  return identical && trace_inert && steady_allocs == 0 ? 0 : 1;
 }

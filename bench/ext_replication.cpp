@@ -13,6 +13,7 @@
 
 #include "bench_util/micro.hpp"
 #include "bench_util/sweep.hpp"
+#include "bench_util/flags.hpp"
 #include "bench_util/table.hpp"
 #include "core/durable_rpc.hpp"
 #include "rpcs/registry.hpp"
@@ -107,6 +108,10 @@ double run_traditional(std::uint64_t ops, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 500 : 2000);
   const std::uint64_t seed = flags.u64("seed", 1);
 

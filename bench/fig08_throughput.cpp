@@ -9,17 +9,25 @@
 #include <string>
 #include <vector>
 
+#include "bench_util/flags.hpp"
 #include "bench_util/micro.hpp"
+#include "bench_util/report.hpp"
 #include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
 
 int main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv, {},
+                           "Fig. 8: RPC throughput, heavy & light load.");
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1500 : 6000);
   const std::uint64_t seed = flags.u64("seed", 1);
   bench::SweepRunner runner(bench::jobs_from(flags));
+  bench::Report report(flags, "fig08_throughput");
 
   const std::vector<std::uint32_t> sizes = {32, 1024, 64 * 1024};
 
@@ -48,6 +56,7 @@ int main(int argc, char** argv) {
         cfg.seed = seed;
         cfg.heavy_load = heavy;
         cfg.durable_pipeline = 2;  // §4.2: senders run ahead of processing
+        report.configure(cfg);
         cells.push_back({sys, cfg});
       }
     }
@@ -58,14 +67,20 @@ int main(int argc, char** argv) {
     for (const rpcs::System sys : lineup) {
       std::vector<std::string> row{std::string(rpcs::name_of(sys))};
       for (const std::uint32_t size : sizes) {
-        row.push_back(skip(sys, size)
-                          ? "-"
-                          : bench::TablePrinter::num(results[k++].kops, 1));
+        if (skip(sys, size)) {
+          row.push_back("-");
+          continue;
+        }
+        report.add(std::string(rpcs::name_of(sys)) + "/" +
+                       std::to_string(size) + "B/" +
+                       (heavy ? "heavy" : "light"),
+                   results[k]);
+        row.push_back(bench::TablePrinter::num(results[k++].kops, 1));
       }
       table.add_row(std::move(row));
     }
     table.print();
     std::printf("\n");
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

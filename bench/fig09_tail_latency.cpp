@@ -1,22 +1,31 @@
 // Reproduces Fig. 9: 95th / 99th percentile and average latency of the
 // RPC systems for 1 KB and 64 KB objects (micro-benchmark, §5.2).
 //
-// Flags: --ops=N (default 6000), --seed=N, --jobs=N, --quick
+// Flags: --ops=N (default 6000), --seed=N, --jobs=N, --quick,
+//        --json=PATH, --trace=PATH
 
 #include <cstdio>
 #include <vector>
 
+#include "bench_util/flags.hpp"
 #include "bench_util/micro.hpp"
+#include "bench_util/report.hpp"
 #include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
 
 int main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv, {},
+                           "Fig. 9: tail and average RPC latency.");
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1500 : 6000);
   const std::uint64_t seed = flags.u64("seed", 1);
   bench::SweepRunner runner(bench::jobs_from(flags));
+  bench::Report report(flags, "fig09_tail_latency");
 
   std::printf("Fig. 9 — tail and average RPC latency (us)\n");
   std::printf("zipfian(0.99), R:W 1:1, ops/cell=%llu, seed=%llu\n\n",
@@ -35,6 +44,7 @@ int main(int argc, char** argv) {
       cfg.object_size = sizes[si];
       cfg.ops = ops;
       cfg.seed = seed;
+      report.configure(cfg);
       cells.push_back({sys, cfg});
       systems.push_back(sys);
     }
@@ -47,9 +57,12 @@ int main(int argc, char** argv) {
                      bench::TablePrinter::num(res.p95_us(), 1),
                      bench::TablePrinter::num(res.p99_us(), 1),
                      bench::TablePrinter::num(res.avg_us(), 1)});
+      report.add(std::string(rpcs::name_of(systems[k])) + "/" +
+                     std::to_string(sizes[si]) + "B",
+                 res);
     }
     table.print();
     std::printf("\n");
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "bench_util/sweep.hpp"
+#include "bench_util/flags.hpp"
 #include "bench_util/table.hpp"
 #include "graph/pagerank.hpp"
 
@@ -17,6 +18,10 @@ using namespace prdma;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   graph::PageRankConfig cfg;
   cfg.iterations = static_cast<std::uint32_t>(
       flags.u64("iters", flags.flag("quick") ? 3 : 10));

@@ -3,22 +3,31 @@
 // below ~4 KB and transfer-dominated above; send-based RPCs (DaRPC)
 // are the most size-sensitive.
 //
-// Flags: --ops=N (default 4000), --seed=N, --jobs=N, --quick
+// Flags: --ops=N (default 4000), --seed=N, --jobs=N, --quick,
+//        --json=PATH, --trace=PATH
 
 #include <cstdio>
 #include <vector>
 
+#include "bench_util/flags.hpp"
 #include "bench_util/micro.hpp"
+#include "bench_util/report.hpp"
 #include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
 
 int main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(argc, argv, {},
+                           "Fig. 13: average latency vs object size.");
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
   bench::SweepRunner runner(bench::jobs_from(flags));
+  bench::Report report(flags, "fig13_object_size");
 
   std::printf("Fig. 13 — average latency (us) vs object size\n\n");
 
@@ -37,6 +46,7 @@ int main(int argc, char** argv) {
       cfg.object_size = size;
       cfg.ops = ops;
       cfg.seed = seed;
+      report.configure(cfg);
       cells.push_back({sys, cfg});
     }
   }
@@ -47,12 +57,17 @@ int main(int argc, char** argv) {
   for (const rpcs::System sys : lineup) {
     std::vector<std::string> row{std::string(rpcs::name_of(sys))};
     for (const std::uint32_t size : sizes) {
-      row.push_back(skip(sys, size)
-                        ? "-"
-                        : bench::TablePrinter::num(results[k++].avg_us(), 1));
+      if (skip(sys, size)) {
+        row.push_back("-");
+        continue;
+      }
+      report.add(std::string(rpcs::name_of(sys)) + "/" +
+                     std::to_string(size) + "B",
+                 results[k]);
+      row.push_back(bench::TablePrinter::num(results[k++].avg_us(), 1));
     }
     table.add_row(std::move(row));
   }
   table.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -10,12 +10,17 @@
 
 #include "bench_util/micro.hpp"
 #include "bench_util/sweep.hpp"
+#include "bench_util/flags.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
   const double busy = flags.real("load", 3.0);

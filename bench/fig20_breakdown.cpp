@@ -2,31 +2,45 @@
 // software, network round trips (hardware) and receiver critical-path
 // software, for a YCSB-A-like workload (4 KB, R:W 1:1, zipfian).
 //
-// Sender/receiver software is measured directly from the host cost
-// accounting; the hardware share is the remainder. For the durable
-// RPCs the receiver column counts only work the client waits on —
-// asynchronous processing is the whole point of §4.2.
+// Sender/receiver software comes from the tracer's span totals
+// (kSenderSw / kReceiverSw, DESIGN.md §7.2); the hardware share is the
+// remainder. For the durable RPCs the receiver column counts only work
+// the client waits on — asynchronous processing is the whole point of
+// §4.2. --trace additionally exports every cell's spans as a
+// Chrome/Perfetto trace, one process lane per system.
 //
-// Flags: --ops=N (default 4000), --seed=N, --jobs=N, --quick
+// Flags: --ops=N (default 4000), --seed=N, --jobs=N, --quick,
+//        --json=PATH, --trace=PATH
 
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "bench_util/flags.hpp"
 #include "bench_util/micro.hpp"
+#include "bench_util/report.hpp"
 #include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
 
 int main(int argc, char** argv) {
-  const bench::Flags flags(argc, argv);
+  const bench::Flags flags(
+      argc, argv, {},
+      "Fig. 20: sender SW / network / receiver SW latency breakdown.");
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
 
   std::printf("Fig. 20 — latency breakdown (us/op), YCSB-A-like workload\n\n");
 
   bench::SweepRunner runner(bench::jobs_from(flags));
+  bench::Report report(flags, "fig20_breakdown");
+  report.meta("ops", bench::Json::num(ops));
+  report.meta("seed", bench::Json::num(seed));
   const auto lineup = rpcs::evaluation_lineup(64 * 1024);
   std::vector<bench::MicroCell> cells;
   for (const rpcs::System sys : lineup) {
@@ -34,6 +48,7 @@ int main(int argc, char** argv) {
     cfg.object_size = 4096;
     cfg.ops = ops;
     cfg.seed = seed;
+    report.configure(cfg);
     cells.push_back({sys, cfg});
   }
   const auto results = bench::run_micro_cells(runner, cells);
@@ -54,7 +69,8 @@ int main(int argc, char** argv) {
                    bench::TablePrinter::num(receiver / 1e3, 2),
                    bench::TablePrinter::num(total / 1e3, 2),
                    bench::TablePrinter::num(sw_share * 100.0, 1) + "%"});
+    report.add(std::string(rpcs::name_of(sys)), res);
   }
   table.print();
-  return 0;
+  return report.write() ? 0 : 1;
 }

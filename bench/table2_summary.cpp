@@ -14,6 +14,7 @@
 
 #include "bench_util/micro.hpp"
 #include "bench_util/sweep.hpp"
+#include "bench_util/flags.hpp"
 #include "bench_util/table.hpp"
 
 using namespace prdma;
@@ -36,6 +37,10 @@ std::string tercile(double v, std::vector<double> all,
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 800 : 2500);
   const std::uint64_t seed = flags.u64("seed", 1);
 

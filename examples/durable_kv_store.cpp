@@ -10,6 +10,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_util/flags.hpp"
 #include "bench_util/table.hpp"
 #include "kv/ycsb.hpp"
 
@@ -17,6 +18,10 @@ using namespace prdma;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   kv::YcsbConfig cfg;
   cfg.workload = kv::Workload::kA;  // 50% update / 50% read, zipfian
   cfg.records = 4096;

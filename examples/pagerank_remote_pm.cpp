@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util/flags.hpp"
 #include "bench_util/table.hpp"
 #include "graph/pagerank.hpp"
 
@@ -14,6 +15,10 @@ using namespace prdma;
 
 int main(int argc, char** argv) {
   const bench::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
   graph::PageRankConfig cfg;
   cfg.iterations = static_cast<std::uint32_t>(flags.u64("iters", 5));
 

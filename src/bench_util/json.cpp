@@ -1,0 +1,177 @@
+#include "bench_util/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+namespace prdma::bench {
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObj;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArr;
+  return j;
+}
+
+Json Json::str(std::string v) {
+  Json j;
+  j.kind_ = Kind::kStr;
+  j.s_ = std::move(v);
+  return j;
+}
+
+Json Json::num(double v) {
+  Json j;
+  j.kind_ = Kind::kF64;
+  j.d_ = v;
+  return j;
+}
+
+Json Json::num(std::uint64_t v) {
+  Json j;
+  j.kind_ = Kind::kU64;
+  j.u_ = v;
+  return j;
+}
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.b_ = v;
+  return j;
+}
+
+Json& Json::set(std::string key, Json v) {
+  kind_ = Kind::kObj;
+  members_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+Json& Json::push(Json v) {
+  kind_ = Kind::kArr;
+  items_.push_back(std::move(v));
+  return *this;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth),
+             ' ');
+}
+
+}  // namespace
+
+void Json::render(std::string& out, int indent, int depth) const {
+  char buf[64];
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += b_ ? "true" : "false";
+      break;
+    case Kind::kU64:
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, u_);
+      out += buf;
+      break;
+    case Kind::kF64:
+      if (!std::isfinite(d_)) {
+        out += "null";  // JSON has no inf/nan
+      } else {
+        // %.10g: enough for bench stats, short, and bit-stable for
+        // identical doubles — the determinism contract needs no more.
+        std::snprintf(buf, sizeof(buf), "%.10g", d_);
+        out += buf;
+      }
+      break;
+    case Kind::kStr:
+      out += '"';
+      out += escape(s_);
+      out += '"';
+      break;
+    case Kind::kArr: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        items_[i].render(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObj: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        out += '"';
+        out += escape(members_[i].first);
+        out += indent > 0 ? "\": " : "\":";
+        members_[i].second.render(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  render(out, indent, 0);
+  return out;
+}
+
+bool emit_json(const std::string& path, const Json& doc) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "emit_json: cannot open " << path << "\n";
+    return false;
+  }
+  os << doc.dump() << "\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace prdma::bench

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace prdma::bench {
+
+/// Tiny deterministic JSON document builder for bench outputs
+/// (`--json`, BENCH_engine.json). Objects keep insertion order and
+/// numbers render through fixed snprintf formats, so a result document
+/// is byte-identical for identical inputs — the same contract the
+/// sweep runner gives the console tables (DESIGN.md §7.1).
+class Json {
+ public:
+  Json() = default;  ///< null
+
+  static Json object();
+  static Json array();
+  static Json str(std::string v);
+  static Json num(double v);
+  static Json num(std::uint64_t v);
+  static Json num(int v) { return num(static_cast<std::uint64_t>(v)); }
+  static Json boolean(bool v);
+
+  /// Object member (insertion order preserved). Returns *this to chain.
+  Json& set(std::string key, Json v);
+  /// Array element. Returns *this to chain.
+  Json& push(Json v);
+
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Renders the document; `indent` spaces per level (0 = compact).
+  [[nodiscard]] std::string dump(int indent = 2) const;
+
+  /// JSON string escaping (exposed for the trace exporter/tests).
+  static std::string escape(const std::string& s);
+
+ private:
+  enum class Kind : std::uint8_t { kNull, kBool, kU64, kF64, kStr, kArr, kObj };
+
+  void render(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool b_ = false;
+  std::uint64_t u_ = 0;
+  double d_ = 0.0;
+  std::string s_;
+  std::vector<Json> items_;                           // kArr
+  std::vector<std::pair<std::string, Json>> members_; // kObj
+};
+
+/// Writes `doc.dump()` (plus trailing newline) to `path`. Returns
+/// false (and prints to stderr) when the file cannot be written.
+bool emit_json(const std::string& path, const Json& doc);
+
+}  // namespace prdma::bench

@@ -8,6 +8,7 @@
 #include "sim/rng.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
+#include "trace/export.hpp"
 
 namespace prdma::bench {
 
@@ -107,6 +108,8 @@ Task<> drive_client(ClientDriver drv, const MicroConfig cfg,
 MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   const ModelParams params = params_for(cfg);
   core::Cluster cluster(params, 1 + cfg.clients);
+  trace::Tracer& tracer = cluster.tracer();
+  tracer.enable(cfg.trace_mode, cfg.trace_capacity);
 
   std::vector<std::size_t> client_nodes;
   for (std::size_t i = 1; i <= cfg.clients; ++i) client_nodes.push_back(i);
@@ -115,6 +118,9 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   cluster.node(0).host().set_load(cfg.server_cpu_load);
   for (const std::size_t i : client_nodes) {
     cluster.node(i).host().set_load(cfg.client_cpu_load);
+    // Client host software is the sender side of the Fig. 20 breakdown.
+    cluster.node(i).host().set_tracer(&tracer, trace::Component::kSenderSw,
+                                      static_cast<std::uint16_t>(i));
   }
 
   MicroResult result;
@@ -155,15 +161,42 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   result.server = dep.server->stats();
   result.sim_events = cluster.sim().events_executed();
   if (result.ops_completed > 0) {
+    const auto ops = static_cast<double>(result.ops_completed);
     std::uint64_t client_sw = 0;
     for (const std::size_t i : client_nodes) {
       client_sw += cluster.node(i).host().charged_ns();
     }
-    result.sender_sw_ns =
-        static_cast<double>(client_sw) / static_cast<double>(result.ops_completed);
-    result.receiver_sw_ns =
-        static_cast<double>(result.server.critical_sw_ns) /
-        static_cast<double>(result.ops_completed);
+    result.legacy_sender_sw_ns = static_cast<double>(client_sw) / ops;
+    result.legacy_receiver_sw_ns =
+        static_cast<double>(result.server.critical_sw_ns) / ops;
+    if (tracer.enabled()) {
+      // Span-derived accounting: exact parity with the legacy counters
+      // (pinned by trace_test), but decomposed per component.
+      result.sender_sw_ns =
+          static_cast<double>(tracer.total_ns(trace::Component::kSenderSw)) /
+          ops;
+      result.receiver_sw_ns =
+          static_cast<double>(tracer.total_ns(trace::Component::kReceiverSw)) /
+          ops;
+    } else {
+      result.sender_sw_ns = result.legacy_sender_sw_ns;
+      result.receiver_sw_ns = result.legacy_receiver_sw_ns;
+    }
+  }
+  if (tracer.enabled()) {
+    for (trace::ComponentId id = 0; id < tracer.component_count(); ++id) {
+      const std::uint64_t total = tracer.total_ns(id);
+      if (total == 0) continue;  // counters and idle components
+      const trace::ComponentId mine =
+          id < trace::kPredefinedComponents
+              ? id
+              : result.breakdown.intern(tracer.name_of(id));
+      result.breakdown.add_total(mine, total, tracer.samples(id));
+    }
+    if (tracer.mode() == trace::Mode::kFull) {
+      result.trace_json = trace::chrome_fragment(
+          tracer, cfg.trace_pid, std::string(rpcs::name_of(system)));
+    }
   }
   if (end_time > 0) {
     result.kops = static_cast<double>(result.ops_completed) * cfg.batch /

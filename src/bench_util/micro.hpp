@@ -9,6 +9,7 @@
 #include "rpcs/registry.hpp"
 #include "stats/breakdown.hpp"
 #include "stats/histogram.hpp"
+#include "trace/tracer.hpp"
 
 namespace prdma::bench {
 
@@ -44,6 +45,13 @@ struct MicroConfig {
   /// must wait for the response). Latency benches keep this at 1;
   /// throughput benches (Fig. 8) raise it.
   std::uint32_t durable_pipeline = 1;
+  // ---- tracing (DESIGN.md §7.2) ----
+  /// kCounters by default: exact per-component totals feed the span
+  /// breakdown and sender/receiver software accounting of every cell;
+  /// Report::configure upgrades to kFull when --trace is given.
+  trace::Mode trace_mode = trace::Mode::kCounters;
+  std::size_t trace_capacity = trace::Tracer::kDefaultCapacity;
+  std::uint32_t trace_pid = 1;  ///< Chrome pid of this cell's fragment
 };
 
 /// Outcome of one micro-benchmark cell.
@@ -57,8 +65,17 @@ struct MicroResult {
   core::ServerStats server;
   std::uint64_t ops_completed = 0;
   std::uint64_t sim_events = 0;  ///< simulator events the cell replayed
-  double sender_sw_ns = 0.0;    ///< client software per op (measured)
-  double receiver_sw_ns = 0.0;  ///< receiver critical-path software per op
+  /// Span-derived (tracer) software costs per op — what Fig. 20 plots.
+  double sender_sw_ns = 0.0;    ///< client software per op (kSenderSw spans)
+  double receiver_sw_ns = 0.0;  ///< receiver critical path (kReceiverSw spans)
+  /// Pre-trace accounting (host charged-ns / ServerStats counters),
+  /// kept one release as the regression reference for the span path.
+  double legacy_sender_sw_ns = 0.0;
+  double legacy_receiver_sw_ns = 0.0;
+  /// Per-component time totals from the cell's tracer.
+  stats::SpanBreakdown breakdown;
+  /// Chrome trace-event fragment (kFull cells only; see Report).
+  std::string trace_json;
 
   [[nodiscard]] double avg_us() const { return latency.mean() / 1e3; }
   [[nodiscard]] double p95_us() const {

@@ -7,7 +7,7 @@
 #include <utility>
 #include <vector>
 
-#include "bench_util/table.hpp"
+#include "bench_util/flags.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace prdma::bench {

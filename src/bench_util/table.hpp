@@ -1,8 +1,5 @@
 #pragma once
 
-#include <cstdio>
-#include <map>
-#include <cstdint>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -58,44 +55,6 @@ class TablePrinter {
   std::vector<std::string> headers_;
   std::vector<std::size_t> widths_;
   std::vector<std::vector<std::string>> rows_;
-};
-
-/// Minimal --key=value flag parser shared by the bench binaries.
-class Flags {
- public:
-  Flags(int argc, char** argv) {
-    for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--", 0) != 0) continue;
-      const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        kv_[arg.substr(2)] = "1";
-      } else {
-        kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
-      }
-    }
-  }
-
-  [[nodiscard]] std::uint64_t u64(const std::string& key,
-                                  std::uint64_t def) const {
-    const auto it = kv_.find(key);
-    return it == kv_.end() ? def : std::stoull(it->second);
-  }
-  [[nodiscard]] double real(const std::string& key, double def) const {
-    const auto it = kv_.find(key);
-    return it == kv_.end() ? def : std::stod(it->second);
-  }
-  [[nodiscard]] bool flag(const std::string& key) const {
-    return kv_.contains(key);
-  }
-  [[nodiscard]] std::string str(const std::string& key,
-                                std::string def) const {
-    const auto it = kv_.find(key);
-    return it == kv_.end() ? std::move(def) : it->second;
-  }
-
- private:
-  std::map<std::string, std::string> kv_;
 };
 
 }  // namespace prdma::bench

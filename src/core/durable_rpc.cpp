@@ -209,10 +209,17 @@ sim::Task<> DurableRpcServer::conn_loop_write_based(Conn& conn) {
       // sender immediately — *before* processing (§4.1.2, Fig. 4c).
       // (In smartNIC mode the NIC already did both, §4.5.)
       const std::uint64_t sw0 = host.charged_ns();
+      const sim::SimTime persist_t0 = cluster_.sim().now();
       co_await persist_slot(conn, *e);
       co_await host.exec(host.params().post_cost);
       notify_word(conn, conn.notify_persist_addr, *seq);
       stats_.critical_sw_ns += host.charged_ns() - sw0;
+      auto& tr = cluster_.tracer();
+      const sim::SimTime done = cluster_.sim().now();
+      tr.span(trace::Component::kOpPersist, *seq, persist_t0, done, trace_track());
+      tr.span(trace::Component::kPersistAck, *seq, done, done, trace_track());
+      tr.span_charged(trace::Component::kReceiverSw, *seq, persist_t0,
+                      host.charged_ns() - sw0, trace_track());
     }
 
     if (e->op == RpcOp::kRead && conn.backlog == 0) {
@@ -220,8 +227,11 @@ sim::Task<> DurableRpcServer::conn_loop_write_based(Conn& conn) {
       // the poller answers reads inline — no worker thread is spawned
       // (dispatch cost is a write/queued-read artifact).
       const std::uint64_t sw0 = host.charged_ns();
+      const sim::SimTime fast_t0 = cluster_.sim().now();
       co_await process_item(WorkItem{&conn, *e, false, /*fast=*/true});
       stats_.critical_sw_ns += host.charged_ns() - sw0;
+      cluster_.tracer().span_charged(trace::Component::kReceiverSw, *seq,
+                                     fast_t0, host.charged_ns() - sw0, trace_track());
       continue;
     }
     ++conn.backlog;
@@ -251,6 +261,7 @@ sim::Task<> DurableRpcServer::conn_loop_send_based(Conn& conn) {
     conn.next_seq = e->seq + 1;
 
     const std::uint64_t sw0 = host.charged_ns();
+    const sim::SimTime crit_t0 = cluster_.sim().now();
     if (variant_ == FlushVariant::kSRFlush && e->op == RpcOp::kWrite) {
       // Receiver-initiated persist of a send: the CPU streams the
       // message image into the redo log with non-temporal stores
@@ -267,6 +278,12 @@ sim::Task<> DurableRpcServer::conn_loop_send_based(Conn& conn) {
       server_.mem().pm().poke(slot, buf);  // ntstore: persist-domain direct
       co_await host.exec(host.params().post_cost);
       notify_word(conn, conn.notify_persist_addr, e->seq);
+      auto& tr = cluster_.tracer();
+      const sim::SimTime ack_at = cluster_.sim().now();
+      tr.span(trace::Component::kOpPersist, e->seq, crit_t0, ack_at,
+              trace_track());
+      tr.span(trace::Component::kPersistAck, e->seq, ack_at, ack_at,
+              trace_track());
     }
     // For SFlush the RNIC copies the message into the log slot on its
     // own schedule (client's SFlush, Fig. 5 step B). The worker
@@ -286,9 +303,15 @@ sim::Task<> DurableRpcServer::conn_loop_send_based(Conn& conn) {
     if (e->op == RpcOp::kRead && conn.backlog == 0) {
       co_await process_item(WorkItem{&conn, *e, false, /*fast=*/true});
       stats_.critical_sw_ns += host.charged_ns() - sw0;
+      cluster_.tracer().span_charged(trace::Component::kReceiverSw, e->seq,
+                                     crit_t0, host.charged_ns() - sw0,
+                                     trace_track());
       continue;
     }
     stats_.critical_sw_ns += host.charged_ns() - sw0;
+    cluster_.tracer().span_charged(trace::Component::kReceiverSw, e->seq,
+                                   crit_t0, host.charged_ns() - sw0,
+                                   trace_track());
     ++conn.backlog;
     stats_.backlog_peak = std::max(stats_.backlog_peak, backlog());
     if (backlog() > params_.flow_threshold) ++stats_.throttle_events;
@@ -313,6 +336,7 @@ sim::Task<> DurableRpcServer::process_item(WorkItem item) {
   const LogEntryView& e = item.entry;
   auto& host = server_.host();
   const std::uint64_t epoch = epoch_;
+  const sim::SimTime work_t0 = cluster_.sim().now();
 
   if (params_.rpc_processing > 0) {
     if (!item.fast) {
@@ -356,6 +380,8 @@ sim::Task<> DurableRpcServer::process_item(WorkItem item) {
   if (item.recovered) {
     ++stats_.recoveries;
   }
+  cluster_.tracer().span(trace::Component::kWorker, e.seq, work_t0,
+                         cluster_.sim().now(), trace_track());
   co_await advance_consumed(conn, e.seq);
 }
 
@@ -542,15 +568,24 @@ sim::Task<RpcResult> DurableRpcClient::transmit_entry(RpcOp op,
                                                       std::uint32_t len,
                                                       std::uint32_t batch) {
   auto& sim = server_.cluster_.sim();
+  auto& tracer = server_.cluster_.tracer();
+  const auto track = static_cast<std::uint16_t>(node_.id());
   RpcResult res;
   res.issued_at = sim.now();
   if (aborted_) co_return res;
 
+  const SimTime stall_t0 = sim.now();
   co_await window_.acquire();
   if (aborted_) {
     window_.release();
     co_return res;
   }
+  if (sim.now() > stall_t0) {
+    // §4.4 flow control: the window was full and the sender stalled.
+    tracer.span(trace::Component::kFlowStall, next_seq_, stall_t0, sim.now(),
+                track);
+  }
+  const SimTime append_t0 = sim.now();
   co_await node_.host().charge_post();
 
   // -- No suspension between sequence assignment and the posts: the
@@ -575,6 +610,11 @@ sim::Task<RpcResult> DurableRpcClient::transmit_entry(RpcOp op,
   const LogLayout& lay = server_.conns_[conn_idx_]->log.layout();
   const std::uint64_t slot = lay.slot_addr(seq);
   const std::uint64_t image_len = image.size();
+
+  // Staging + post of the redo-log entry (all branches post without
+  // suspending, so [append_t0, now] covers the whole append section).
+  tracer.span(trace::Component::kLogAppend, seq, append_t0, sim.now(), track);
+  const SimTime persist_t0 = sim.now();
 
   bool durable_ok = false;
   if (op == RpcOp::kRead) {
@@ -617,8 +657,11 @@ sim::Task<RpcResult> DurableRpcClient::transmit_entry(RpcOp op,
 
   if (!durable_ok || aborted_) co_return res;  // res.ok == false
   res.durable_at = sim.now();
-
   if (op == RpcOp::kWrite) {
+    // Post end -> remote durability point (T_B, Fig. 4): the span the
+    // Flush primitive is responsible for.
+    tracer.span(trace::Component::kDataPersist, seq, persist_t0,
+                res.durable_at, track);
     // Remote persistence is visible: the RPC is complete for the
     // sender even though the server processes it asynchronously.
     if (ack_hook_) ack_hook_(seq, payload_len);

@@ -216,6 +216,11 @@ class DurableRpcServer : public RpcServer {
   void notify_word(Conn& conn, std::uint64_t client_addr, std::uint64_t value);
   sim::Task<> persist_slot(Conn& conn, const LogEntryView& e);
 
+  /// Trace track (Chrome "tid") of the server node.
+  [[nodiscard]] std::uint16_t trace_track() const {
+    return static_cast<std::uint16_t>(server_.id());
+  }
+
   Cluster& cluster_;
   Node& server_;
   FlushVariant variant_;

@@ -14,6 +14,7 @@
 #include "rnic/rnic.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "trace/tracer.hpp"
 
 namespace prdma::core {
 
@@ -108,16 +109,24 @@ class Cluster {
  public:
   explicit Cluster(const ModelParams& params, std::size_t node_count = 2)
       : params_(params), rng_(params.seed), fabric_(sim_, rng_, params.link) {
+    fabric_.set_tracer(&tracer_);
     nodes_.reserve(node_count);
     for (std::size_t i = 0; i < node_count; ++i) {
       nodes_.push_back(std::make_unique<Node>(
           sim_, rng_, fabric_, static_cast<net::NodeId>(i), params_));
+      nodes_.back()->rnic().set_tracer(&tracer_);
+      nodes_.back()->host().set_tracer(&tracer_, trace::Component::kHostSw,
+                                       static_cast<std::uint16_t>(i));
     }
   }
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] net::Fabric& fabric() { return fabric_; }
+
+  /// The cluster's deterministic tracer (mode kOff until enabled; the
+  /// instrumented layers then record into it with zero timing impact).
+  [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
   [[nodiscard]] const ModelParams& params() const { return params_; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
@@ -126,6 +135,7 @@ class Cluster {
   ModelParams params_;
   sim::Simulator sim_;
   sim::Rng rng_;
+  trace::Tracer tracer_;  ///< before fabric_/nodes_: outlives its users
   net::Fabric fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };

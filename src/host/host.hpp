@@ -7,6 +7,7 @@
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "sim/time.hpp"
+#include "trace/tracer.hpp"
 
 namespace prdma::host {
 
@@ -45,6 +46,15 @@ class Host {
   void set_load(double load) { load_ = load < 0.0 ? 0.0 : load; }
   [[nodiscard]] double load() const { return load_; }
 
+  /// Attaches a tracer: every exec/sleep charge becomes a span of
+  /// `role` on track `track` (run_micro marks client hosts kSenderSw).
+  void set_tracer(trace::Tracer* tracer, trace::Component role,
+                  std::uint16_t track) {
+    tracer_ = tracer;
+    trace_role_ = role;
+    trace_track_ = track;
+  }
+
   /// A software path of base cost `c`, inflated by background load and
   /// given a latency tail.
   [[nodiscard]] sim::SimTime scaled(sim::SimTime c) {
@@ -58,6 +68,9 @@ class Host {
     sim::SemaphoreGuard guard(cores_);
     const sim::SimTime c = scaled(base_cost);
     charged_ += c;
+    if (tracer_) {
+      tracer_->span(trace_role_, 0, sim_.now(), sim_.now() + c, trace_track_);
+    }
     co_await sim::delay(sim_, c);
   }
 
@@ -66,6 +79,9 @@ class Host {
   sim::Task<> sleep(sim::SimTime base_cost) {
     const sim::SimTime c = scaled(base_cost);
     charged_ += c;
+    if (tracer_) {
+      tracer_->span(trace_role_, 0, sim_.now(), sim_.now() + c, trace_track_);
+    }
     co_await sim::delay(sim_, c);
   }
 
@@ -93,6 +109,9 @@ class Host {
   sim::Semaphore cores_;
   double load_ = 0.0;
   std::uint64_t charged_ = 0;
+  trace::Tracer* tracer_ = nullptr;
+  trace::Component trace_role_ = trace::Component::kHostSw;
+  std::uint16_t trace_track_ = 0;
 };
 
 }  // namespace prdma::host

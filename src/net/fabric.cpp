@@ -58,6 +58,13 @@ sim::SimTime Fabric::send(Packet p) {
       static_cast<double>(lp.propagation + queueing) * jitter);
   const sim::SimTime arrival = tx_begin + service + flight;
 
+  if (tracer_) {
+    tracer_->span(trace::Component::kNetSerialize, p.seq, tx_begin,
+                  tx_begin + service, static_cast<std::uint16_t>(p.src));
+    tracer_->span(trace::Component::kNetFlight, p.seq, tx_begin + service,
+                  arrival, static_cast<std::uint16_t>(p.src));
+  }
+
   if (lp.loss_probability > 0.0 && rng_.bernoulli(lp.loss_probability)) {
     ++dropped_;
     return lk.busy_until;

@@ -9,6 +9,7 @@
 #include "net/packet.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "trace/tracer.hpp"
 
 namespace prdma::net {
 
@@ -66,6 +67,9 @@ class Fabric {
   [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
   [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }
 
+  /// Attaches a tracer; send() records serialization + flight spans.
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct LinkState {
     LinkParams params;
@@ -82,6 +86,7 @@ class Fabric {
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t bytes_ = 0;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace prdma::net

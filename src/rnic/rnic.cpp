@@ -355,6 +355,7 @@ void Rnic::admit_data(Packet p) {
     return;
   }
   sram_used_ += bytes;
+  trace_sram();
   process_admitted(std::move(p));
 }
 
@@ -365,6 +366,7 @@ void Rnic::try_admit_backlog() {
     Packet p = std::move(backlog_.front());
     backlog_.pop_front();
     sram_used_ += bytes;
+    trace_sram();
     process_admitted(std::move(p));
   }
 }
@@ -372,6 +374,7 @@ void Rnic::try_admit_backlog() {
 void Rnic::release_sram(std::uint64_t bytes) {
   assert(sram_used_ >= bytes);
   sram_used_ -= bytes;
+  trace_sram();
   try_admit_backlog();
 }
 
@@ -645,7 +648,8 @@ void Rnic::handle_wflush(Packet p) {
   const std::uint64_t epoch = epoch_;
   sim_.schedule_at(drained, [this, epoch, p] {
     if (epoch != epoch_ || !alive_) return;
-    SimTime t = sim_.now();
+    const SimTime flush_begin = sim_.now();
+    SimTime t = flush_begin;
     if (mem_.is_pm(p.remote_addr) &&
         mem_.llc().is_dirty(p.remote_addr, p.length)) {
       t = mem_.clflush(t, p.remote_addr, p.length);
@@ -660,6 +664,7 @@ void Rnic::handle_wflush(Packet p) {
       t += params_.hw_flush_cost;
     }
     ++flushes_;
+    trace_span(trace::Component::kRnicWFlush, p.seq, flush_begin, t);
     sim_.schedule_at(t, [this, epoch, p] {
       if (epoch != epoch_ || !alive_) return;
       release_sram(p.wire_bytes());
@@ -693,6 +698,7 @@ void Rnic::handle_sflush(Packet p) {
   SimTime t = std::max(sim_.now(), drain_time(src_addr, len));
   t += params_.emulate_flush ? params_.sflush_addressing
                              : params_.hw_addressing_cost;
+  trace_span(trace::Component::kRnicSFlush, p.seq, sim_.now(), t);
 
   const std::uint64_t epoch = epoch_;
   sim_.schedule_at(t, [this, epoch, p, src_addr, len] {
@@ -743,6 +749,7 @@ void Rnic::enqueue_dma_write(std::uint64_t addr, net::PayloadPtr payload,
   }
   pending_.push_back(PendingDma{addr, len, done, begin, payload, src_off,
                                 to_llc});
+  trace_span(trace::Component::kRnicDma, addr, begin, done);
 
   const std::uint64_t epoch = epoch_;
   sim_.schedule_at(done, [this, epoch, addr, payload = std::move(payload),
@@ -783,10 +790,12 @@ void Rnic::persist_range(std::uint64_t addr, std::uint64_t len,
       drained,
       [epoch, this, addr, len, on_done = std::move(on_done)]() mutable {
         if (epoch != epoch_ || !alive_) return;
-        SimTime t = sim_.now();
+        const SimTime drained_at = sim_.now();
+        SimTime t = drained_at;
         if (mem_.is_pm(addr) && mem_.llc().is_dirty(addr, len)) {
           t = mem_.clflush(t, addr, len);
         }
+        trace_span(trace::Component::kRnicRFlush, addr, drained_at, t);
         sim_.schedule_at(t, [epoch, this, t,
                              on_done = std::move(on_done)]() mutable {
           if (epoch != epoch_ || !alive_) return;

@@ -18,6 +18,7 @@
 #include "rnic/qp.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "trace/tracer.hpp"
 
 namespace prdma::rnic {
 
@@ -150,6 +151,10 @@ class Rnic {
   [[nodiscard]] std::uint64_t rnr_events() const { return rnr_events_; }
   [[nodiscard]] std::uint64_t flushes_executed() const { return flushes_; }
 
+  /// Attaches a tracer: records SRAM occupancy samples, DMA drain
+  /// spans and WFlush/SFlush/RFlush execution spans on track id().
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   struct PendingDma {
     std::uint64_t addr;
@@ -205,6 +210,21 @@ class Rnic {
   mem::NodeMemory& mem_;
   net::NodeId id_;
   RnicParams params_;
+  trace::Tracer* tracer_ = nullptr;
+
+  /// Samples the SRAM gauge after every occupancy change.
+  void trace_sram() {
+    if (tracer_) {
+      tracer_->counter(trace::Component::kRnicSram, sim_.now(), sram_used_,
+                       static_cast<std::uint16_t>(id_));
+    }
+  }
+  void trace_span(trace::Component c, std::uint64_t corr, sim::SimTime t0,
+                  sim::SimTime t1) {
+    if (tracer_) {
+      tracer_->span(c, corr, t0, t1, static_cast<std::uint16_t>(id_));
+    }
+  }
 
   bool alive_ = true;
   std::uint64_t epoch_ = 0;  ///< bumped on crash; stale callbacks no-op

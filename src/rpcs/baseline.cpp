@@ -354,6 +354,7 @@ sim::Task<> BaselineServer::conn_loop_poll(Conn& conn) {
     auto seq = co_await conn.arrivals->recv();
     if (!seq.has_value() || epoch != epoch_) break;
     const std::uint64_t sw0 = host.charged_ns();
+    const sim::SimTime crit_t0 = cluster_.sim().now();
     co_await host.charge_poll();
     co_await host.exec(host.params().handler_cost);
     if (epoch != epoch_) break;
@@ -361,6 +362,9 @@ sim::Task<> BaselineServer::conn_loop_poll(Conn& conn) {
     if (!e.has_value()) continue;
     co_await handle_and_respond(conn, *e);
     stats_.critical_sw_ns += host.charged_ns() - sw0;
+    cluster_.tracer().span_charged(
+        trace::Component::kReceiverSw, *seq, crit_t0, host.charged_ns() - sw0,
+        static_cast<std::uint16_t>(server_.id()));
   }
 }
 
@@ -374,6 +378,7 @@ sim::Task<> BaselineServer::conn_loop_wc(Conn& conn) {
     if (!wc.has_value() || epoch != epoch_) break;
     if (wc->status != rnic::WcStatus::kSuccess) continue;
     const std::uint64_t sw0 = host.charged_ns();
+    const sim::SimTime crit_t0 = cluster_.sim().now();
     co_await host.charge_recv_handler();
     if (epoch != epoch_) break;
 
@@ -395,6 +400,9 @@ sim::Task<> BaselineServer::conn_loop_wc(Conn& conn) {
       co_await handle_and_respond(conn, *e);
     }
     stats_.critical_sw_ns += host.charged_ns() - sw0;
+    cluster_.tracer().span_charged(
+        trace::Component::kReceiverSw, e ? e->seq : 0, crit_t0,
+        host.charged_ns() - sw0, static_cast<std::uint16_t>(server_.id()));
     if (config_.detect == BaselineConfig::Detect::kRecv) {
       server_.rnic().post_recv(*conn.qp, wc->local_addr, slot_bytes, 0);
     }

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/tracer.hpp"
+
+namespace prdma::trace {
+
+/// Renders the tracer's ring (oldest event first) as Chrome
+/// trace-event JSON objects — the format chrome://tracing and Perfetto
+/// open directly. Returns the comma-separated object list *without*
+/// the enclosing `{"traceEvents":[...]}` wrapper, so fragments from
+/// several cells (each with its own pid) can be concatenated in
+/// deterministic cell order. Leads with a process_name metadata event.
+///
+/// Timestamps are microseconds rendered with integer math
+/// (ns/1000 "." ns%1000), so output is bit-stable across platforms.
+[[nodiscard]] std::string chrome_fragment(const Tracer& tracer,
+                                          std::uint32_t pid,
+                                          const std::string& process_name);
+
+/// Writes a complete, self-contained Chrome trace JSON document.
+void write_chrome_trace(const Tracer& tracer, std::ostream& os,
+                        std::uint32_t pid = 1,
+                        const std::string& process_name = "prdma");
+
+/// Wraps pre-rendered fragments into `{"traceEvents":[...]}`.
+[[nodiscard]] std::string wrap_fragments(const std::string& fragments);
+
+}  // namespace prdma::trace

@@ -1,0 +1,130 @@
+#include "trace/tracer.hpp"
+
+#include <array>
+#include <cassert>
+
+namespace prdma::trace {
+
+namespace {
+
+struct NameEntry {
+  std::string_view name;
+  std::string_view category;
+};
+
+constexpr std::array<NameEntry, kPredefinedComponents> kNames{{
+    {"sender_sw", "host"},      // kSenderSw
+    {"receiver_sw", "host"},    // kReceiverSw
+    {"host_sw", "host"},        // kHostSw
+    {"rtt", "net"},             // kRtt
+    {"net_serialize", "net"},   // kNetSerialize
+    {"net_flight", "net"},      // kNetFlight
+    {"rnic_sram", "rnic"},      // kRnicSram
+    {"rnic_dma", "rnic"},       // kRnicDma
+    {"rnic_wflush", "rnic"},    // kRnicWFlush
+    {"rnic_sflush", "rnic"},    // kRnicSFlush
+    {"rnic_rflush", "rnic"},    // kRnicRFlush
+    {"log_append", "rpc"},      // kLogAppend
+    {"data_persist", "rpc"},    // kDataPersist
+    {"op_persist", "rpc"},      // kOpPersist
+    {"persist_ack", "rpc"},     // kPersistAck
+    {"worker", "rpc"},          // kWorker
+    {"flow_stall", "rpc"},      // kFlowStall
+}};
+
+}  // namespace
+
+std::string_view component_name(Component c) {
+  return kNames[to_id(c)].name;
+}
+
+std::string_view component_name(ComponentId id) {
+  return id < kPredefinedComponents ? kNames[id].name
+                                    : std::string_view("dynamic");
+}
+
+std::string_view component_category(ComponentId id) {
+  return id < kPredefinedComponents ? kNames[id].category
+                                    : std::string_view("user");
+}
+
+std::optional<Component> component_from_name(std::string_view name) {
+  for (ComponentId i = 0; i < kPredefinedComponents; ++i) {
+    if (kNames[i].name == name) return static_cast<Component>(i);
+  }
+  return std::nullopt;
+}
+
+void Tracer::enable(Mode mode, std::size_t capacity) {
+  mode_ = mode;
+  totals_.assign(kPredefinedComponents, Slot{});
+  dynamic_.clear();
+  ring_.clear();
+  head_ = 0;
+  if (mode_ == Mode::kFull) {
+    ring_.resize(capacity == 0 ? 1 : capacity);
+  }
+  ring_.shrink_to_fit();
+}
+
+ComponentId Tracer::intern(std::string_view name) {
+  if (const auto c = component_from_name(name)) return to_id(*c);
+  for (std::size_t i = 0; i < dynamic_.size(); ++i) {
+    if (dynamic_[i] == name) {
+      return static_cast<ComponentId>(kPredefinedComponents + i);
+    }
+  }
+  dynamic_.emplace_back(name);
+  if (totals_.size() < kPredefinedComponents) {
+    totals_.resize(kPredefinedComponents);
+  }
+  totals_.emplace_back();
+  return static_cast<ComponentId>(totals_.size() - 1);
+}
+
+std::string_view Tracer::name_of(ComponentId id) const {
+  if (id < kPredefinedComponents) return component_name(id);
+  const std::size_t idx = id - kPredefinedComponents;
+  return idx < dynamic_.size() ? std::string_view(dynamic_[idx])
+                               : std::string_view("?");
+}
+
+void Tracer::record_span(ComponentId id, std::uint64_t corr, sim::SimTime t0,
+                         sim::SimTime t1, std::uint16_t track) {
+  assert(t1 >= t0);
+  if (id < totals_.size()) {
+    totals_[id].total_ns += t1 - t0;
+    ++totals_[id].samples;
+  }
+  if (mode_ == Mode::kFull) {
+    push(TraceEvent{t0, t1, corr, id, track, /*kind=*/0});
+  }
+}
+
+void Tracer::record_counter(ComponentId id, sim::SimTime t,
+                            std::uint64_t value, std::uint16_t track) {
+  if (id < totals_.size()) {
+    ++totals_[id].samples;
+    totals_[id].last_value = value;
+  }
+  if (mode_ == Mode::kFull) {
+    push(TraceEvent{t, t, value, id, track, /*kind=*/1});
+  }
+}
+
+void Tracer::push(const TraceEvent& ev) {
+  ring_[head_ % ring_.size()] = ev;
+  ++head_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  const std::size_t n = head_ < ring_.size() ? head_ : ring_.size();
+  out.reserve(n);
+  for (std::size_t i = head_ - n; i < head_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace prdma::trace

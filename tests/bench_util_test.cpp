@@ -4,11 +4,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <numeric>
 #include <sstream>
 #include <vector>
 
+#include "bench_util/flags.hpp"
+#include "bench_util/json.hpp"
 #include "bench_util/micro.hpp"
 #include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
@@ -170,6 +175,67 @@ TEST(Flags, ParsesReals) {
   const char* argv[] = {"prog", "--load=0.85"};
   Flags f(2, const_cast<char**>(argv));
   EXPECT_DOUBLE_EQ(f.real("load", 0.0), 0.85);
+  EXPECT_DOUBLE_EQ(f.f64("load", 0.0), 0.85);  // real() is the f64 shim
+}
+
+TEST(Flags, TypedStringAccessor) {
+  const char* argv[] = {"prog", "--trace=out.json"};
+  Flags f(2, const_cast<char**>(argv));
+  EXPECT_EQ(f.str("trace", ""), "out.json");
+  EXPECT_EQ(f.str("json", "fallback"), "fallback");
+}
+
+TEST(Flags, CommonRegistryCoversSharedKnobs) {
+  const auto& specs = Flags::common_flags();
+  for (const char* name : {"seed", "ops", "jobs", "json", "trace", "quick",
+                           "help"}) {
+    const bool present = std::any_of(
+        specs.begin(), specs.end(),
+        [name](const FlagSpec& s) { return s.name == name; });
+    EXPECT_TRUE(present) << name;
+  }
+}
+
+TEST(Flags, GeneratedHelpListsExtrasAndCommons) {
+  const char* argv[] = {"prog", "--help"};
+  Flags f(2, const_cast<char**>(argv),
+          {{"variant", "NAME", "which flush variant to run"}},
+          "Demo synopsis line.");
+  EXPECT_TRUE(f.help_requested());
+  const std::string usage = f.usage();
+  EXPECT_NE(usage.find("Usage: prog"), std::string::npos);
+  EXPECT_NE(usage.find("Demo synopsis line."), std::string::npos);
+  EXPECT_NE(usage.find("--variant=NAME"), std::string::npos);
+  EXPECT_NE(usage.find("which flush variant to run"), std::string::npos);
+  EXPECT_NE(usage.find("--trace=PATH"), std::string::npos);
+  EXPECT_NE(usage.find("--jobs=N"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ json
+
+TEST(Json, DumpsOrderedDeterministicDocuments) {
+  Json doc = Json::object();
+  doc.set("b_first", Json::num(std::uint64_t{3}))
+      .set("a_second", Json::str("x\"y"))
+      .set("arr", Json::array().push(Json::num(1.5)).push(Json::boolean(true)));
+  const std::string compact = doc.dump(0);
+  // Insertion order, not key order.
+  EXPECT_LT(compact.find("b_first"), compact.find("a_second"));
+  EXPECT_NE(compact.find("\"x\\\"y\""), std::string::npos);
+  EXPECT_EQ(compact, doc.dump(0));  // stable
+  EXPECT_NE(doc.dump(2).find('\n'), std::string::npos);
+}
+
+TEST(Json, EmitWritesFile) {
+  const std::string path = "bench_util_test_emit.json";
+  Json doc = Json::object();
+  doc.set("bench", Json::str("unit"));
+  ASSERT_TRUE(emit_json(path, doc));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"bench\": \"unit\""), std::string::npos);
+  std::remove(path.c_str());
 }
 
 // ----------------------------------------------------------- SweepRunner
