@@ -14,12 +14,20 @@
 //     events replayed per wall-clock second, plus its heap-fallback
 //     count (expected 0).
 //  4. SweepRunner wall-clock at --jobs=1 vs --jobs=N on a small grid,
-//     asserting the merged results are identical.
+//     asserting the merged results are identical (per-cell wall times
+//     land in the JSON so sweep_speedup regressions are attributable).
+//  5. Data plane (PR 4, BENCH_dataplane.json): the same durable cell
+//     at 64 B / 1 KB / 16 KB in kShadow vs kFull content mode —
+//     asserting byte-identical stats, recording bytes-copied/op and
+//     wall speedup, and gating zero steady-state allocations per
+//     durable RPC (event pool + InlineFunction + payload-pool slabs
+//     all flat between an N-op and a 2N-op run).
 //
 // Flags: --events=N (default 1000000), --ops=N (micro cell, default
 //        2000), --pingers=N (concurrently pending events, default
 //        1024), --jobs=N (sweep comparison, 0 = cores, default 0),
-//        --out=PATH (default BENCH_engine.json)
+//        --out=PATH (default BENCH_engine.json),
+//        --out-dataplane=PATH (default BENCH_dataplane.json)
 
 #include <algorithm>
 #include <chrono>
@@ -171,6 +179,8 @@ int main(int argc, char** argv) {
       flags.u64("jobs", 0) == 0 ? bench::SweepRunner::default_jobs()
                                 : static_cast<std::size_t>(flags.u64("jobs", 0));
   const std::string out = flags.str("out", "BENCH_engine.json");
+  const std::string out_dataplane =
+      flags.str("out-dataplane", "BENCH_dataplane.json");
 
   std::printf("engine_perf — event-engine + sweep-runner throughput\n\n");
 
@@ -311,8 +321,123 @@ int main(int argc, char** argv) {
               cells.size(), serial_secs, sweep_jobs, parallel_secs,
               serial_secs / parallel_secs,
               identical ? "identical" : "DIVERGED");
+  const std::vector<double> serial_cell_secs = serial.cell_seconds();
+  const std::vector<double> parallel_cell_secs = parallel.cell_seconds();
 
-  // ---- 4. JSON record ---------------------------------------------
+  // ---- 4. data plane: content modes, copies, steady-state allocs --
+  struct PlaneCell {
+    std::uint64_t size = 0;
+    bench::MicroResult res;
+    double secs = 0.0;
+    std::uint64_t fn_allocs = 0;
+  };
+  const auto run_plane = [&micro_ops](std::uint64_t size, mem::ContentMode mode,
+                                      std::uint64_t ops = 0) {
+    bench::MicroConfig cfg;
+    cfg.object_size = static_cast<std::uint32_t>(size);
+    cfg.ops = ops == 0 ? micro_ops : ops;
+    cfg.read_ratio = 0.0;
+    cfg.content_mode = mode;
+    PlaneCell c;
+    c.size = size;
+    const std::uint64_t h0 = sim::inline_fn_heap_allocs();
+    const auto t0 = std::chrono::steady_clock::now();
+    c.res = bench::run_micro(rpcs::System::kWFlushRpc, cfg);
+    c.secs = wall_seconds_since(t0);
+    c.fn_allocs = sim::inline_fn_heap_allocs() - h0;
+    return c;
+  };
+
+  constexpr std::uint64_t kPlaneSizes[] = {64, 1024, 16384};
+  bench::TablePrinter plane(
+      {"size", "mode", "wall s", "copied B/op", "kops", "speedup"});
+  bench::Json plane_cells = bench::Json::array();
+  bool plane_parity = true;
+  double shadow_speedup_1k = 0.0;
+  for (const std::uint64_t size : kPlaneSizes) {
+    const PlaneCell full = run_plane(size, mem::ContentMode::kFull);
+    const PlaneCell shadow = run_plane(size, mem::ContentMode::kShadow);
+    // The whole point of kShadow: identical simulation, fewer copies.
+    const bool same =
+        full.res.ops_completed == shadow.res.ops_completed &&
+        full.res.duration == shadow.res.duration &&
+        full.res.sim_events == shadow.res.sim_events &&
+        full.res.kops == shadow.res.kops &&
+        full.res.latency.mean() == shadow.res.latency.mean() &&
+        full.res.latency.p99() == shadow.res.latency.p99();
+    plane_parity = plane_parity && same;
+    const double speedup = full.secs / shadow.secs;
+    if (size == 1024) shadow_speedup_1k = speedup;
+    for (const PlaneCell* c : {&full, &shadow}) {
+      const bool is_shadow = c == &shadow;
+      const double ops = static_cast<double>(
+          std::max<std::uint64_t>(c->res.ops_completed, 1));
+      const double copied_per_op =
+          static_cast<double>(c->res.bytes_copied) / ops;
+      plane.add_row({std::to_string(size), is_shadow ? "shadow" : "full",
+                     bench::TablePrinter::num(c->secs, 3),
+                     bench::TablePrinter::num(copied_per_op, 0),
+                     bench::TablePrinter::num(c->res.kops, 1),
+                     is_shadow ? bench::TablePrinter::num(speedup, 2) + "x"
+                               : "-"});
+      bench::Json cell = bench::Json::object();
+      cell.set("object_size", bench::Json::num(size))
+          .set("mode", bench::Json::str(is_shadow ? "shadow" : "full"))
+          .set("wall_secs", bench::Json::num(c->secs))
+          .set("events_per_sec",
+               bench::Json::num(static_cast<double>(c->res.sim_events) /
+                                c->secs))
+          .set("kops", bench::Json::num(c->res.kops))
+          .set("bytes_copied", bench::Json::num(c->res.bytes_copied))
+          .set("bytes_copied_per_op", bench::Json::num(copied_per_op))
+          .set("pool_acquires", bench::Json::num(c->res.pool.acquires))
+          .set("pool_outstanding_peak",
+               bench::Json::num(c->res.pool.outstanding_peak))
+          .set("pool_slab_bytes", bench::Json::num(c->res.pool.slab_bytes))
+          .set("pool_oversize_allocs",
+               bench::Json::num(c->res.pool.oversize_allocs))
+          .set("heap_fallbacks", bench::Json::num(c->fn_allocs))
+          .set("stats_match_other_mode", bench::Json::boolean(same));
+      plane_cells.push(std::move(cell));
+    }
+  }
+  std::printf("\ndata plane (WFlush-RPC, write-only, %llu ops):\n",
+              static_cast<unsigned long long>(micro_ops));
+  plane.print();
+
+  // Steady state: an extra N ops must allocate nothing — no event-pool
+  // refill, no InlineFunction heap fallback, no new payload slab. The
+  // base run must get well past the 100 ms retransmit horizon (every
+  // packet pins an event slot that long), or the slot slab is still
+  // ramping to its high-water mark and the delta reads as a leak.
+  const std::uint64_t probe_ops = std::max<std::uint64_t>(micro_ops, 30'000);
+  const PlaneCell base =
+      run_plane(1024, mem::ContentMode::kShadow, probe_ops);
+  const PlaneCell twice =
+      run_plane(1024, mem::ContentMode::kShadow, probe_ops * 2);
+  const std::uint64_t extra_ops =
+      twice.res.ops_completed - base.res.ops_completed;
+  const std::uint64_t steady_pool =
+      twice.res.sim_pool_allocs - base.res.sim_pool_allocs;
+  const std::uint64_t steady_fn = twice.fn_allocs - base.fn_allocs;
+  const std::uint64_t steady_slab =
+      twice.res.pool.slab_bytes - base.res.pool.slab_bytes;
+  const bool plane_steady =
+      steady_pool == 0 && steady_fn == 0 && steady_slab == 0;
+  const double allocs_per_rpc =
+      static_cast<double>(steady_pool + steady_fn) /
+      static_cast<double>(std::max<std::uint64_t>(extra_ops, 1));
+  std::printf("  steady-state allocs/durable RPC over %llu extra ops: %.6f "
+              "(event pool +%llu, fn heap +%llu, payload slab +%llu B) %s\n",
+              static_cast<unsigned long long>(extra_ops), allocs_per_rpc,
+              static_cast<unsigned long long>(steady_pool),
+              static_cast<unsigned long long>(steady_fn),
+              static_cast<unsigned long long>(steady_slab),
+              plane_steady ? "OK" : "REGRESSED");
+  std::printf("  mode parity (stats byte-identical shadow vs full): %s\n\n",
+              plane_parity ? "yes" : "NO — DIVERGED");
+
+  // ---- 5. JSON record ---------------------------------------------
   bench::Json doc = bench::Json::object();
   doc.set("bench", bench::Json::str("engine_perf"))
       .set("events", bench::Json::num(events))
@@ -339,11 +464,42 @@ int main(int argc, char** argv) {
       .set("sweep_parallel_secs", bench::Json::num(parallel_secs))
       .set("sweep_speedup", bench::Json::num(serial_secs / parallel_secs))
       .set("sweep_identical", bench::Json::boolean(identical));
+  bench::Json cell_secs_serial = bench::Json::array();
+  for (const double s : serial_cell_secs) {
+    cell_secs_serial.push(bench::Json::num(s));
+  }
+  bench::Json cell_secs_parallel = bench::Json::array();
+  for (const double s : parallel_cell_secs) {
+    cell_secs_parallel.push(bench::Json::num(s));
+  }
+  doc.set("sweep_cell_secs_serial", std::move(cell_secs_serial))
+      .set("sweep_cell_secs_parallel", std::move(cell_secs_parallel));
   if (!bench::emit_json(out, doc)) {
     std::printf("\nfailed to open %s for writing\n", out.c_str());
     return 2;
   }
   std::printf("\nwrote %s\n", out.c_str());
 
-  return identical && trace_inert && steady_allocs == 0 ? 0 : 1;
+  bench::Json dp = bench::Json::object();
+  dp.set("bench", bench::Json::str("dataplane"))
+      .set("ops", bench::Json::num(micro_ops))
+      .set("cells", std::move(plane_cells))
+      .set("mode_parity", bench::Json::boolean(plane_parity))
+      .set("shadow_speedup_1k", bench::Json::num(shadow_speedup_1k))
+      .set("steady_extra_ops", bench::Json::num(extra_ops))
+      .set("steady_allocs_per_rpc", bench::Json::num(allocs_per_rpc))
+      .set("steady_event_pool_allocs", bench::Json::num(steady_pool))
+      .set("steady_fn_heap_allocs", bench::Json::num(steady_fn))
+      .set("steady_payload_slab_bytes", bench::Json::num(steady_slab))
+      .set("steady_ok", bench::Json::boolean(plane_steady));
+  if (!bench::emit_json(out_dataplane, dp)) {
+    std::printf("failed to open %s for writing\n", out_dataplane.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out_dataplane.c_str());
+
+  return identical && trace_inert && steady_allocs == 0 && plane_parity &&
+                 plane_steady
+             ? 0
+             : 1;
 }

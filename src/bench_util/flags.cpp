@@ -11,6 +11,9 @@ const std::vector<FlagSpec>& Flags::common_flags() {
       {"jobs", "N", "parallel sweep cells; 0 = one per hardware thread, "
                     "absent = serial. Output is byte-identical at any N."},
       {"quick", "", "smaller grid / fewer ops for a fast smoke run"},
+      {"content-mode", "full|shadow",
+       "payload content fidelity (default shadow: elide payload "
+       "copies; full is required for crash injection)"},
       {"json", "PATH", "also write the result table as JSON"},
       {"trace", "PATH", "write a Chrome/Perfetto trace of every cell "
                         "(open at ui.perfetto.dev)"},

@@ -1,8 +1,10 @@
 #include "bench_util/micro.hpp"
 
+#include "bench_util/flags.hpp"
 #include "bench_util/sweep.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/node.hpp"
 #include "sim/rng.hpp"
@@ -43,6 +45,7 @@ core::ModelParams params_for(const MicroConfig& cfg) {
   }
   if (cfg.server_cores > 0) p.host.cores = cfg.server_cores;
   if (cfg.server_workers > 0) p.server_workers = cfg.server_workers;
+  p.memory.content_mode = cfg.content_mode;
 
   // Size the PM window: object store + one redo log ring per client +
   // slack for headers/alignment.
@@ -160,6 +163,18 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   result.duration = end_time;
   result.server = dep.server->stats();
   result.sim_events = cluster.sim().events_executed();
+  result.sim_pool_allocs = cluster.sim().pool_allocations();
+  for (std::size_t i = 0; i < cluster.size(); ++i) {
+    auto& mem = cluster.node(i).mem();
+    result.bytes_copied += mem.pm().bytes_copied() + mem.dram().bytes_copied();
+    const mem::BufferPoolStats s = mem.pool().stats();
+    result.pool.acquires += s.acquires;
+    result.pool.recycles += s.recycles;
+    result.pool.outstanding += s.outstanding;
+    result.pool.outstanding_peak += s.outstanding_peak;
+    result.pool.slab_bytes += s.slab_bytes;
+    result.pool.oversize_allocs += s.oversize_allocs;
+  }
   if (result.ops_completed > 0) {
     const auto ops = static_cast<double>(result.ops_completed);
     std::uint64_t client_sw = 0;
@@ -207,9 +222,28 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
 
 std::vector<MicroResult> run_micro_cells(SweepRunner& runner,
                                          const std::vector<MicroCell>& cells) {
-  return runner.map(cells, [](const MicroCell& c) {
-    return run_micro(c.system, c.cfg);
+  // Expected cost of a cell scales with op count and object size; the
+  // hint only orders scheduling, results stay in cell order.
+  std::vector<double> hints;
+  hints.reserve(cells.size());
+  for (const MicroCell& c : cells) {
+    hints.push_back(static_cast<double>(c.cfg.ops) *
+                    (1000.0 + static_cast<double>(c.cfg.object_size)));
+  }
+  std::vector<MicroResult> out(cells.size());
+  runner.for_each_hinted(cells.size(), hints, [&](std::size_t i) {
+    out[i] = run_micro(cells[i].system, cells[i].cfg);
   });
+  return out;
+}
+
+mem::ContentMode content_mode_from(const Flags& flags, mem::ContentMode def) {
+  const std::string v = flags.str("content-mode", {});
+  if (v.empty()) return def;
+  if (v == "full") return mem::ContentMode::kFull;
+  if (v == "shadow") return mem::ContentMode::kShadow;
+  throw std::invalid_argument("--content-mode must be full or shadow, got: " +
+                              v);
 }
 
 }  // namespace prdma::bench

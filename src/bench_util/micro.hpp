@@ -6,6 +6,8 @@
 
 #include "core/params.hpp"
 #include "core/rpc.hpp"
+#include "mem/buffer_pool.hpp"
+#include "mem/device.hpp"
 #include "rpcs/registry.hpp"
 #include "stats/breakdown.hpp"
 #include "stats/histogram.hpp"
@@ -52,6 +54,12 @@ struct MicroConfig {
   trace::Mode trace_mode = trace::Mode::kCounters;
   std::size_t trace_capacity = trace::Tracer::kDefaultCapacity;
   std::uint32_t trace_pid = 1;  ///< Chrome pid of this cell's fragment
+  /// Content fidelity of every node's memory (DESIGN.md §7.3). Shadow
+  /// by default: timing, stats and JSON output are pinned identical to
+  /// kFull, only the payload byte copies are elided. Harnesses that
+  /// inject crashes (check/, fault/) pin kFull — Node refuses to arm
+  /// crash hooks in shadow mode.
+  mem::ContentMode content_mode = mem::ContentMode::kShadow;
 };
 
 /// Outcome of one micro-benchmark cell.
@@ -76,6 +84,14 @@ struct MicroResult {
   stats::SpanBreakdown breakdown;
   /// Chrome trace-event fragment (kFull cells only; see Report).
   std::string trace_json;
+  // ---- data-plane accounting (DESIGN.md §7.3) ----
+  /// Content bytes actually moved by the cell's devices (poke/peek);
+  /// this is what kShadow shrinks while the timing plane is unchanged.
+  std::uint64_t bytes_copied = 0;
+  /// Payload-pool traffic summed over all nodes.
+  mem::BufferPoolStats pool;
+  /// Event-pool heap refills in the simulator (steady state: 0 per op).
+  std::uint64_t sim_pool_allocs = 0;
 
   [[nodiscard]] double avg_us() const { return latency.mean() / 1e3; }
   [[nodiscard]] double p95_us() const {
@@ -108,7 +124,17 @@ class SweepRunner;
 
 /// Runs every cell (in parallel per `runner`) and returns the results
 /// in cell order — byte-identical to calling run_micro serially.
+/// Cells are scheduled longest-expected-first (ops × object size) so a
+/// huge cell submitted last cannot serialize the tail of the sweep.
 std::vector<MicroResult> run_micro_cells(SweepRunner& runner,
                                          const std::vector<MicroCell>& cells);
+
+class Flags;
+
+/// Shared --content-mode flag convention: absent → `def` (benches pass
+/// kShadow), --content-mode=full|shadow overrides.
+mem::ContentMode content_mode_from(const Flags& flags,
+                                   mem::ContentMode def =
+                                       mem::ContentMode::kShadow);
 
 }  // namespace prdma::bench

@@ -36,9 +36,11 @@ Json micro_result_json(const std::string& name, const MicroResult& res) {
 Report::Report(const Flags& flags, std::string bench_name)
     : bench_name_(std::move(bench_name)),
       json_path_(flags.str("json", "")),
-      trace_path_(flags.str("trace", "")) {}
+      trace_path_(flags.str("trace", "")),
+      content_mode_(content_mode_from(flags)) {}
 
 void Report::configure(MicroConfig& cfg) {
+  cfg.content_mode = content_mode_;
   if (trace_enabled()) {
     cfg.trace_mode = trace::Mode::kFull;
     cfg.trace_pid = next_pid_++;

@@ -35,9 +35,10 @@ class Report {
   [[nodiscard]] bool json_enabled() const { return !json_path_.empty(); }
   [[nodiscard]] bool trace_enabled() const { return !trace_path_.empty(); }
 
-  /// Prepares `cfg` for collection: when --trace is given the cell is
-  /// upgraded to full tracing and assigned the next Chrome pid (one
-  /// process lane per cell in the Perfetto UI).
+  /// Prepares `cfg` for collection: applies --content-mode (shadow by
+  /// default), and when --trace is given the cell is upgraded to full
+  /// tracing and assigned the next Chrome pid (one process lane per
+  /// cell in the Perfetto UI).
   void configure(MicroConfig& cfg);
 
   /// Adds a run-level metadata entry (grid knobs, --quick, ...).
@@ -54,6 +55,7 @@ class Report {
   std::string bench_name_;
   std::string json_path_;
   std::string trace_path_;
+  mem::ContentMode content_mode_;
   std::uint32_t next_pid_ = 1;
   std::string fragments_;
   Json meta_ = Json::object();

@@ -1,6 +1,9 @@
 #include "bench_util/sweep.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <exception>
+#include <numeric>
 #include <thread>
 
 namespace prdma::bench {
@@ -16,12 +19,48 @@ sim::ThreadPool& SweepRunner::pool() {
 
 void SweepRunner::for_each(std::size_t n,
                            const std::function<void(std::size_t)>& fn) {
+  for_each_hinted(n, {}, fn);
+}
+
+void SweepRunner::for_each_hinted(std::size_t n,
+                                  const std::vector<double>& hints,
+                                  const std::function<void(std::size_t)>& fn) {
+  cell_seconds_.assign(n, 0.0);
   if (n == 0) return;
+  const auto timed = [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn(i);
+    cell_seconds_[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  };
   if (jobs_ <= 1 || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    for (std::size_t i = 0; i < n; ++i) timed(i);
     return;
   }
-  pool().parallel_for(n, fn);
+  // Longest-expected-first: submission order k maps to cell order[k].
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (hints.size() == n) {
+    std::stable_sort(order.begin(), order.end(),
+                     [&hints](std::size_t a, std::size_t b) {
+                       return hints[a] > hints[b];
+                     });
+  }
+  // Collect failures per original index so the rethrown exception is
+  // the lowest-index one regardless of the hint permutation.
+  std::vector<std::exception_ptr> errors(n);
+  pool().parallel_for(n, [&](std::size_t k) {
+    const std::size_t i = order[k];
+    try {
+      timed(i);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  });
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
 }
 
 std::size_t jobs_from(const Flags& flags) {

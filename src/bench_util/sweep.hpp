@@ -41,6 +41,21 @@ class SweepRunner {
   /// propagation is scheduling-independent too.
   void for_each(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// for_each with a per-cell cost hint (any monotone proxy for
+  /// expected wall-clock). Parallel runs start cells in descending-hint
+  /// order so one long cell submitted late cannot serialize the sweep
+  /// tail; results/errors are still reported in index order, and the
+  /// serial path ignores the hints entirely. hints.size() != n falls
+  /// back to submission order.
+  void for_each_hinted(std::size_t n, const std::vector<double>& hints,
+                       const std::function<void(std::size_t)>& fn);
+
+  /// Wall-clock seconds of each cell of the last for_each* call, in
+  /// index order (steady_clock; diagnostic only, not deterministic).
+  [[nodiscard]] const std::vector<double>& cell_seconds() const {
+    return cell_seconds_;
+  }
+
   /// Runs fn(i) for i in [0, n); returns {fn(0), fn(1), ..., fn(n-1)}.
   /// R must be default-constructible and movable.
   template <typename F,
@@ -64,6 +79,7 @@ class SweepRunner {
 
   std::size_t jobs_;
   std::unique_ptr<sim::ThreadPool> pool_;  // lazy: never built at jobs==1
+  std::vector<double> cell_seconds_;
 };
 
 /// Shared --jobs flag convention for every bench binary: absent → 1

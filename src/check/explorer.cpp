@@ -87,6 +87,9 @@ ScheduleResult run_schedule(const ExplorerConfig& cfg, const Schedule& s,
   mc.objects = 4096;
   mc.seed = s.seed;
   mc.heavy_load = cfg.heavy_processing;
+  // Crash schedules need byte-exact post-crash state (torn entries,
+  // oracle byte checks) — shadow content is not enough.
+  mc.content_mode = mem::ContentMode::kFull;
   core::ModelParams params = bench::params_for(mc);
   params.log_slots = std::max(cfg.window * 2, 8u);
   params.flow_threshold = std::max(cfg.window, 4u);

@@ -268,14 +268,14 @@ sim::Task<> DurableRpcServer::conn_loop_send_based(Conn& conn) {
       // (straight into the ADR persist domain, no cache flush needed),
       // then notifies the sender before processing (§4.1.2).
       const std::uint64_t image = e->image_bytes();
-      std::vector<std::byte> buf(image);
-      server_.mem().cpu_read(wc->local_addr, buf);
+      auto img = server_.mem().read_payload(wc->local_addr, image);
       const std::uint64_t slot = conn.log.layout().slot_addr(e->seq);
       const auto done = server_.mem().pm().write_complete_at(
           cluster_.sim().now(), image);
       co_await host.exec(done - cluster_.sim().now());
       if (epoch != epoch_) break;
-      server_.mem().pm().poke(slot, buf);  // ntstore: persist-domain direct
+      // ntstore: persist-domain direct
+      server_.mem().poke_payload_pm(slot, img);
       co_await host.exec(host.params().post_cost);
       notify_word(conn, conn.notify_persist_addr, e->seq);
       auto& tr = cluster_.tracer();
@@ -292,10 +292,9 @@ sim::Task<> DurableRpcServer::conn_loop_send_based(Conn& conn) {
     // still volatile (dirty LLC lines), so crash fidelity holds until
     // the RNIC's DMA makes it durable.
     if (variant_ == FlushVariant::kSFlush) {
-      const std::uint64_t image = e->image_bytes();
-      std::vector<std::byte> buf(image);
-      server_.mem().cpu_read(wc->local_addr, buf);
-      server_.mem().cpu_write(conn.log.layout().slot_addr(e->seq), buf);
+      server_.mem().cpu_write_payload(
+          conn.log.layout().slot_addr(e->seq),
+          server_.mem().read_payload(wc->local_addr, e->image_bytes()));
     }
 
     // Process from the log copy: the message slot may be recycled.
@@ -594,9 +593,9 @@ sim::Task<RpcResult> DurableRpcClient::transmit_entry(RpcOp op,
   res.tag = seq;
   const std::uint32_t payload_len = op == RpcOp::kWrite ? len * batch : 0;
   const std::uint64_t resp_slot = (seq - 1) % window_size_;
-  const auto payload = deterministic_payload(seq, payload_len);
-  const auto image = encode_log_entry(seq, op, obj_id, payload, resp_slot,
-                                      batch, op == RpcOp::kRead ? len : 0);
+  const auto image = encode_log_entry_image(node_.mem(), seq, op, obj_id,
+                                            payload_len, resp_slot, batch,
+                                            op == RpcOp::kRead ? len : 0);
   const std::uint64_t stage =
       staging_base_ + ((seq - 1) % window_size_) * staging_slot_bytes_;
   const std::uint64_t resp_addr = resp_base_ + resp_slot * resp_slot_bytes_;
@@ -605,7 +604,7 @@ sim::Task<RpcResult> DurableRpcClient::transmit_entry(RpcOp op,
     // Clear the commit word of the response slot before reuse.
     store_u64(node_.mem(), resp_addr + resp_len, 0);
   }
-  node_.mem().cpu_write(stage, image);
+  node_.mem().cpu_write_payload(stage, image);
 
   const LogLayout& lay = server_.conns_[conn_idx_]->log.layout();
   const std::uint64_t slot = lay.slot_addr(seq);

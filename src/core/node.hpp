@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -71,8 +72,15 @@ class Node {
 
   /// Wires this node to the simulator's crash-hook registry: every
   /// Simulator::trigger_crash() now power-fails this node. Idempotent.
+  /// Refused in kShadow content mode: crash fidelity (torn entries,
+  /// post-crash byte checks) requires the full content plane.
   void attach_crash_hook() {
     if (crash_hook_ != 0) return;
+    if (mem_.content_mode() == mem::ContentMode::kShadow) {
+      throw std::logic_error(
+          "crash hooks require ContentMode::kFull (run with "
+          "--content-mode=full)");
+    }
     crash_hook_ = sim_.add_crash_hook([this] { crash(); });
   }
 
@@ -117,6 +125,8 @@ class Cluster {
       nodes_.back()->rnic().set_tracer(&tracer_);
       nodes_.back()->host().set_tracer(&tracer_, trace::Component::kHostSw,
                                        static_cast<std::uint16_t>(i));
+      nodes_.back()->mem().pool().set_tracer(&tracer_,
+                                             static_cast<std::uint16_t>(i));
     }
   }
 

@@ -36,10 +36,8 @@ class ObjectStore {
     auto& host = node_.host();
     auto& mem = node_.mem();
     co_await host.memcpy_exec(len);
-    std::vector<std::byte> data(len);
-    mem.cpu_read(src_addr, data);
     const std::uint64_t dst = addr_of(obj_id);
-    mem.cpu_write(dst, data);
+    mem.cpu_write_payload(dst, mem.read_payload(src_addr, len));
     const auto done = mem.clflush(node_.rnic().simulator().now(), dst, len);
     co_await sim::delay(node_.rnic().simulator(),
                         done - node_.rnic().simulator().now());
@@ -52,9 +50,7 @@ class ObjectStore {
                         std::uint32_t len) {
     auto& mem = node_.mem();
     co_await node_.host().memcpy_exec(len);
-    std::vector<std::byte> data(len);
-    mem.cpu_read(addr_of(obj_id), data);
-    mem.cpu_write(dst_addr, data);
+    mem.cpu_write_payload(dst_addr, mem.read_payload(addr_of(obj_id), len));
   }
 
   [[nodiscard]] std::uint64_t bytes_applied() const { return bytes_applied_; }

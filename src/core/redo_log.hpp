@@ -82,6 +82,20 @@ std::vector<std::byte> encode_log_entry(std::uint64_t seq, RpcOp op,
                                         std::uint32_t batch = 1,
                                         std::uint32_t req_len = 0);
 
+/// Pooled entry image with the deterministic payload for `seq`. In
+/// kFull content mode the block is byte-for-byte what encode_log_entry
+/// produces (header + deterministic_payload + commit word); in kShadow
+/// the payload interior is a content-free shadow extent (generator =
+/// seq) and the header checksum is shadow_digest(seq, 0, len) — the
+/// 72 data bytes of header+commit are all that get copied. Same sizes
+/// and addresses either way, so timing is identical.
+mem::PayloadRef encode_log_entry_image(mem::NodeMemory& mem, std::uint64_t seq,
+                                       RpcOp op, std::uint64_t obj_id,
+                                       std::uint32_t payload_len,
+                                       std::uint64_t resp_slot,
+                                       std::uint32_t batch = 1,
+                                       std::uint32_t req_len = 0);
+
 /// A decoded view of one committed log entry.
 struct LogEntryView {
   std::uint64_t seq = 0;

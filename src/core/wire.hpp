@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -9,32 +10,65 @@
 
 namespace prdma::core {
 
-/// Little-endian encoder for building message/log-entry images in a
-/// staging buffer before handing them to a verb.
+/// Little-endian encoder for building message/log-entry images, either
+/// into an owned vector (size the reserve from the known layout at the
+/// call site — the default only covers small control images) or into a
+/// caller-provided fixed sink (e.g. a pooled payload block's data
+/// area) with no heap traffic at all.
 class ByteWriter {
  public:
   explicit ByteWriter(std::size_t reserve = 128) { buf_.reserve(reserve); }
 
+  /// External-sink mode: writes land in `sink` and must fit.
+  explicit ByteWriter(std::span<std::byte> sink)
+      : sink_(sink.data()), sink_cap_(sink.size()) {}
+
   void u32(std::uint32_t v) { raw(&v, sizeof v); }
   void u64(std::uint64_t v) { raw(&v, sizeof v); }
   void bytes(std::span<const std::byte> data) {
-    buf_.insert(buf_.end(), data.begin(), data.end());
+    raw(data.data(), data.size());
   }
   /// Zero padding up to absolute offset `off`.
   void pad_to(std::size_t off) {
-    if (buf_.size() < off) buf_.resize(off, std::byte{0});
+    if (sink_ != nullptr) {
+      assert(off <= sink_cap_);
+      if (pos_ < off) {
+        std::memset(sink_ + pos_, 0, off - pos_);
+        pos_ = off;
+      }
+    } else if (buf_.size() < off) {
+      buf_.resize(off, std::byte{0});
+    }
   }
 
-  [[nodiscard]] std::span<const std::byte> view() const { return buf_; }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::span<const std::byte> view() const {
+    return sink_ != nullptr ? std::span<const std::byte>(sink_, pos_)
+                            : std::span<const std::byte>(buf_);
+  }
+  [[nodiscard]] std::size_t size() const {
+    return sink_ != nullptr ? pos_ : buf_.size();
+  }
+  /// Owned-vector mode only.
+  std::vector<std::byte> take() {
+    assert(sink_ == nullptr);
+    return std::move(buf_);
+  }
 
  private:
   void raw(const void* p, std::size_t n) {
+    if (sink_ != nullptr) {
+      assert(pos_ + n <= sink_cap_);
+      std::memcpy(sink_ + pos_, p, n);
+      pos_ += n;
+      return;
+    }
     const auto* b = static_cast<const std::byte*>(p);
     buf_.insert(buf_.end(), b, b + n);
   }
   std::vector<std::byte> buf_;
+  std::byte* sink_ = nullptr;
+  std::size_t sink_cap_ = 0;
+  std::size_t pos_ = 0;
 };
 
 /// Little-endian decoder over a byte span.

@@ -129,6 +129,9 @@ FailureRunResult run_with_failures(rpcs::System system,
   mc.objects = 4096;
   mc.seed = cfg.seed;
   mc.heavy_load = cfg.heavy_processing;
+  // Crash injection requires the full content plane (see Node::
+  // attach_crash_hook).
+  mc.content_mode = mem::ContentMode::kFull;
   core::ModelParams params = bench::params_for(mc);
   params.log_slots = std::max(cfg.window * 2, 8u);
   params.flow_threshold = std::max(cfg.window, 4u);

@@ -4,14 +4,26 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <string>
-#include <vector>
 
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 
 namespace prdma::mem {
+
+/// How faithfully a node's memory system models payload *content*
+/// (timing is identical in both modes — DESIGN.md §7.3):
+///  * kFull   — every byte is stored and copied (required by check/,
+///              the durability oracle and any crash injection);
+///  * kShadow — payload interiors are tracked as per-range lengths +
+///              digests only; poke/peek copies of payload bytes are
+///              elided. Benchmarks default to kShadow; arming a crash
+///              hook in kShadow throws.
+enum class ContentMode : std::uint8_t { kFull, kShadow };
 
 inline constexpr std::uint64_t kCacheLine = 64;
 
@@ -41,14 +53,18 @@ class Device {
       : sim_(sim),
         name_(std::move(name)),
         timing_(timing),
-        content_(capacity, std::byte{0}) {}
+        capacity_(capacity),
+        // calloc: content pages stay untouched (kernel zero pages)
+        // until first written — constructing a 256 MiB device costs
+        // nothing, which is what lets sweep cells scale across cores.
+        content_(static_cast<std::byte*>(std::calloc(capacity, 1))) {}
 
   virtual ~Device() = default;
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] std::uint64_t capacity() const { return content_.size(); }
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
 
   /// True when contents survive a power failure (the persist domain).
   [[nodiscard]] virtual bool persistent() const = 0;
@@ -59,21 +75,30 @@ class Device {
   // --- data plane (instantaneous; timing charged separately) ---
 
   void poke(std::uint64_t addr, std::span<const std::byte> data) {
-    assert(addr + data.size() <= content_.size());
-    std::copy(data.begin(), data.end(), content_.begin() + static_cast<std::ptrdiff_t>(addr));
+    assert(addr + data.size() <= capacity_);
+    std::copy(data.begin(), data.end(), content_.get() + addr);
     bytes_written_ += data.size();
+    bytes_copied_ += data.size();
+  }
+
+  /// Content-elided store (ContentMode::kShadow payload interiors):
+  /// identical write accounting, no bytes moved.
+  void poke_shadow(std::uint64_t addr, std::uint64_t len) {
+    assert(addr + len <= capacity_);
+    (void)addr;
+    bytes_written_ += len;
   }
 
   void peek(std::uint64_t addr, std::span<std::byte> out) const {
-    assert(addr + out.size() <= content_.size());
-    std::copy_n(content_.begin() + static_cast<std::ptrdiff_t>(addr), out.size(),
-                out.begin());
+    assert(addr + out.size() <= capacity_);
+    std::copy_n(content_.get() + addr, out.size(), out.begin());
+    bytes_copied_ += out.size();
   }
 
   [[nodiscard]] std::span<const std::byte> view(std::uint64_t addr,
                                                 std::uint64_t len) const {
-    assert(addr + len <= content_.size());
-    return {content_.data() + addr, len};
+    assert(addr + len <= capacity_);
+    return {content_.get() + addr, len};
   }
 
   // --- timing plane ---
@@ -111,21 +136,28 @@ class Device {
   }
 
   [[nodiscard]] std::uint64_t bytes_written() const { return bytes_written_; }
+  /// Bytes physically moved through poke/peek — the data-plane copy
+  /// traffic the shadow content mode elides (BENCH_dataplane.json).
+  [[nodiscard]] std::uint64_t bytes_copied() const { return bytes_copied_; }
   [[nodiscard]] const DeviceTiming& timing() const { return timing_; }
 
  protected:
-  void zero_content() {
-    std::fill(content_.begin(), content_.end(), std::byte{0});
-  }
+  void zero_content() { std::memset(content_.get(), 0, capacity_); }
 
   sim::Simulator& sim_;
 
  private:
+  struct FreeDeleter {
+    void operator()(std::byte* p) const { std::free(p); }
+  };
+
   std::string name_;
   DeviceTiming timing_;
-  std::vector<std::byte> content_;
+  std::uint64_t capacity_;
+  std::unique_ptr<std::byte[], FreeDeleter> content_;
   sim::SimTime busy_until_ = 0;
   std::uint64_t bytes_written_ = 0;
+  mutable std::uint64_t bytes_copied_ = 0;
 };
 
 /// Persistent-memory device: its contents *are* the persist domain.
@@ -155,6 +187,11 @@ class PmDevice final : public Device {
 
   /// Number of in-flight writes that landed partially across crashes.
   [[nodiscard]] std::uint64_t torn_writes() const { return torn_writes_; }
+
+  /// Torn-landing bookkeeping for scatter-gather DMA images whose
+  /// prefix application is walked segment-by-segment in NodeMemory
+  /// (one torn write per in-flight DMA, like torn_write()).
+  void count_torn_write() { ++torn_writes_; }
 
  private:
   std::uint64_t torn_writes_ = 0;

@@ -4,17 +4,37 @@
 
 namespace prdma::mem {
 
-Llc::Line& Llc::dirty_line(std::uint64_t line_addr) {
+Llc::Line& Llc::dirty_line(std::uint64_t line_addr, bool fill) {
   auto it = lines_.find(line_addr);
   if (it == lines_.end()) {
-    Line line;
-    line.data.resize(kCacheLine);
-    backing_.peek(line_addr, line.data);
-    it = lines_.emplace(line_addr, std::move(line)).first;
-    fifo_.push_back(line_addr);
+    if (!spare_nodes_.empty()) {
+      auto nh = std::move(spare_nodes_.back());
+      spare_nodes_.pop_back();
+      nh.key() = line_addr;
+      nh.mapped() = Line{};
+      it = lines_.insert(std::move(nh)).position;
+    } else {
+      it = lines_.emplace(line_addr, Line{}).first;
+    }
+    if (fill) {
+      backing_.peek(line_addr, it->second.data);
+    } else {
+      it->second.has_bytes = false;
+    }
+    it->second.fifo_seq = next_fifo_seq_++;
+    fifo_.push_back(FifoEntry{line_addr, it->second.fifo_seq});
     evict_if_needed();
+  } else if (fill && !it->second.has_bytes) {
+    // A byte store is landing in a shadow-only line: from here on its
+    // content matters (for the stored range), so write it back as bytes.
+    it->second.has_bytes = true;
   }
   return it->second;
+}
+
+void Llc::erase_line(LineMap::iterator it) {
+  auto nh = lines_.extract(it);
+  if (spare_nodes_.size() < 4096) spare_nodes_.push_back(std::move(nh));
 }
 
 void Llc::write(std::uint64_t addr, std::span<const std::byte> data) {
@@ -25,11 +45,19 @@ void Llc::write(std::uint64_t addr, std::span<const std::byte> data) {
     const std::uint64_t off = pos - la;
     const std::size_t n = static_cast<std::size_t>(
         std::min<std::uint64_t>(kCacheLine - off, data.size() - consumed));
-    Line& line = dirty_line(la);
+    Line& line = dirty_line(la, /*fill=*/true);
     std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(consumed), n,
                 line.data.begin() + static_cast<std::ptrdiff_t>(off));
     pos += n;
     consumed += n;
+  }
+}
+
+void Llc::write_shadow(std::uint64_t addr, std::uint64_t len) {
+  const std::uint64_t first = line_down(addr);
+  const std::uint64_t last = line_up(addr + len);
+  for (std::uint64_t la = first; la < last; la += kCacheLine) {
+    (void)dirty_line(la, /*fill=*/false);
   }
 }
 
@@ -71,11 +99,11 @@ sim::SimTime Llc::clflush(sim::SimTime start, std::uint64_t addr,
     const auto it = lines_.find(la);
     if (it == lines_.end()) continue;
     write_back(la, it->second);
-    lines_.erase(it);
-    std::erase(fifo_, la);
+    erase_line(it);  // the FIFO entry goes stale; eviction skips it
     t += params_.clflush_per_line;
     ++flushed;
   }
+  compact_fifo();
   lines_flushed_ += flushed;
   if (flushed > 0) {
     t = std::max(t, backing_.write_complete_at(start, flushed * kCacheLine));
@@ -90,19 +118,33 @@ void Llc::crash() {
 }
 
 void Llc::write_back(std::uint64_t line_addr, const Line& line) {
-  backing_.poke(line_addr, line.data);
+  if (line.has_bytes) {
+    backing_.poke(line_addr, line.data);
+  } else {
+    backing_.poke_shadow(line_addr, kCacheLine);
+  }
 }
 
 void Llc::evict_if_needed() {
   while (lines_.size() > params_.capacity_lines && !fifo_.empty()) {
-    const std::uint64_t victim = fifo_.front();
+    const FifoEntry victim = fifo_.front();
     fifo_.pop_front();
-    const auto it = lines_.find(victim);
-    if (it == lines_.end()) continue;
-    write_back(victim, it->second);
-    lines_.erase(it);
+    const auto it = lines_.find(victim.addr);
+    // Stale entry: the line was flushed (and possibly re-dirtied,
+    // which re-enqueued it with a fresh seq) since this was pushed.
+    if (it == lines_.end() || it->second.fifo_seq != victim.seq) continue;
+    write_back(victim.addr, it->second);
+    erase_line(it);
     ++evictions_;
   }
+}
+
+void Llc::compact_fifo() {
+  if (fifo_.size() < 64 || fifo_.size() < 4 * lines_.size()) return;
+  std::erase_if(fifo_, [this](const FifoEntry& e) {
+    const auto it = lines_.find(e.addr);
+    return it == lines_.end() || it->second.fifo_seq != e.seq;
+  });
 }
 
 }  // namespace prdma::mem

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <span>
@@ -42,6 +43,12 @@ class Llc {
   /// NOT updated until clflush or eviction.
   void write(std::uint64_t addr, std::span<const std::byte> data);
 
+  /// Content-elided store (ContentMode::kShadow payload interiors):
+  /// identical line presence / dirtiness / eviction / flush-cost
+  /// bookkeeping as write(), but no backing fault-in and no byte
+  /// copies. Shadow-only lines also write back content-free.
+  void write_shadow(std::uint64_t addr, std::uint64_t len);
+
   /// Coherent load: dirty lines shadow the backing device.
   void read(std::uint64_t addr, std::span<std::byte> out) const;
 
@@ -63,21 +70,47 @@ class Llc {
 
  private:
   struct Line {
-    std::vector<std::byte> data;  // kCacheLine bytes
+    std::array<std::byte, kCacheLine> data;  // inline: no per-line heap alloc
+    /// Tag of this line's live FIFO entry (see FifoEntry): flushing a
+    /// line no longer scans the eviction queue, it just orphans the
+    /// entry, and eviction skips entries whose tag no longer matches.
+    std::uint64_t fifo_seq = 0;
+    /// False for lines only ever touched by write_shadow: their
+    /// content is meaningless, so write-back skips the byte copy
+    /// (accounting is unchanged — see Device::poke_shadow).
+    bool has_bytes = true;
   };
 
+  /// One eviction-queue entry; stale once the line was flushed (or
+  /// re-dirtied, which re-enqueues it with a fresh seq).
+  struct FifoEntry {
+    std::uint64_t addr;
+    std::uint64_t seq;
+  };
+
+  using LineMap = std::unordered_map<std::uint64_t, Line>;
+
   /// Returns the cached line for `line_addr`, faulting it in from the
-  /// backing device if needed, and marks it dirty.
-  Line& dirty_line(std::uint64_t line_addr);
+  /// backing device if needed (`fill` — shadow stores skip the fill),
+  /// and marks it dirty.
+  Line& dirty_line(std::uint64_t line_addr, bool fill);
 
   void write_back(std::uint64_t line_addr, const Line& line);
   void evict_if_needed();
+  /// Drops stale FIFO entries once they dominate the queue, so lazy
+  /// deletion stays O(1) amortized without unbounded growth.
+  void compact_fifo();
+  /// Erases `it` from the line map, stashing the node for reuse so the
+  /// steady-state write->flush cycle performs no map allocations.
+  void erase_line(LineMap::iterator it);
 
   sim::Simulator& sim_;
   Device& backing_;
   LlcParams params_;
-  std::unordered_map<std::uint64_t, Line> lines_;
-  std::deque<std::uint64_t> fifo_;  // insertion order for eviction
+  LineMap lines_;
+  std::vector<LineMap::node_type> spare_nodes_;  // recycled map nodes
+  std::deque<FifoEntry> fifo_;  // insertion order for eviction
+  std::uint64_t next_fifo_seq_ = 1;
   std::uint64_t evictions_ = 0;
   std::uint64_t lines_flushed_ = 0;
   std::uint64_t lines_lost_ = 0;

@@ -2,15 +2,33 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "mem/buffer_pool.hpp"
 #include "mem/device.hpp"
 #include "mem/llc.hpp"
 #include "sim/simulator.hpp"
 
 namespace prdma::mem {
+
+/// Digest of a deterministic payload range in shadow content mode: a
+/// cheap FNV-style mix of (generator seed, stream offset, length) that
+/// composes under sub-slicing — the digest of bytes [off, off+len) of
+/// generator `seed` is computable without the bytes. Stands in for
+/// FNV-1a over the real bytes everywhere shadow mode elides them.
+inline std::uint64_t shadow_digest(std::uint64_t seed, std::uint64_t off,
+                                   std::uint64_t len) {
+  std::uint64_t h = 0xcbf29ce484222325ull ^ (seed * 0x100000001b3ull);
+  h ^= off + 0x9e3779b97f4a7c15ull;
+  h *= 0x100000001b3ull;
+  h ^= len;
+  h *= 0x100000001b3ull;
+  return h;
+}
 
 /// Sizing/timing of one node's memory system.
 struct NodeMemoryParams {
@@ -23,6 +41,10 @@ struct NodeMemoryParams {
       /*read_latency=*/80, /*write_latency=*/80,
       /*read_bw=*/38.0e9, /*write_bw=*/38.0e9};
   LlcParams llc{};
+  /// Content fidelity (DESIGN.md §7.3): kFull stores every payload
+  /// byte; kShadow elides payload copies (crash injection requires
+  /// kFull — Node refuses to arm crash hooks in kShadow).
+  ContentMode content_mode = ContentMode::kFull;
 };
 
 /// One node's physical memory: a PM window, a DRAM window and the LLC
@@ -35,12 +57,19 @@ struct NodeMemoryParams {
 ///    stores stay volatile in the LLC until clflush);
 ///  * dma_write / dma_read — RNIC DMA; steering depends on DDIO
 ///    (LLC when enabled, straight into the persist domain when not).
+///
+/// Scatter-gather payload images (PayloadRef) take the *_payload
+/// entry points: byte extents follow the plain byte paths; shadow
+/// extents update only the shadow content plane (range -> generator
+/// map) with identical timing/accounting and no copies.
 class NodeMemory {
  public:
   static constexpr std::uint64_t kDramBase = 1ull << 40;
 
   NodeMemory(sim::Simulator& sim, const NodeMemoryParams& params)
-      : pm_(sim, "pm", params.pm_capacity, params.pm_timing),
+      : mode_(params.content_mode),
+        pool_(sim),
+        pm_(sim, "pm", params.pm_capacity, params.pm_timing),
         dram_(sim, "dram", params.dram_capacity, params.dram_timing),
         llc_(sim, pm_, params.llc) {}
 
@@ -48,6 +77,8 @@ class NodeMemory {
     return addr < pm_.capacity();
   }
 
+  [[nodiscard]] ContentMode content_mode() const { return mode_; }
+  [[nodiscard]] BufferPool& pool() { return pool_; }
   [[nodiscard]] PmDevice& pm() { return pm_; }
   [[nodiscard]] DramDevice& dram() { return dram_; }
   [[nodiscard]] Llc& llc() { return llc_; }
@@ -56,11 +87,7 @@ class NodeMemory {
   // ---- CPU path (cached stores) ----
 
   void cpu_write(std::uint64_t addr, std::span<const std::byte> data) {
-    if (is_pm(addr)) {
-      llc_.write(addr, data);
-    } else {
-      dram_.poke(addr - kDramBase, data);
-    }
+    write_bytes_nofire(addr, data, WritePath::kCpu, /*ddio=*/false);
     fire_watches(addr, data.size());
   }
 
@@ -78,15 +105,7 @@ class NodeMemory {
   /// (volatile!); without DDIO it goes through the iMC into the
   /// persist domain (for PM) or DRAM.
   void dma_write(std::uint64_t addr, std::span<const std::byte> data, bool ddio) {
-    if (is_pm(addr)) {
-      if (ddio) {
-        llc_.write(addr, data);
-      } else {
-        pm_.poke(addr, data);
-      }
-    } else {
-      dram_.poke(addr - kDramBase, data);
-    }
+    write_bytes_nofire(addr, data, WritePath::kDma, ddio);
     fire_watches(addr, data.size());
   }
 
@@ -95,6 +114,52 @@ class NodeMemory {
   void dma_read(std::uint64_t addr, std::span<std::byte> out) const {
     cpu_read(addr, out);
   }
+
+  // ---- scatter-gather payload paths ----
+
+  /// Reconstructs [addr, addr+len) as a payload image: shadow ranges
+  /// come back as shadow extents (no bytes moved), everything else is
+  /// byte-copied from the coherent view into one pooled block. In
+  /// kFull mode this is exactly "cpu_read into a pooled buffer".
+  [[nodiscard]] PayloadRef read_payload(std::uint64_t addr, std::uint64_t len);
+
+  /// CPU store of (a prefix of) a payload image at `addr`; watches
+  /// fire once over the whole written range, like one cpu_write.
+  void cpu_write_payload(std::uint64_t addr, const PayloadRef& p,
+                         std::uint64_t limit = UINT64_MAX) {
+    const std::uint64_t n = write_payload_nofire(addr, p, limit,
+                                                 WritePath::kCpu, false);
+    fire_watches(addr, n);
+  }
+
+  /// DMA store of (a prefix of) a payload image at `addr`.
+  void dma_write_payload(std::uint64_t addr, const PayloadRef& p, bool ddio,
+                         std::uint64_t limit = UINT64_MAX) {
+    const std::uint64_t n = write_payload_nofire(addr, p, limit,
+                                                 WritePath::kDma, ddio);
+    fire_watches(addr, n);
+  }
+
+  /// Non-temporal store of a payload image straight into the persist
+  /// domain, bypassing the LLC (the SRFlush server's ntstore path).
+  /// PM addresses only.
+  void poke_payload_pm(std::uint64_t addr, const PayloadRef& p) {
+    const std::uint64_t n = write_payload_nofire(addr, p, UINT64_MAX,
+                                                 WritePath::kNtStore, false);
+    fire_watches(addr, n);
+  }
+
+  /// Crash-instant landing of an in-flight payload DMA: only the
+  /// line-aligned prefix that reached the media persists (cf.
+  /// PmDevice::torn_write — one torn-write count per in-flight DMA).
+  void dma_torn_write(std::uint64_t addr, const PayloadRef& p,
+                      std::uint64_t len, std::uint64_t persisted_bytes);
+
+  /// Shadow-plane digest of [addr, addr+len) if the range is tracked
+  /// (kShadow payload writes record it); nullopt when untracked (byte
+  /// content is authoritative then).
+  [[nodiscard]] std::optional<std::uint64_t> shadow_digest_at(
+      std::uint64_t addr, std::uint64_t len) const;
 
   /// Physical-media load: bypasses the LLC and returns exactly what is
   /// in the persist domain *right now* — what a post-crash reader would
@@ -184,25 +249,61 @@ class NodeMemory {
     std::function<void()> on_write;
   };
 
+  enum class WritePath : std::uint8_t { kCpu, kDma, kNtStore };
+
+  /// Tracked shadow extent: [start, start+len) holds the bytes of
+  /// generator `seed` at stream offset `off`.
+  struct ShadowRange {
+    std::uint64_t len;
+    std::uint64_t seed;
+    std::uint64_t off;
+  };
+
+  void write_bytes_nofire(std::uint64_t addr, std::span<const std::byte> data,
+                          WritePath path, bool ddio);
+  /// Lands one shadow extent (timing/accounting like a byte write of
+  /// `len`, no copies) and records it in the shadow plane.
+  void write_shadow_seg(std::uint64_t addr, std::uint64_t len,
+                        std::uint64_t seed, std::uint64_t off, WritePath path,
+                        bool ddio);
+  /// Removes/clips shadow extents overlapping [addr, addr+len).
+  void trim_shadow(std::uint64_t addr, std::uint64_t len);
+  /// Writes min(p.size(), limit) bytes of `p` at `addr`; returns the
+  /// count. Watches are NOT fired (callers fire once over the range).
+  std::uint64_t write_payload_nofire(std::uint64_t addr, const PayloadRef& p,
+                                     std::uint64_t limit, WritePath path,
+                                     bool ddio);
+
   void fire_watches(std::uint64_t addr, std::uint64_t len) {
-    if (watches_.empty()) return;
-    // A callback may add/remove watches; iterate over a snapshot of ids.
-    std::vector<const Watch*> hits;
+    if (watches_.empty() || len == 0) return;
+    // A callback may add/remove watches; run over a snapshot. The
+    // snapshot buffers are reused across calls (fire_watches sits on
+    // the per-RPC hot path) unless a callback re-enters.
+    std::vector<std::function<void()>> local;
+    std::vector<std::function<void()>>& cbs =
+        fire_depth_ == 0 ? scratch_cbs_ : local;
+    ++fire_depth_;
+    cbs.clear();
     for (const Watch& w : watches_) {
-      if (w.addr < addr + len && addr < w.addr + w.len) hits.push_back(&w);
+      if (w.addr < addr + len && addr < w.addr + w.len) {
+        cbs.push_back(w.on_write);
+      }
     }
-    if (hits.empty()) return;
-    std::vector<std::function<void()>> cbs;
-    cbs.reserve(hits.size());
-    for (const Watch* w : hits) cbs.push_back(w->on_write);
     for (auto& cb : cbs) cb();
+    cbs.clear();
+    --fire_depth_;
   }
 
+  ContentMode mode_;
+  BufferPool pool_;
   PmDevice pm_;
   DramDevice dram_;
   Llc llc_;
+  std::map<std::uint64_t, ShadowRange> shadow_;  ///< kShadow plane
   std::uint64_t next_watch_ = 1;
   std::vector<Watch> watches_;
+  std::vector<std::function<void()>> scratch_cbs_;
+  int fire_depth_ = 0;
 };
 
 }  // namespace prdma::mem

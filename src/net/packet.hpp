@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
+#include <span>
 #include <vector>
+
+#include "mem/buffer_pool.hpp"
 
 namespace prdma::net {
 
@@ -34,12 +36,19 @@ enum class WireOp : std::uint8_t {
 /// IB/RoCE-class per-packet header overhead charged on the wire.
 inline constexpr std::uint64_t kHeaderBytes = 66;
 
-/// Shared immutable payload: retransmissions and multi-hop deliveries
-/// reference the same bytes.
-using PayloadPtr = std::shared_ptr<const std::vector<std::byte>>;
+/// Shared immutable payload image: retransmissions, multi-hop
+/// deliveries and the final DMA reference the same scatter-gather
+/// block (pooled when it came out of a node's BufferPool).
+using PayloadRef = mem::PayloadRef;
+/// Transitional alias — kept one release for out-of-tree callers.
+using PayloadPtr = mem::PayloadRef;
 
-inline PayloadPtr make_payload(std::vector<std::byte> bytes) {
-  return std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+inline PayloadRef make_payload(const std::vector<std::byte>& bytes) {
+  return mem::make_heap_payload({bytes.data(), bytes.size()});
+}
+
+inline PayloadRef make_payload(std::span<const std::byte> bytes) {
+  return mem::make_heap_payload(bytes);
 }
 
 /// One network packet between two RNICs.
@@ -60,7 +69,7 @@ struct Packet {
   /// recv should land in the initiator's memory.
   std::uint64_t local_addr = 0;
 
-  PayloadPtr payload;            ///< data bytes for payload-carrying ops
+  PayloadRef payload;            ///< data image for payload-carrying ops
 
   /// Bytes occupying the wire (payload for data ops, header always).
   [[nodiscard]] std::uint64_t wire_bytes() const {

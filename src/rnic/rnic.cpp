@@ -66,8 +66,6 @@ void Rnic::post_send(Qp& qp, std::uint64_t local_addr, std::uint64_t len,
   if (qp.transport == Transport::kUD && len > params_.ud_mtu) {
     throw std::invalid_argument("UD send exceeds MTU");
   }
-  std::vector<std::byte> data(len);
-  mem_.cpu_read(local_addr, data);
   Packet p;
   p.src = id_;
   p.dst = qp.peer;
@@ -80,7 +78,7 @@ void Rnic::post_send(Qp& qp, std::uint64_t local_addr, std::uint64_t len,
     p.imm = *imm;
     p.has_imm = true;
   }
-  p.payload = net::make_payload(std::move(data));
+  p.payload = mem_.read_payload(local_addr, len);
   transmit_data(std::move(p));
 }
 
@@ -90,8 +88,6 @@ void Rnic::post_write(Qp& qp, std::uint64_t local_addr, std::uint64_t len,
   if (qp.transport == Transport::kUD) {
     throw std::invalid_argument("RDMA write is not supported on UD");
   }
-  std::vector<std::byte> data(len);
-  mem_.cpu_read(local_addr, data);
   Packet p;
   p.src = id_;
   p.dst = qp.peer;
@@ -105,7 +101,7 @@ void Rnic::post_write(Qp& qp, std::uint64_t local_addr, std::uint64_t len,
     p.imm = *imm;
     p.has_imm = true;
   }
-  p.payload = net::make_payload(std::move(data));
+  p.payload = mem_.read_payload(local_addr, len);
   transmit_data(std::move(p));
 }
 
@@ -291,7 +287,7 @@ void Rnic::complete_send_wr(Qp& qp, std::uint64_t seq, const Packet& ack) {
     const std::uint64_t wr_id = orig.wr_id;
     const std::uint32_t qpn = qp.qpn;
     const std::uint64_t len = ack.length;
-    enqueue_dma_write(orig.local_addr, ack.payload, 0, len, params_.ddio,
+    enqueue_dma_write(orig.local_addr, ack.payload, len, params_.ddio,
                       [this, cq, wr_id, qpn, len](SimTime) {
                         Wc wc;
                         wc.wr_id = wr_id;
@@ -459,7 +455,7 @@ void Rnic::process_admitted(Packet p) {
       const std::uint64_t sram_bytes = p.wire_bytes();
       const std::uint64_t waddr = p.remote_addr;
       const std::uint64_t wlen = p.length;
-      enqueue_dma_write(p.remote_addr, p.payload, 0, p.length, params_.ddio,
+      enqueue_dma_write(p.remote_addr, p.payload, p.length, params_.ddio,
                         [this, sram_bytes, waddr, wlen](SimTime) {
                           release_sram(sram_bytes);
                           maybe_auto_persist(waddr, wlen);
@@ -471,7 +467,7 @@ void Rnic::process_admitted(Packet p) {
       const std::uint64_t sram_bytes = p.wire_bytes();
       Packet notify = p;  // keep metadata for the completion
       enqueue_dma_write(
-          p.remote_addr, p.payload, 0, p.length, params_.ddio,
+          p.remote_addr, p.payload, p.length, params_.ddio,
           [this, sram_bytes, notify](SimTime) {
             release_sram(sram_bytes);
             Qp* q = find_qp(notify.dst_qp);
@@ -553,7 +549,7 @@ void Rnic::deliver_send(Qp& qp, Packet p) {
   const std::uint64_t sram_bytes = p.wire_bytes();
   const std::uint32_t qpn = qp.qpn;
   const Packet meta = p;  // metadata for the completion
-  enqueue_dma_write(wqe.addr, p.payload, 0, len, params_.ddio,
+  enqueue_dma_write(wqe.addr, p.payload, len, params_.ddio,
                     [this, sram_bytes, qpn, wqe, len, meta](SimTime) {
                       release_sram(sram_bytes);
                       Qp* q = find_qp(qpn);
@@ -602,8 +598,6 @@ void Rnic::handle_read_req(Packet p) {
   sim_.schedule_at(pcie_done, [this, epoch, p]() {
     if (epoch != epoch_ || !alive_) return;
     release_sram(p.wire_bytes());
-    std::vector<std::byte> data(p.length);
-    mem_.dma_read(p.remote_addr, data);  // coherent: sees LLC dirty lines
     Packet resp;
     resp.src = id_;
     resp.dst = p.src;
@@ -613,7 +607,9 @@ void Rnic::handle_read_req(Packet p) {
     resp.wr_id = p.wr_id;
     resp.seq = p.seq;
     resp.length = p.length;
-    resp.payload = net::make_payload(std::move(data));
+    // Coherent snapshot (sees LLC dirty lines), zero-copy for tracked
+    // shadow ranges.
+    resp.payload = mem_.read_payload(p.remote_addr, p.length);
     transmit_control(std::move(resp));
   });
 }
@@ -705,10 +701,8 @@ void Rnic::handle_sflush(Packet p) {
     if (epoch != epoch_ || !alive_) return;
     // DMA-copy message buffer -> PM redo-log slot (Fig. 5 step B),
     // bypassing the cache into the persist domain.
-    std::vector<std::byte> data(len);
-    mem_.dma_read(src_addr, data);
-    enqueue_dma_write(p.remote_addr, net::make_payload(std::move(data)), 0,
-                      len, /*ddio=*/false, [this, p](SimTime) {
+    enqueue_dma_write(p.remote_addr, mem_.read_payload(src_addr, len), len,
+                      /*ddio=*/false, [this, p](SimTime) {
                         ++flushes_;
                         release_sram(p.wire_bytes());
                         Packet ack;
@@ -726,9 +720,9 @@ void Rnic::handle_sflush(Packet p) {
 
 // ------------------------------------------------------------ DMA engine
 
-void Rnic::enqueue_dma_write(std::uint64_t addr, net::PayloadPtr payload,
-                             std::uint64_t src_off, std::uint64_t len,
-                             bool ddio, DmaCallback on_done) {
+void Rnic::enqueue_dma_write(std::uint64_t addr, net::PayloadRef payload,
+                             std::uint64_t len, bool ddio,
+                             DmaCallback on_done) {
   // The engine pipelines transaction setup: occupancy is the bus
   // transfer; the setup latency delays this transfer's completion but
   // does not block successors.
@@ -747,19 +741,16 @@ void Rnic::enqueue_dma_write(std::uint64_t addr, net::PayloadPtr payload,
     // future start would stall unrelated CPU flushes artificially.
     done = pcie_done + mem_.device_write_cost(addr, len);
   }
-  pending_.push_back(PendingDma{addr, len, done, begin, payload, src_off,
-                                to_llc});
+  pending_.push_back(PendingDma{addr, len, done, begin, payload, to_llc});
   trace_span(trace::Component::kRnicDma, addr, begin, done);
 
   const std::uint64_t epoch = epoch_;
   sim_.schedule_at(done, [this, epoch, addr, payload = std::move(payload),
-                          src_off, len, ddio, done,
+                          len, ddio, done,
                           on_done = std::move(on_done)]() mutable {
     if (epoch != epoch_ || !alive_) return;  // crash: data lost in flight
     if (payload != nullptr) {
-      mem_.dma_write(addr,
-                     std::span<const std::byte>(payload->data() + src_off, len),
-                     ddio && mem_.is_pm(addr));
+      mem_.dma_write_payload(addr, payload, ddio && mem_.is_pm(addr), len);
     }
     prune_pending();
     if (on_done) on_done(done);
@@ -837,9 +828,9 @@ void Rnic::maybe_auto_persist(std::uint64_t addr, std::uint64_t len) {
       n.wr_id = 0;  // silent
       n.remote_addr = slot->notify_addr;
       n.length = 8;
-      std::vector<std::byte> image(8);
-      std::memcpy(image.data(), &slot->counter, 8);
-      n.payload = net::make_payload(std::move(image));
+      std::byte image[8];
+      std::memcpy(image, &slot->counter, 8);
+      n.payload = mem_.pool().make_bytes(image);
       n.seq = qp->next_seq++;
       // NIC-generated: fire on the control path (no host WQE fetch);
       // the RC ACK for it resolves silently via handle_ack.
@@ -877,9 +868,7 @@ void Rnic::crash() {
     if (now > d.begin && d.done > d.begin) {
       persisted = d.len * (now - d.begin) / (d.done - d.begin);
     }
-    mem_.pm().torn_write(
-        d.addr, std::span<const std::byte>(d.payload->data() + d.src_off, d.len),
-        persisted);
+    mem_.dma_torn_write(d.addr, d.payload, d.len, persisted);
   }
   pending_.clear();
   dma_busy_until_ = 0;

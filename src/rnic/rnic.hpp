@@ -165,8 +165,7 @@ class Rnic {
     /// physically reached the media (non-DDIO PM writes only; DDIO
     /// fills and DRAM are volatile and simply vanish).
     sim::SimTime begin = 0;
-    net::PayloadPtr payload = nullptr;
-    std::uint64_t src_off = 0;
+    net::PayloadRef payload = nullptr;
     bool ddio = false;
   };
 
@@ -193,9 +192,8 @@ class Rnic {
   void complete_send_wr(Qp& qp, std::uint64_t seq, const net::Packet& ack);
 
   // -- DMA engine --
-  void enqueue_dma_write(std::uint64_t addr, net::PayloadPtr payload,
-                         std::uint64_t src_off, std::uint64_t len, bool ddio,
-                         DmaCallback on_done);
+  void enqueue_dma_write(std::uint64_t addr, net::PayloadRef payload,
+                         std::uint64_t len, bool ddio, DmaCallback on_done);
   [[nodiscard]] sim::SimTime drain_time(std::uint64_t addr,
                                         std::uint64_t len) const;
   void prune_pending();

@@ -21,14 +21,6 @@ constexpr std::uint32_t kRingSlots = 16;     ///< covers the pipelined fault har
 constexpr std::uint32_t kRecvSlots = 8;
 constexpr SimTime kReadPollBackoff = 2000;   ///< RFP client re-read interval
 
-std::vector<std::byte> make_payload(std::uint64_t seq, std::uint32_t len) {
-  std::vector<std::byte> p(len);
-  for (std::uint32_t i = 0; i < len; ++i) {
-    p[i] = static_cast<std::byte>((seq * 131 + i * 7) & 0xFF);
-  }
-  return p;
-}
-
 }  // namespace
 
 // ------------------------------------------------------------- configs
@@ -479,9 +471,9 @@ sim::Task<> BaselineServer::handle_and_respond(Conn& conn, LogEntryView e) {
       break;
     case BaselineConfig::Respond::kClientRead: {
       // Leave the result in server memory; the client RDMA-reads it.
-      std::vector<std::byte> img(resp_len + 8);
-      server_.mem().cpu_read(conn.stage_addr, img);
-      server_.mem().cpu_write(conn.result_base, img);
+      server_.mem().cpu_write_payload(
+          conn.result_base,
+          server_.mem().read_payload(conn.stage_addr, resp_len + 8));
       break;
     }
     case BaselineConfig::Respond::kWriteImm:
@@ -559,7 +551,7 @@ sim::Task<> BaselineClient::maybe_warmup(std::uint64_t image_len) {
   const std::uint64_t wseq = ops_since_warmup_;  // monotonic
   core::store_u64(node_.mem(), warmup_ack_addr_, 0);
   // Announcement: [wseq][image_len][reserved] at the server slot.
-  core::ByteWriter w;
+  core::ByteWriter w(24);
   w.u64(wseq);
   w.u64(image_len);
   w.u64(0);
@@ -684,14 +676,13 @@ sim::Task<RpcResult> BaselineClient::do_call(RpcOp op, std::uint64_t obj_id,
   res.tag = seq;
   const std::uint64_t resp_slot = (seq - 1) % kRingSlots;
   const std::uint32_t resp_len = op == RpcOp::kRead ? len : 0;
-  const auto payload = make_payload(seq, payload_len);
-  const auto image = core::encode_log_entry(
-      seq, op, obj_id, payload, resp_slot, batch,
+  const auto image = core::encode_log_entry_image(
+      node_.mem(), seq, op, obj_id, payload_len, resp_slot, batch,
       op == RpcOp::kRead ? len : 0);
   const std::uint64_t image_cap =
       LogLayout{0, kRingSlots, server_.params_.max_payload}.slot_bytes();
   const std::uint64_t stage = staging_base_ + resp_slot * image_cap;
-  node_.mem().cpu_write(stage, image);
+  node_.mem().cpu_write_payload(stage, image);
 
   // Clear the local response commit word before reuse.
   const std::uint64_t resp_slot_addr =

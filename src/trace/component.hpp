@@ -34,6 +34,8 @@ enum class Component : ComponentId {
   kPersistAck,     ///< persist notification write to the sender
   kWorker,         ///< worker-thread processing of a logged RPC
   kFlowStall,      ///< client blocked on the flow-control window (§4.4)
+  kPayloadPool,    ///< payload-pool occupancy (counter, blocks outstanding)
+  kPayloadRefs,    ///< payload handle acquisitions per recycled block
   kCount
 };
 

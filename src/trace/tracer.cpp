@@ -30,6 +30,8 @@ constexpr std::array<NameEntry, kPredefinedComponents> kNames{{
     {"persist_ack", "rpc"},     // kPersistAck
     {"worker", "rpc"},          // kWorker
     {"flow_stall", "rpc"},      // kFlowStall
+    {"payload_pool", "mem"},    // kPayloadPool
+    {"payload_refs", "mem"},    // kPayloadRefs
 }};
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "core/durable_rpc.hpp"
@@ -40,6 +41,23 @@ std::vector<std::byte> pattern(std::size_t n, int seed = 1) {
     out[i] = static_cast<std::byte>((seed * 31 + i) & 0xFF);
   }
   return out;
+}
+
+// ------------------------------------------------------------------ node
+
+TEST(Node, CrashHooksRefusedInShadowContentMode) {
+  ModelParams p = small_params();
+  p.memory.content_mode = mem::ContentMode::kShadow;
+  Cluster cluster(p, 1);
+  // Shadow mode elides payload bytes, so post-crash state (torn
+  // entries, oracle byte checks) would be fiction — arming must fail
+  // loudly, not silently degrade crash fidelity.
+  EXPECT_THROW(cluster.node(0).attach_crash_hook(), std::logic_error);
+  EXPECT_THROW(cluster.node(0).schedule_crash_at(1000), std::logic_error);
+
+  ModelParams pf = small_params();  // kFull default
+  Cluster full(pf, 1);
+  EXPECT_NO_THROW(full.node(0).attach_crash_hook());
 }
 
 // ------------------------------------------------------------------ wire

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "mem/buffer_pool.hpp"
 #include "mem/device.hpp"
 #include "mem/llc.hpp"
 #include "mem/node_memory.hpp"
@@ -281,6 +283,232 @@ TEST_F(NodeMemFixture, DeviceTimingHelpersRouteByAddress) {
   const SimTime dram_t =
       mem2.device_write_complete_at(0, NodeMemory::kDramBase, 4096);
   EXPECT_GT(pm_t, dram_t) << "PM writes are slower than DRAM";
+}
+
+// ------------------------------------------------------------ BufferPool
+
+TEST(BufferPool, AcquireRecycleReusesBlocks) {
+  Simulator sim;
+  BufferPool pool(sim);
+  PayloadRef a = pool.acquire(100);
+  PayloadBuf* const first = a.buf();
+  EXPECT_EQ(pool.stats().acquires, 1u);
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+  a.reset();
+  EXPECT_EQ(pool.stats().recycles, 1u);
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+
+  // Same size class -> the freed block comes straight back; no slab
+  // growth in steady state.
+  const std::uint64_t slab0 = pool.stats().slab_bytes;
+  PayloadRef b = pool.acquire(100);
+  EXPECT_EQ(b.buf(), first);
+  EXPECT_EQ(pool.stats().slab_bytes, slab0);
+}
+
+TEST(BufferPool, RefcountKeepsBlockAliveUntilLastHandle) {
+  Simulator sim;
+  BufferPool pool(sim);
+  PayloadRef a = pool.make_bytes(pattern(64));
+  PayloadRef b = a;  // shared
+  EXPECT_EQ(a.buf(), b.buf());
+  EXPECT_EQ(a.buf()->refs, 2u);
+  EXPECT_EQ(a.buf()->ref_acquires, 2u);
+  a.reset();
+  EXPECT_EQ(pool.stats().recycles, 0u) << "b still holds the block";
+  EXPECT_EQ(std::vector<std::byte>(b.bytes().begin(), b.bytes().end()),
+            pattern(64));
+  b.reset();
+  EXPECT_EQ(pool.stats().recycles, 1u);
+}
+
+TEST(BufferPool, AppendMergesTrailingBytesSegment) {
+  Simulator sim;
+  BufferPool pool(sim);
+  PayloadRef r = pool.acquire(256);
+  r.buf()->append_bytes(pattern(100, 1));
+  r.buf()->append_bytes(pattern(100, 2));
+  EXPECT_EQ(r.seg_count(), 1u);
+  EXPECT_TRUE(r.contiguous_bytes());
+  EXPECT_EQ(r.size(), 200u);
+}
+
+TEST(BufferPool, ShadowSegmentsCarryNoData) {
+  Simulator sim;
+  BufferPool pool(sim);
+  PayloadRef r = pool.acquire(64);
+  r.buf()->append_bytes(pattern(16));
+  r.buf()->append_shadow(1000, /*seed=*/7, /*off=*/0);
+  EXPECT_EQ(r.size(), 1016u);
+  EXPECT_EQ(r.seg_count(), 2u);
+  EXPECT_EQ(r.buf()->data_used, 16u) << "shadow extents consume no data area";
+  EXPECT_FALSE(r.contiguous_bytes());
+}
+
+TEST(BufferPool, OversizeAcquireFallsBackToHeap) {
+  Simulator sim;
+  BufferPool pool(sim);
+  // One byte past the largest class (128 MiB). The data area is never
+  // touched, so the allocation stays virtual.
+  PayloadRef r = pool.acquire((64ull << 21) + 1);
+  EXPECT_EQ(pool.stats().oversize_allocs, 1u);
+  r.buf()->append_bytes(pattern(16));
+  r.reset();
+  EXPECT_EQ(pool.stats().recycles, 1u);
+  EXPECT_EQ(pool.stats().slab_bytes, 0u) << "oversize must not grow a class";
+}
+
+TEST(BufferPool, LegacyEnvDisablesPooling) {
+  ::setenv("PRDMA_LEGACY_DATAPLANE", "1", 1);
+  Simulator sim;
+  BufferPool pool(sim);
+  ::unsetenv("PRDMA_LEGACY_DATAPLANE");
+  EXPECT_TRUE(pool.legacy_mode());
+  PayloadRef r = pool.make_bytes(pattern(64));
+  EXPECT_EQ(std::vector<std::byte>(r.bytes().begin(), r.bytes().end()),
+            pattern(64));
+  r.reset();
+  EXPECT_EQ(pool.stats().slab_bytes, 0u) << "legacy mode never builds slabs";
+  EXPECT_EQ(pool.stats().acquires, 1u);
+  EXPECT_EQ(pool.stats().recycles, 1u);
+}
+
+TEST(BufferPool, AsanPoisonsRecycledDataAreas) {
+  if (!BufferPool::poisoning_enabled()) {
+    GTEST_SKIP() << "not an ASan build";
+  }
+  Simulator sim;
+  BufferPool pool(sim);
+  PayloadRef r = pool.acquire(64);
+  const std::byte* data = r.buf()->data();
+  EXPECT_FALSE(BufferPool::address_poisoned(data));
+  r.reset();
+  EXPECT_TRUE(BufferPool::address_poisoned(data))
+      << "freed blocks must be poisoned: stale PayloadRef reads should trap";
+  PayloadRef again = pool.acquire(64);
+  EXPECT_FALSE(BufferPool::address_poisoned(again.buf()->data()));
+}
+
+// --------------------------------------------- content modes (shadow)
+
+NodeMemoryParams small_params(ContentMode mode) {
+  NodeMemoryParams p;
+  p.pm_capacity = 1 << 20;
+  p.dram_capacity = 1 << 20;
+  p.content_mode = mode;
+  return p;
+}
+
+/// Builds the same logical payload in both modes: [16B header][1 KB
+/// interior][8B commit] — bytes everywhere in kFull, a shadow extent
+/// interior in kShadow, as encode_log_entry_image does.
+PayloadRef build_image(NodeMemory& mem, std::uint64_t seed) {
+  if (mem.content_mode() == ContentMode::kShadow) {
+    PayloadRef r = mem.pool().acquire(24);
+    r.buf()->append_bytes(pattern(16, static_cast<int>(seed)));
+    r.buf()->append_shadow(1024, seed, 0);
+    r.buf()->append_bytes(pattern(8, static_cast<int>(seed) + 1));
+    return r;
+  }
+  PayloadRef r = mem.pool().acquire(16 + 1024 + 8);
+  r.buf()->append_bytes(pattern(16, static_cast<int>(seed)));
+  r.buf()->append_bytes(pattern(1024, 99));
+  r.buf()->append_bytes(pattern(8, static_cast<int>(seed) + 1));
+  return r;
+}
+
+TEST(ContentModeParity, TimingAndAccountingMatchAcrossModes) {
+  Simulator sim_full;
+  Simulator sim_shadow;
+  NodeMemory full(sim_full, small_params(ContentMode::kFull));
+  NodeMemory shadow(sim_shadow, small_params(ContentMode::kShadow));
+
+  for (auto* m : {&full, &shadow}) {
+    PayloadRef img = build_image(*m, 3);
+    m->cpu_write_payload(4096, img);
+    m->dma_write_payload(65536, img, /*ddio=*/false);
+  }
+  // Identical line presence and dirtiness...
+  EXPECT_EQ(full.llc().dirty_lines(), shadow.llc().dirty_lines());
+  EXPECT_EQ(full.range_persistent(4096, 1048),
+            shadow.range_persistent(4096, 1048));
+  // ...identical flush timing...
+  const SimTime t_full = full.clflush(0, 4096, 1048);
+  const SimTime t_shadow = shadow.clflush(0, 4096, 1048);
+  EXPECT_EQ(t_full, t_shadow);
+  // ...and identical device write accounting (shadow writes charge the
+  // same bytes_written; only bytes_copied diverges).
+  EXPECT_EQ(full.pm().bytes_written(), shadow.pm().bytes_written());
+  EXPECT_LT(shadow.pm().bytes_copied(), full.pm().bytes_copied());
+}
+
+TEST(ContentModeParity, TornWriteCountsMatchAcrossModes) {
+  Simulator sim_full;
+  Simulator sim_shadow;
+  NodeMemory full(sim_full, small_params(ContentMode::kFull));
+  NodeMemory shadow(sim_shadow, small_params(ContentMode::kShadow));
+  for (auto* m : {&full, &shadow}) {
+    PayloadRef img = build_image(*m, 5);
+    // Only 100 bytes reached the media: the line-aligned prefix lands,
+    // the entry is torn.
+    m->dma_torn_write(8192, img, img.size(), /*persisted_bytes=*/100);
+    EXPECT_EQ(m->pm().torn_writes(), 1u);
+  }
+  EXPECT_EQ(full.pm().bytes_written(), shadow.pm().bytes_written());
+}
+
+TEST(ShadowPlane, DigestTracksWrittenExtents) {
+  Simulator sim;
+  NodeMemory mem(sim, small_params(ContentMode::kShadow));
+  PayloadRef r = mem.pool().acquire(0);
+  r.buf()->append_shadow(1024, /*seed=*/42, /*off=*/0);
+  mem.cpu_write_payload(4096, r);
+  const auto d = mem.shadow_digest_at(4096, 1024);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, shadow_digest(42, 0, 1024));
+  // Untracked ranges have no digest — byte content is authoritative.
+  EXPECT_FALSE(mem.shadow_digest_at(4096 + 64, 64).has_value());
+}
+
+TEST(ShadowPlane, ByteOverwriteTrimsTheExtent) {
+  Simulator sim;
+  NodeMemory mem(sim, small_params(ContentMode::kShadow));
+  PayloadRef r = mem.pool().acquire(0);
+  r.buf()->append_shadow(1024, /*seed=*/42, /*off=*/0);
+  mem.cpu_write_payload(4096, r);
+  // A plain byte store into the middle invalidates the tracked range:
+  // the digest fails closed rather than report stale content.
+  mem.cpu_write(4096 + 512, pattern(8));
+  EXPECT_FALSE(mem.shadow_digest_at(4096, 1024).has_value());
+}
+
+TEST(ShadowPlane, ReadPayloadRoundTripsExtents) {
+  Simulator sim;
+  NodeMemory mem(sim, small_params(ContentMode::kShadow));
+  PayloadRef r = mem.pool().acquire(0);
+  r.buf()->append_shadow(2048, /*seed=*/7, /*off=*/0);
+  mem.cpu_write_payload(4096, r);
+
+  // Reconstructing the range must come back as a shadow extent (no
+  // bytes moved), and copying it elsewhere must preserve the digest.
+  const std::uint64_t copied0 = mem.pm().bytes_copied();
+  PayloadRef back = mem.read_payload(4096, 2048);
+  EXPECT_EQ(mem.pm().bytes_copied(), copied0) << "shadow read moves no bytes";
+  ASSERT_EQ(back.seg_count(), 1u);
+  EXPECT_EQ(back.segs()[0].kind, PayloadSeg::Kind::kShadow);
+
+  mem.cpu_write_payload(65536, back);
+  const auto d = mem.shadow_digest_at(65536, 2048);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, shadow_digest(7, 0, 2048));
+}
+
+TEST(ShadowPlane, FullModeNeverTracksDigests) {
+  Simulator sim;
+  NodeMemory mem(sim, small_params(ContentMode::kFull));
+  PayloadRef r = mem.pool().make_bytes(pattern(256));
+  mem.cpu_write_payload(4096, r);
+  EXPECT_FALSE(mem.shadow_digest_at(4096, 256).has_value());
 }
 
 }  // namespace

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 
 #include "core/wire.hpp"
+#include "mem/device.hpp"
 #include "rpcs/registry.hpp"
 #include "sim/task.hpp"
 
@@ -274,6 +277,78 @@ TEST(Durability, BaselineVsDurableLatencyUnderHeavyLoad) {
   }
   EXPECT_GT(farm, wflush + 80_us)
       << "durable RPC must dodge the 100 µs processing on its critical path";
+}
+
+// ------------------------------------------ data-plane A/B stat pins
+
+/// Fingerprint of a short fig08/fig13-style run. Two data-plane
+/// configurations are interchangeable iff their pins are identical:
+/// any timing or accounting drift shows up in at least one field.
+struct RunPin {
+  SimTime final_time = 0;
+  std::uint64_t events = 0;
+  std::uint64_t ops = 0;
+  SimTime latency_sum = 0;
+  std::uint64_t ops_processed = 0;
+  std::uint64_t pm_bytes_written = 0;
+};
+
+RunPin pinned_run(System s, mem::ContentMode mode, std::uint32_t len) {
+  ModelParams p = small_params();
+  p.memory.content_mode = mode;
+  auto d = deploy(s, p);
+  RunPin pin;
+  sim::spawn([](Deployment& dep, RunPin& out, std::uint32_t n) -> Task<> {
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      // Mostly writes, every fourth op reads back an object written by
+      // an earlier iteration.
+      const bool rd = (i % 4 == 3);
+      const auto res = co_await dep.dep.clients[0]->call(
+          RpcRequest{rd ? RpcOp::kRead : RpcOp::kWrite,
+                     static_cast<std::uint32_t>((rd ? i - 1 : i) % 5), n});
+      EXPECT_TRUE(res.ok);
+      out.latency_sum += res.latency();
+      ++out.ops;
+    }
+  }(d, pin, len));
+  d.cluster->sim().run();
+  pin.final_time = d.cluster->sim().now();
+  pin.events = d.cluster->sim().events_executed();
+  pin.ops_processed = d.dep.server->stats().ops_processed;
+  pin.pm_bytes_written = d.cluster->node(0).mem().pm().bytes_written();
+  return pin;
+}
+
+void expect_same_pin(const RunPin& a, const RunPin& b, std::string_view what) {
+  EXPECT_EQ(a.final_time, b.final_time) << what;
+  EXPECT_EQ(a.events, b.events) << what;
+  EXPECT_EQ(a.ops, b.ops) << what;
+  EXPECT_EQ(a.latency_sum, b.latency_sum) << what;
+  EXPECT_EQ(a.ops_processed, b.ops_processed) << what;
+  EXPECT_EQ(a.pm_bytes_written, b.pm_bytes_written) << what;
+}
+
+TEST(DataPlane, PooledBuffersMatchLegacyHeapDataPlane) {
+  // PRDMA_LEGACY_DATAPLANE makes every payload block a fresh heap
+  // allocation (the pre-pool behaviour). Pooling must be invisible to
+  // the model: identical events, times and device accounting.
+  for (System s : {System::kWFlushRpc, System::kFaRM, System::kSFlushRpc}) {
+    const RunPin pooled = pinned_run(s, mem::ContentMode::kFull, 777);
+    ::setenv("PRDMA_LEGACY_DATAPLANE", "1", 1);
+    const RunPin legacy = pinned_run(s, mem::ContentMode::kFull, 777);
+    ::unsetenv("PRDMA_LEGACY_DATAPLANE");
+    expect_same_pin(pooled, legacy, name_of(s));
+  }
+}
+
+TEST(DataPlane, ShadowContentModeMatchesFullStats) {
+  // Content elision may only drop byte copies — every simulated
+  // timing and accounting stat stays byte-identical to kFull.
+  for (System s : {System::kWFlushRpc, System::kFaSST, System::kSFlushRpc}) {
+    const RunPin full = pinned_run(s, mem::ContentMode::kFull, 1024);
+    const RunPin shadow = pinned_run(s, mem::ContentMode::kShadow, 1024);
+    expect_same_pin(full, shadow, name_of(s));
+  }
 }
 
 }  // namespace
