@@ -4,11 +4,18 @@
 // --mutant switches on the ack-before-persist RNIC fault to show the
 // oracle catching, shrinking and printing a re-runnable reproducer.
 //
+// --replication=chain|mirror lifts the same sweep to an R-replica
+// deployment audited by the cluster oracle (src/check/repl_explorer):
+// per-replica, correlated and crash-during-recovery schedules, with
+// the mutant becoming ack-before-REPLICA-persist.
+//
 // Flags: --variant=wflush|sflush|wrflush|srflush (default: all four)
 //        --schedules=N (random schedules per variant, default 32)
 //        --ops=N --window=N --value=BYTES --seed=N
 //        --mutant (ack-before-persist fault; pair with --value=32768)
-//        --repro="seed=S crash_at=Tns ops=N" (re-run one schedule)
+//        --replication=chain|mirror --replicas=N (cluster-level sweep)
+//        --repro="seed=S crash_at=Tns ops=N" (re-run one schedule;
+//          replicated lines are "seed=S ops=N crash=R@Tns,R@Tns")
 //        --jobs=N (parallel schedules; output is identical at any N)
 
 #include <cstdio>
@@ -18,6 +25,7 @@
 #include "bench_util/flags.hpp"
 #include "bench_util/table.hpp"
 #include "check/explorer.hpp"
+#include "check/repl_explorer.hpp"
 
 using namespace prdma;
 
@@ -51,6 +59,34 @@ check::ExplorerConfig config_from(const bench::Flags& flags,
   return cfg;
 }
 
+check::ReplExplorerConfig repl_config_from(const bench::Flags& flags,
+                                           core::FlushVariant v,
+                                           repl::Protocol protocol) {
+  check::ReplExplorerConfig cfg;
+  cfg.variant = v;
+  cfg.protocol = protocol;
+  cfg.replicas = static_cast<std::size_t>(flags.u64("replicas", 2));
+  cfg.seed = flags.u64("seed", 1);
+  cfg.ops = flags.u64("ops", 24);
+  cfg.window = static_cast<std::uint32_t>(flags.u64("window", 4));
+  cfg.value_size = static_cast<std::uint32_t>(flags.u64("value", 4096));
+  cfg.random_schedules =
+      static_cast<std::uint32_t>(flags.u64("schedules", 16));
+  cfg.ack_before_replica_persist = flags.flag("mutant");
+  cfg.jobs = bench::jobs_from(flags);
+  return cfg;
+}
+
+void print_violations(const std::vector<check::Violation>& violations,
+                      const char* prefix) {
+  for (const auto& v : violations) {
+    std::printf("%s  %s seq=%llu at=%lluns: %s\n", prefix,
+                check::violation_name(v.kind),
+                static_cast<unsigned long long>(v.seq),
+                static_cast<unsigned long long>(v.at), v.detail.c_str());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,10 +96,75 @@ int main(int argc, char** argv) {
     return 0;
   }
   const std::string chosen = flags.str("variant", "all");
+  const std::string repl_name = flags.str("replication", "none");
+  const auto protocol = repl::protocol_from_name(repl_name);
+  if (!protocol.has_value()) {
+    std::printf("unknown --replication=%s (chain|mirror|none)\n",
+                repl_name.c_str());
+    return 2;
+  }
 
   std::printf("Crash-schedule explorer — durability oracle verdicts\n");
   std::printf("(every persist-ACK must survive a power failure at any\n");
   std::printf(" later nanosecond; §4.2 invariants, all crash schedules)\n\n");
+
+  if (*protocol != repl::Protocol::kNone) {
+    // Replicated exploration: per-replica boundary/correlated/random
+    // crash schedules audited by the cluster oracle.
+    if (const std::string line = flags.str("repro", ""); !line.empty()) {
+      const auto sched = check::parse_repl_reproducer(line);
+      if (!sched.has_value()) {
+        std::printf("unparseable replicated reproducer: %s\n", line.c_str());
+        return 2;
+      }
+      const auto cfg = repl_config_from(flags, kVariants[0].variant,
+                                        *protocol);
+      const auto r = check::run_repl_schedule(cfg, *sched);
+      std::printf("replayed %s\n",
+                  check::format_repl_reproducer(*sched).c_str());
+      std::printf("  crashes=%llu ops=%llu txn_acks=%llu hop_acks=%llu "
+                  "replays=%llu\n",
+                  static_cast<unsigned long long>(r.crashes_fired),
+                  static_cast<unsigned long long>(r.ops_completed),
+                  static_cast<unsigned long long>(r.txn_acks),
+                  static_cast<unsigned long long>(r.hop_acks),
+                  static_cast<unsigned long long>(r.replays));
+      print_violations(r.violations, "");
+      if (r.violations.empty()) std::printf("  no violations\n");
+      return r.violations.empty() ? 0 : 1;
+    }
+
+    bench::TablePrinter table({"Variant", "Protocol", "Schedules",
+                               "Boundaries", "Failed", "Verdict"});
+    int exit_code = 0;
+    for (const auto& nv : kVariants) {
+      if (chosen != "all" && chosen != nv.name) continue;
+      const auto cfg = repl_config_from(flags, nv.variant, *protocol);
+      const auto rep = check::explore_repl(cfg);
+      table.add_row({nv.name, std::string(repl::protocol_name(*protocol)),
+                     std::to_string(rep.schedules_run),
+                     std::to_string(rep.boundary_points.size()),
+                     std::to_string(rep.schedules_failed),
+                     rep.schedules_failed == 0 ? "durable" : "VIOLATED"});
+      if (rep.schedules_failed != 0) {
+        exit_code = 1;
+        std::printf("[%s] first failing schedule: %s\n", nv.name,
+                    check::format_repl_reproducer(rep.first_failure->schedule)
+                        .c_str());
+        if (rep.minimal.has_value()) {
+          std::printf("[%s] shrunken reproducer:    %s\n", nv.name,
+                      rep.reproducer.c_str());
+          print_violations(rep.minimal->violations,
+                           ("[" + std::string(nv.name) + "]").c_str());
+        }
+      }
+    }
+    table.print();
+    std::printf("\n(re-run any schedule with --replication=%s "
+                "--repro=\"seed=S ops=N crash=R@Tns,R@Tns\")\n",
+                repl_name.c_str());
+    return exit_code;
+  }
 
   if (const std::string line = flags.str("repro", ""); !line.empty()) {
     const auto sched = check::parse_reproducer(line);

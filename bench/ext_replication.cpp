@@ -1,23 +1,29 @@
 // Extension (§4.5 "Data Persistence with Multiple Replicas"): the
-// paper's primitives as a building block for replication. A client
-// writes each object durably to a primary AND a backup PM server;
-// we compare
-//   * parallel durable flushes (both replicas in flight at once),
-//   * sequential durable flushes (primary, then backup),
-//   * a traditional RPC chain (FaRM to primary, then to backup).
+// replication-factor × protocol × durable-variant sweep the paper
+// never measured. Every write transaction is replicated across R
+// durable PM servers (src/repl):
+//   * chain  — head persists, then store-and-forward down the chain,
+//              ack after the tail's persist ACK returns;
+//   * mirror — all R durable flushes in flight from the client at
+//              once, ack at the slowest persist ACK.
+// The `none-r1` rows are the single-primary durable RPCs — the
+// replication cost baseline.
 //
-// Flags: --ops=N (default 2000), --seed=N, --jobs=N, --quick
+// Flags: --ops=N (default 2000), --seed=N, --jobs=N, --quick,
+//        --json=FILE (BENCH_replication.json in CI), --trace=FILE,
+//        --content-mode=full|shadow
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "bench_util/micro.hpp"
-#include "bench_util/sweep.hpp"
 #include "bench_util/flags.hpp"
+#include "bench_util/micro.hpp"
+#include "bench_util/report.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
-#include "core/durable_rpc.hpp"
+#include "repl/replication.hpp"
 #include "rpcs/registry.hpp"
-#include "sim/sync.hpp"
 
 using namespace prdma;
 
@@ -25,83 +31,11 @@ namespace {
 
 constexpr std::uint32_t kValue = 4096;
 
-double run_durable(bool parallel, std::uint64_t ops, std::uint64_t seed) {
-  bench::MicroConfig mc;
-  mc.object_size = kValue;
-  mc.seed = seed;
-  const auto params = bench::params_for(mc);
-
-  core::Cluster cluster(params, 3);  // 0=primary, 1=backup, 2=client
-  core::DurableRpcServer primary(cluster, 0, core::FlushVariant::kWFlush,
-                                 params);
-  core::DurableRpcServer backup(cluster, 1, core::FlushVariant::kWFlush,
-                                params);
-  auto c_primary = primary.connect_client(2);
-  auto c_backup = backup.connect_client(2);
-  primary.start();
-  backup.start();
-
-  stats::LatencyHistogram lat;
-  sim::spawn([](core::Cluster& cl, core::DurableRpcClient& p,
-                core::DurableRpcClient& b, bool par, std::uint64_t n,
-                stats::LatencyHistogram& out) -> sim::Task<> {
-    for (std::uint64_t i = 0; i < n; ++i) {
-      const core::RpcRequest req{core::RpcOp::kWrite, i % 64, kValue};
-      const sim::SimTime t0 = cl.sim().now();
-      if (par) {
-        // Both replicas in flight; replication completes when both
-        // flush ACKs arrived.
-        sim::WaitGroup wg(cl.sim());
-        wg.add(2);
-        sim::spawn([](core::DurableRpcClient& c, core::RpcRequest r,
-                      sim::WaitGroup& w) -> sim::Task<> {
-          (void)co_await c.call(r);
-          w.done();
-        }(p, req, wg));
-        sim::spawn([](core::DurableRpcClient& c, core::RpcRequest r,
-                      sim::WaitGroup& w) -> sim::Task<> {
-          (void)co_await c.call(r);
-          w.done();
-        }(b, req, wg));
-        co_await wg.wait();
-      } else {
-        (void)co_await p.call(req);
-        (void)co_await b.call(req);
-      }
-      out.record(cl.sim().now() - t0);
-    }
-  }(cluster, *c_primary, *c_backup, parallel, ops, lat));
-  cluster.sim().run();
-  return lat.mean() / 1e3;
-}
-
-double run_traditional(std::uint64_t ops, std::uint64_t seed) {
-  bench::MicroConfig mc;
-  mc.object_size = kValue;
-  mc.seed = seed;
-  const auto params = bench::params_for(mc);
-
-  core::Cluster cluster(params, 3);
-  const std::size_t client_of_primary[] = {2};
-  const std::size_t client_of_backup[] = {2};
-  auto p = rpcs::make_deployment(cluster, rpcs::System::kFaRM, 0,
-                                 client_of_primary, params);
-  auto b = rpcs::make_deployment(cluster, rpcs::System::kFaRM, 1,
-                                 client_of_backup, params);
-
-  stats::LatencyHistogram lat;
-  sim::spawn([](core::Cluster& cl, core::RpcClient& cp, core::RpcClient& cb,
-                std::uint64_t n, stats::LatencyHistogram& out) -> sim::Task<> {
-    for (std::uint64_t i = 0; i < n; ++i) {
-      const core::RpcRequest req{core::RpcOp::kWrite, i % 64, kValue};
-      const sim::SimTime t0 = cl.sim().now();
-      (void)co_await cp.call(req);  // chain: primary then backup
-      (void)co_await cb.call(req);
-      out.record(cl.sim().now() - t0);
-    }
-  }(cluster, *p.clients[0], *b.clients[0], ops, lat));
-  cluster.sim().run();
-  return lat.mean() / 1e3;
+const std::vector<rpcs::System>& durable_systems() {
+  static const std::vector<rpcs::System> kSystems = {
+      rpcs::System::kWFlushRpc, rpcs::System::kSFlushRpc,
+      rpcs::System::kWRFlushRpc, rpcs::System::kSRFlushRpc};
+  return kSystems;
 }
 
 }  // namespace
@@ -112,26 +46,72 @@ int main(int argc, char** argv) {
     flags.print_help();
     return 0;
   }
-  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 500 : 2000);
+  const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 400 : 2000);
   const std::uint64_t seed = flags.u64("seed", 1);
 
-  std::printf("Extension §4.5 — two-replica durable writes (4KB)\n\n");
+  bench::Report report(flags, "replication");
+
+  struct Grid {
+    repl::Protocol protocol;
+    std::size_t replicas;
+  };
+  const std::vector<Grid> grid = {
+      {repl::Protocol::kNone, 1},
+      {repl::Protocol::kChain, 2},
+      {repl::Protocol::kChain, 3},
+      {repl::Protocol::kMirror, 2},
+      {repl::Protocol::kMirror, 3},
+  };
+
+  std::vector<bench::MicroCell> cells;
+  std::vector<std::string> names;
+  for (const Grid& g : grid) {
+    for (const rpcs::System sys : durable_systems()) {
+      bench::MicroConfig mc;
+      mc.object_size = kValue;
+      mc.read_ratio = 0.0;  // replication is a write-path protocol
+      mc.ops = ops;
+      mc.seed = seed;
+      if (g.protocol != repl::Protocol::kNone) {
+        mc.replication.protocol = g.protocol;
+        mc.replication.replicas = g.replicas;
+      }
+      report.configure(mc);
+      names.push_back(std::string(repl::protocol_name(g.protocol)) + "-r" +
+                      std::to_string(g.replicas) + "/" +
+                      std::string(rpcs::name_of(sys)));
+      cells.push_back({sys, mc});
+    }
+  }
+
+  std::printf("Extension §4.5 — replicated durable writes (4 KB, R:W 0:1)\n\n");
   bench::SweepRunner runner(bench::jobs_from(flags));
-  const std::vector<double> lats = runner.map_n(3, [&](std::size_t i) {
-    if (i == 0) return run_durable(true, ops, seed);
-    if (i == 1) return run_durable(false, ops, seed);
-    return run_traditional(ops, seed);
-  });
-  bench::TablePrinter table({"Scheme", "replication latency (us)"});
-  table.add_row({"WFlush-RPC, parallel replicas",
-                 bench::TablePrinter::num(lats[0], 1)});
-  table.add_row({"WFlush-RPC, sequential replicas",
-                 bench::TablePrinter::num(lats[1], 1)});
-  table.add_row({"Traditional (FaRM) chain",
-                 bench::TablePrinter::num(lats[2], 1)});
+  const std::vector<bench::MicroResult> results =
+      bench::run_micro_cells(runner, cells);
+
+  report.meta("ops", bench::Json::num(ops));
+  report.meta("object_size", bench::Json::num(std::uint64_t{kValue}));
+  report.meta("grid", bench::Json::str("protocol x replicas x variant"));
+
+  bench::TablePrinter table(
+      {"Cell", "kops", "avg (us)", "p99 (us)", "durable avg (us)"});
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const bench::MicroResult& r = results[i];
+    table.add_row({names[i], bench::TablePrinter::num(r.kops, 1),
+                   bench::TablePrinter::num(r.avg_us(), 1),
+                   bench::TablePrinter::num(r.p99_us(), 1),
+                   bench::TablePrinter::num(r.durable_latency.mean() / 1e3,
+                                            1)});
+    report.add(names[i], r);
+  }
   table.print();
-  std::printf("\nParallel durable flushes overlap the two persistence\n");
-  std::printf("round-trips — the paper's foundation for replication\n");
-  std::printf("protocols (§4.5).\n");
+  std::printf(
+      "\nMirror overlaps the R persistence round-trips (~ the slowest\n"
+      "single replica); chain pays one store-and-forward hop per extra\n"
+      "replica. Both inherit the durable variant's persist primitive.\n");
+  if (!report.write()) {
+    std::fprintf(stderr, "failed to write report files\n");
+    return 1;
+  }
   return 0;
 }

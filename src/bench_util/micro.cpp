@@ -58,10 +58,16 @@ core::ModelParams params_for(const MicroConfig& cfg) {
   p.memory.pm_capacity = store_bytes + log_bytes + (32ull << 20);
 
   // DRAM: staging/resp rings per client-side window + server buffers.
+  // A replicated client opens one durable-RPC hop per replica, each
+  // with its own staging/response rings (chain spreads them over the
+  // forwarder nodes; sizing every node for the fan-out keeps the
+  // parameter set uniform).
+  const std::uint64_t fan_out =
+      cfg.replication.active() ? cfg.replication.replicas : 1;
   const std::uint64_t per_conn =
       4 * static_cast<std::uint64_t>(p.flow_threshold) *
       (p.max_payload + 256);
-  p.memory.dram_capacity = cfg.clients * per_conn + (64ull << 20);
+  p.memory.dram_capacity = cfg.clients * fan_out * per_conn + (64ull << 20);
   return p;
 }
 
@@ -110,15 +116,22 @@ Task<> drive_client(ClientDriver drv, const MicroConfig cfg,
 
 MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   const ModelParams params = params_for(cfg);
-  core::Cluster cluster(params, 1 + cfg.clients);
+  const std::size_t server_nodes =
+      cfg.replication.active() ? cfg.replication.replicas : 1;
+  core::Cluster cluster(params, server_nodes + cfg.clients);
   trace::Tracer& tracer = cluster.tracer();
   tracer.enable(cfg.trace_mode, cfg.trace_capacity);
 
   std::vector<std::size_t> client_nodes;
-  for (std::size_t i = 1; i <= cfg.clients; ++i) client_nodes.push_back(i);
-  auto dep = rpcs::make_deployment(cluster, system, 0, client_nodes, params);
+  for (std::size_t i = 0; i < cfg.clients; ++i) {
+    client_nodes.push_back(server_nodes + i);
+  }
+  auto dep = rpcs::make_deployment(cluster, system, cfg.replication,
+                                   client_nodes, params);
 
-  cluster.node(0).host().set_load(cfg.server_cpu_load);
+  for (std::size_t r = 0; r < server_nodes; ++r) {
+    cluster.node(r).host().set_load(cfg.server_cpu_load);
+  }
   for (const std::size_t i : client_nodes) {
     cluster.node(i).host().set_load(cfg.client_cpu_load);
     // Client host software is the sender side of the Fig. 20 breakdown.
@@ -235,6 +248,21 @@ std::vector<MicroResult> run_micro_cells(SweepRunner& runner,
     out[i] = run_micro(cells[i].system, cells[i].cfg);
   });
   return out;
+}
+
+repl::ReplicationConfig replication_from(const Flags& flags) {
+  repl::ReplicationConfig cfg;
+  const std::string v = flags.str("replication", {});
+  if (!v.empty()) {
+    const auto p = repl::protocol_from_name(v);
+    if (!p.has_value()) {
+      throw std::invalid_argument(
+          "--replication must be none, chain or mirror, got: " + v);
+    }
+    cfg.protocol = *p;
+  }
+  cfg.replicas = static_cast<std::size_t>(flags.u64("replicas", 2));
+  return cfg;
 }
 
 mem::ContentMode content_mode_from(const Flags& flags, mem::ContentMode def) {

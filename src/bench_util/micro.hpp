@@ -8,6 +8,7 @@
 #include "core/rpc.hpp"
 #include "mem/buffer_pool.hpp"
 #include "mem/device.hpp"
+#include "repl/replication.hpp"
 #include "rpcs/registry.hpp"
 #include "stats/breakdown.hpp"
 #include "stats/histogram.hpp"
@@ -60,6 +61,12 @@ struct MicroConfig {
   /// inject crashes (check/, fault/) pin kFull — Node refuses to arm
   /// crash hooks in shadow mode.
   mem::ContentMode content_mode = mem::ContentMode::kShadow;
+  /// Multi-replica durability axis (src/repl). kNone (the default)
+  /// reproduces the single-primary deployment bit for bit; chain or
+  /// mirror replicate every write across `replication.replicas`
+  /// durable servers on nodes [0, R) with clients beyond them.
+  /// Durable systems only.
+  repl::ReplicationConfig replication;
 };
 
 /// Outcome of one micro-benchmark cell.
@@ -136,5 +143,9 @@ class Flags;
 mem::ContentMode content_mode_from(const Flags& flags,
                                    mem::ContentMode def =
                                        mem::ContentMode::kShadow);
+
+/// Shared replication flags: --replication=none|chain|mirror (default
+/// none) and --replicas=N (default 2).
+repl::ReplicationConfig replication_from(const Flags& flags);
 
 }  // namespace prdma::bench

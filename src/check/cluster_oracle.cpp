@@ -1,0 +1,114 @@
+#include "check/cluster_oracle.hpp"
+
+#include <sstream>
+
+namespace prdma::check {
+
+ClusterOracle::ClusterOracle(repl::ReplicaSet& set,
+                             std::vector<repl::ReplicatedClient*> clients)
+    : set_(set), clients_(std::move(clients)) {
+  for (std::size_t r = 0; r < set_.replica_count(); ++r) {
+    oracles_.push_back(std::make_unique<DurabilityOracle>(set_.server(r)));
+    for (repl::ReplicatedClient* c : clients_) {
+      oracles_[r]->attach_client(c->hop(r));
+    }
+  }
+  set_.add_crash_observer([this](std::size_t r) { on_replica_crash(r); });
+  set_.add_recovery_observer(
+      [this](std::size_t r) { oracles_[r]->after_recovery(); });
+}
+
+bool ClusterOracle::settled_on(std::size_t q, std::size_t conn,
+                               std::uint64_t seq, std::uint32_t len) const {
+  if (seq == 0) return false;  // hop still in flight: not on this media
+  if (seq <= set_.server(q).log(conn).consumed_persisted()) {
+    // Applied to the object store and durably consumed. Ring reuse is
+    // safe here: flow control keeps live seqs within log_slots of the
+    // consumed word, so an overwritten slot's seq is always below it.
+    return true;
+  }
+  return seq <= oracles_[q]->media_watermark(conn) &&
+         oracles_[q]->media_entry_exact(conn, seq, len);
+}
+
+void ClusterOracle::on_replica_crash(std::size_t r) {
+  oracles_[r]->on_crash();
+
+  bool any_up = false;
+  for (std::size_t q = 0; q < set_.replica_count(); ++q) {
+    any_up = any_up || set_.is_up(q);
+  }
+  for (std::size_t k = 0; k < clients_.size(); ++k) {
+    const std::size_t conn = clients_[k]->conn_index();
+    for (const auto& [txn, rec] : clients_[k]->txns()) {
+      if (!rec.acked) continue;
+      const std::uint64_t key = (static_cast<std::uint64_t>(k) << 48) | txn;
+      if (flagged_.contains(key)) continue;
+      ++audited_;
+      bool on_survivor = false;
+      bool anywhere = false;
+      for (std::size_t q = 0; q < set_.replica_count(); ++q) {
+        const bool present = settled_on(q, conn, rec.seq_on[q],
+                                        rec.payload_len);
+        anywhere = anywhere || present;
+        if (set_.is_up(q)) on_survivor = on_survivor || present;
+      }
+      if (any_up ? on_survivor : anywhere) continue;
+
+      flagged_.insert(key);
+      std::ostringstream os;
+      os << "txn " << txn << " (client " << k << ", acked at " << rec.acked_at
+         << "ns) unrecoverable after crash of replica " << r << ": seqs [";
+      for (std::size_t q = 0; q < rec.seq_on.size(); ++q) {
+        os << (q ? "," : "") << rec.seq_on[q];
+      }
+      os << "] " << (any_up ? "on no surviving replica" : "on no replica");
+      Violation v;
+      v.kind = any_up ? ViolationKind::kReplicaLost : ViolationKind::kTxnLost;
+      v.conn = k;
+      v.seq = txn;
+      v.at = set_.cluster().sim().now();
+      v.detail = os.str();
+      cluster_violations_.push_back(std::move(v));
+    }
+  }
+}
+
+std::vector<Violation> ClusterOracle::violations() const {
+  std::vector<Violation> out = cluster_violations_;
+  for (const auto& o : oracles_) {
+    out.insert(out.end(), o->violations().begin(), o->violations().end());
+  }
+  return out;
+}
+
+bool ClusterOracle::ok() const {
+  if (!cluster_violations_.empty()) return false;
+  for (const auto& o : oracles_) {
+    if (!o->ok()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ClusterOracle::acks_recorded() const {
+  std::uint64_t n = 0;
+  for (const auto& o : oracles_) n += o->acks_recorded();
+  return n;
+}
+
+std::uint64_t ClusterOracle::replays_observed() const {
+  std::uint64_t n = 0;
+  for (const auto& o : oracles_) n += o->replays_observed();
+  return n;
+}
+
+std::string ClusterOracle::report() const {
+  std::ostringstream os;
+  for (const Violation& v : violations()) {
+    os << violation_name(v.kind) << " conn=" << v.conn << " seq=" << v.seq
+       << " at=" << v.at << "ns: " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace prdma::check

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "repl/replication.hpp"
+
+namespace prdma::check {
+
+/// Cluster-level durability auditor for a replicated deployment.
+///
+/// Composes one single-node DurabilityOracle per replica (each hooked
+/// to that replica's durable-RPC hop of every client, so per-hop
+/// persist-ACK invariants keep holding verbatim) and adds the cluster
+/// predicate on top: at every replica-crash instant, each transaction
+/// the application saw acknowledged must be recoverable from SOME
+/// surviving replica's media view — either already applied (at or
+/// below the durably consumed watermark) or byte-exact in the
+/// recoverable log chain. Under correlated crashes that take every
+/// replica down, the requirement weakens to "on at least one replica's
+/// persistent media" (PM survives power failure; fail-stop only rules
+/// out the crashed copies while peers are alive to serve).
+///
+/// Like the single-node oracle, this is a pure observer: it charges no
+/// simulated time, so attaching it keeps schedules bit-identical.
+class ClusterOracle {
+ public:
+  ClusterOracle(repl::ReplicaSet& set,
+                std::vector<repl::ReplicatedClient*> clients);
+
+  /// Cluster-level violations first, then each replica oracle's, in
+  /// replica order — a deterministic aggregation.
+  [[nodiscard]] std::vector<Violation> violations() const;
+  [[nodiscard]] bool ok() const;
+
+  /// Per-hop persist-ACKs recorded, summed over replica oracles.
+  [[nodiscard]] std::uint64_t acks_recorded() const;
+  /// Replayed log entries observed, summed over replica oracles.
+  [[nodiscard]] std::uint64_t replays_observed() const;
+  /// Acked transactions audited against the cluster predicate (one
+  /// count per transaction per crash instant).
+  [[nodiscard]] std::uint64_t txns_audited() const { return audited_; }
+
+  [[nodiscard]] const DurabilityOracle& replica_oracle(std::size_t r) const {
+    return *oracles_.at(r);
+  }
+
+  [[nodiscard]] std::string report() const;
+
+ private:
+  void on_replica_crash(std::size_t r);
+  /// Is (seq, len) of client connection `conn` settled on replica `q`:
+  /// durably consumed, or byte-exact within the recoverable chain?
+  [[nodiscard]] bool settled_on(std::size_t q, std::size_t conn,
+                                std::uint64_t seq, std::uint32_t len) const;
+
+  repl::ReplicaSet& set_;
+  std::vector<repl::ReplicatedClient*> clients_;
+  std::vector<std::unique_ptr<DurabilityOracle>> oracles_;
+  std::vector<Violation> cluster_violations_;
+  std::set<std::uint64_t> flagged_;  ///< (client, txn) already reported
+  std::uint64_t audited_ = 0;
+};
+
+}  // namespace prdma::check

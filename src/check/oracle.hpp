@@ -28,6 +28,14 @@ enum class ViolationKind : std::uint8_t {
   /// The server claims a watermark above what is physically in the
   /// persist domain.
   kWatermarkOverclaim,
+  /// Cluster predicate (replicated deployments): an acknowledged
+  /// transaction is not recoverable from any SURVIVING replica's media
+  /// view at a crash instant (fail-stop: the crashed copies may never
+  /// come back).
+  kReplicaLost,
+  /// Worse: the transaction is on no replica's media at all — not even
+  /// the crashed ones could replay it.
+  kTxnLost,
 };
 
 [[nodiscard]] constexpr const char* violation_name(ViolationKind k) {
@@ -37,6 +45,8 @@ enum class ViolationKind : std::uint8_t {
     case ViolationKind::kTornReplayed: return "torn-replayed";
     case ViolationKind::kWatermarkRegressed: return "watermark-regressed";
     case ViolationKind::kWatermarkOverclaim: return "watermark-overclaim";
+    case ViolationKind::kReplicaLost: return "replica-lost";
+    case ViolationKind::kTxnLost: return "txn-lost";
   }
   return "?";
 }
@@ -99,6 +109,18 @@ class DurabilityOracle {
 
   /// One line per violation (diagnostics / reproducer output).
   [[nodiscard]] std::string report() const;
+
+  /// Media-only durable watermark of `conn` re-derived by the oracle's
+  /// own checksum-verified scan (exposed for the cluster predicate).
+  [[nodiscard]] std::uint64_t media_watermark(std::size_t conn) const {
+    return independent_scan(conn);
+  }
+  /// Byte-exact media check of entry `seq` against the deterministic
+  /// payload pattern (exposed for the cluster predicate).
+  [[nodiscard]] bool media_entry_exact(std::size_t conn, std::uint64_t seq,
+                                       std::uint32_t len) const {
+    return media_payload_exact(conn, seq, len);
+  }
 
  private:
   struct AckRecord {

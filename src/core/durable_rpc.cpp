@@ -426,6 +426,10 @@ std::uint64_t DurableRpcServer::durable_watermark(std::size_t conn_idx) const {
 
 sim::Task<> DurableRpcServer::recover_and_restart() {
   assert(!running_ && server_.rnic().alive());
+  // A crash DURING recovery (replicated schedules do this) bumps
+  // epoch_; this replay must then abandon instead of advancing the
+  // consumed word while the node is powered off again.
+  const std::uint64_t epoch = epoch_;
   // Replay committed-but-unconsumed entries, oldest first, without any
   // client involvement — the paper's headline recovery property.
   for (auto& conn : conns_) {
@@ -434,10 +438,12 @@ sim::Task<> DurableRpcServer::recover_and_restart() {
     conn->completed_floor = conn->log.consumed();
     conn->next_seq = conn->completed_floor + entries.size() + 1;
     for (const auto& e : entries) {
+      if (epoch != epoch_) co_return;
       if (replay_hook_) replay_hook_(conn->idx, e);
       co_await process_item(WorkItem{conn.get(), e, true});
     }
   }
+  if (epoch != epoch_) co_return;
   running_ = true;
   for (auto& conn : conns_) {
     if (is_send_based(variant_)) {
@@ -468,7 +474,15 @@ void DurableRpcServer::reconnect_client(DurableRpcClient& client) {
   conn.qp = server_qp;
   conn.session = std::make_unique<rdma::QpSession>(server_.rnic(), *server_qp,
                                                    *conn.completer);
-  client.completer_ = std::make_unique<rdma::Completer>(cluster_.sim(), client.scq_);
+  // Completions that arrived while no dispatcher was attached (flush
+  // ACKs already on the wire when the crash hit) belong to the dead
+  // endpoint: drop them, and keep the wr-id space monotone so a stale
+  // straggler can never match a post-recovery post.
+  client.scq_.reset();
+  auto fresh_completer =
+      std::make_unique<rdma::Completer>(cluster_.sim(), client.scq_);
+  fresh_completer->advance_wr(client.completer_->next_wr());
+  client.completer_ = std::move(fresh_completer);
   client.session_ = std::make_unique<rdma::QpSession>(client.node_.rnic(),
                                                       *client_qp,
                                                       *client.completer_);
@@ -532,8 +546,11 @@ void DurableRpcClient::abort_pending() {
   std::vector<std::byte> ring_zeros(window_size_ * resp_slot_bytes_,
                                     std::byte{0});
   node_.mem().cpu_write(resp_base_, ring_zeros);
-  // Wake verbs waiters (flush ACKs that will never come).
+  // Wake verbs waiters (flush ACKs that will never come). The CQ
+  // reset can race a completion already in flight to the dispatcher,
+  // so fail the parked waiters directly as well.
   scq_.reset();
+  if (completer_) completer_->fail_pending();
 }
 
 sim::Task<> DurableRpcClient::credit_pump() {
@@ -586,6 +603,14 @@ sim::Task<RpcResult> DurableRpcClient::transmit_entry(RpcOp op,
   }
   const SimTime append_t0 = sim.now();
   co_await node_.host().charge_post();
+  if (aborted_) {
+    // The crash landed while this coroutine was suspended in the host
+    // charge: posting now would park it in a completer that the abort
+    // already drained — nothing would wake it until recovery replaces
+    // the session under its feet.
+    window_.release();
+    co_return res;
+  }
 
   // -- No suspension between sequence assignment and the posts: the
   //    wire order must equal the sequence order.

@@ -60,8 +60,25 @@ class Completer {
     co_return w.result;
   }
 
+  /// Crash path: fail every currently-parked waiter immediately. A CQ
+  /// reset alone can be swallowed when a completion is already in
+  /// flight to the dispatcher (the channel wake for that completion
+  /// races the reset), leaving waiters parked forever; callers tearing
+  /// down an endpoint pair the reset with this.
+  void fail_pending() { abort_waiters(*state_); }
+
   /// Allocates a fresh work-request id.
   std::uint64_t fresh_wr() { return state_->next_wr++; }
+
+  /// First wr id a future fresh_wr() would hand out.
+  [[nodiscard]] std::uint64_t next_wr() const { return state_->next_wr; }
+
+  /// Recovery: a successor completer must never reuse a predecessor's
+  /// wr ids — a stale completion that raced the teardown would match a
+  /// fresh post and acknowledge it without any wire round-trip.
+  void advance_wr(std::uint64_t floor) {
+    if (state_->next_wr < floor) state_->next_wr = floor;
+  }
 
   /// wr_id for fire-and-forget posts: the dispatcher discards its
   /// completion instead of stashing it forever.

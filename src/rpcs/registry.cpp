@@ -150,4 +150,27 @@ core::RpcDeployment make_deployment(core::Cluster& cluster, System s,
   throw std::invalid_argument("unknown system");
 }
 
+core::RpcDeployment make_deployment(core::Cluster& cluster, System s,
+                                    const repl::ReplicationConfig& rcfg,
+                                    std::span<const std::size_t> client_nodes,
+                                    const core::ModelParams& params) {
+  if (!rcfg.active()) {
+    return make_deployment(cluster, s, 0, client_nodes, params);
+  }
+  if (!info_of(s).durable) {
+    throw std::invalid_argument("replication requires a durable RPC (got " +
+                                std::string(name_of(s)) + ")");
+  }
+  FlushVariant v = FlushVariant::kWFlush;
+  switch (s) {
+    case System::kWFlushRpc: v = FlushVariant::kWFlush; break;
+    case System::kSFlushRpc: v = FlushVariant::kSFlush; break;
+    case System::kWRFlushRpc: v = FlushVariant::kWRFlush; break;
+    case System::kSRFlushRpc: v = FlushVariant::kSRFlush; break;
+    default: throw std::invalid_argument("replication requires a durable RPC");
+  }
+  return repl::make_replicated_deployment(cluster, v, rcfg, client_nodes,
+                                          params);
+}
+
 }  // namespace prdma::rpcs

@@ -8,6 +8,7 @@
 #include "core/durable_rpc.hpp"
 #include "core/params.hpp"
 #include "core/rpc.hpp"
+#include "repl/replication.hpp"
 #include "rpcs/baseline.hpp"
 
 namespace prdma::rpcs {
@@ -68,6 +69,18 @@ std::vector<System> evaluation_lineup(std::uint64_t object_size);
 /// `client_nodes` gets one client. The deployment is started.
 core::RpcDeployment make_deployment(core::Cluster& cluster, System s,
                                     std::size_t server_idx,
+                                    std::span<const std::size_t> client_nodes,
+                                    const core::ModelParams& params);
+
+/// Replication-aware deployment (the `--replication` axis every bench
+/// binary can sweep). With rcfg.protocol == kNone this is exactly the
+/// single-primary deployment above (server on node 0). Otherwise `s`
+/// must be one of the four durable RPCs — replication forwards
+/// redo-log transactions, which baselines do not have — and the
+/// replicas occupy nodes [0, rcfg.replicas) with every client node
+/// beyond them.
+core::RpcDeployment make_deployment(core::Cluster& cluster, System s,
+                                    const repl::ReplicationConfig& rcfg,
                                     std::span<const std::size_t> client_nodes,
                                     const core::ModelParams& params);
 

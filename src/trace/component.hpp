@@ -36,6 +36,8 @@ enum class Component : ComponentId {
   kFlowStall,      ///< client blocked on the flow-control window (§4.4)
   kPayloadPool,    ///< payload-pool occupancy (counter, blocks outstanding)
   kPayloadRefs,    ///< payload handle acquisitions per recycled block
+  kReplForward,    ///< replication forwarding hop (chain/mirror, repl/)
+  kReplAck,        ///< replication ack back to the application
   kCount
 };
 

@@ -32,6 +32,8 @@ constexpr std::array<NameEntry, kPredefinedComponents> kNames{{
     {"flow_stall", "rpc"},      // kFlowStall
     {"payload_pool", "mem"},    // kPayloadPool
     {"payload_refs", "mem"},    // kPayloadRefs
+    {"repl_forward", "rpc"},    // kReplForward
+    {"repl_ack", "rpc"},        // kReplAck
 }};
 
 }  // namespace

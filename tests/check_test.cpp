@@ -15,6 +15,7 @@
 
 #include "check/explorer.hpp"
 #include "check/oracle.hpp"
+#include "check/repl_explorer.hpp"
 #include "core/redo_log.hpp"
 #include "core/wire.hpp"
 
@@ -243,6 +244,168 @@ TEST(Mutant, CleanWFlushWithLargePayloadsStillPasses) {
   cfg.random_schedules = 8;
   const auto rep = explore(cfg);
   EXPECT_EQ(rep.schedules_failed, 0u);
+}
+
+// ============================================= replicated crash oracle
+
+ReplExplorerConfig small_repl_config(core::FlushVariant v,
+                                     repl::Protocol p) {
+  ReplExplorerConfig cfg;
+  cfg.variant = v;
+  cfg.protocol = p;
+  cfg.replicas = 2;
+  cfg.seed = 17;
+  cfg.ops = 18;
+  cfg.window = 4;
+  cfg.value_size = 2048;
+  cfg.random_schedules = 8;
+  cfg.max_boundary_points = 6;
+  cfg.jobs = 4;
+  return cfg;
+}
+
+/// The replicated mutant acknowledges once the HEAD persisted and
+/// finishes the other hops in the background; crashing the head inside
+/// the forwarding window strands the acked entry on the dead replica —
+/// the surviving peer has nothing (ViolationKind::kReplicaLost).
+ReplExplorerConfig repl_mutant_config() {
+  ReplExplorerConfig cfg =
+      small_repl_config(core::FlushVariant::kWFlush, repl::Protocol::kChain);
+  cfg.ops = 24;
+  cfg.value_size = 16 * 1024;
+  cfg.random_schedules = 16;
+  cfg.max_boundary_points = 10;
+  cfg.ack_before_replica_persist = true;
+  return cfg;
+}
+
+TEST(ReplOracle, CleanRunAuditsEveryHopAndStaysSilent) {
+  const auto cfg = small_repl_config(core::FlushVariant::kWFlush,
+                                     repl::Protocol::kChain);
+  const auto r = run_repl_schedule(cfg, ReplSchedule{cfg.seed, cfg.ops, {}});
+  EXPECT_EQ(r.crashes_fired, 0u);
+  EXPECT_EQ(r.ops_completed, cfg.ops);
+  EXPECT_EQ(r.txn_acks, cfg.ops);
+  // One per-replica persist-ACK per hop of every transaction.
+  EXPECT_EQ(r.hop_acks, cfg.ops * cfg.replicas);
+  EXPECT_TRUE(r.violations.empty());
+}
+
+class ReplAllCombos
+    : public ::testing::TestWithParam<
+          std::tuple<core::FlushVariant, repl::Protocol>> {};
+
+TEST_P(ReplAllCombos, SurvivesTargetedCorrelatedAndRandomCrashSweeps) {
+  const auto cfg = small_repl_config(std::get<0>(GetParam()),
+                                     std::get<1>(GetParam()));
+  const auto rep = explore_repl(cfg);
+  EXPECT_GE(rep.schedules_run,
+            static_cast<std::uint64_t>(cfg.random_schedules));
+  EXPECT_FALSE(rep.boundary_points.empty());
+  EXPECT_EQ(rep.schedules_failed, 0u)
+      << (rep.first_failure.has_value()
+              ? format_repl_reproducer(rep.first_failure->schedule)
+              : std::string())
+      << " "
+      << (rep.first_failure.has_value() &&
+                  !rep.first_failure->violations.empty()
+              ? rep.first_failure->violations.front().detail
+              : std::string());
+  EXPECT_FALSE(rep.minimal.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Repl, ReplAllCombos,
+    ::testing::Combine(::testing::Values(FlushVariant::kWFlush,
+                                         FlushVariant::kSFlush,
+                                         FlushVariant::kWRFlush,
+                                         FlushVariant::kSRFlush),
+                       ::testing::Values(repl::Protocol::kChain,
+                                         repl::Protocol::kMirror)),
+    [](const auto& param_info) {
+      std::string n;
+      switch (std::get<0>(param_info.param)) {
+        case FlushVariant::kWFlush: n = "WFlush"; break;
+        case FlushVariant::kSFlush: n = "SFlush"; break;
+        case FlushVariant::kWRFlush: n = "WRFlush"; break;
+        case FlushVariant::kSRFlush: n = "SRFlush"; break;
+      }
+      n += std::get<1>(param_info.param) == repl::Protocol::kChain ? "Chain"
+                                                                   : "Mirror";
+      return n;
+    });
+
+TEST(ReplMutant, AckBeforeReplicaPersistIsCaughtAndShrunk) {
+  const auto cfg = repl_mutant_config();
+  const auto rep = explore_repl(cfg);
+  ASSERT_GT(rep.schedules_failed, 0u)
+      << "the explorer must find a head crash inside the forwarding window";
+  ASSERT_TRUE(rep.first_failure.has_value());
+  ASSERT_TRUE(rep.minimal.has_value());
+  EXPECT_LE(rep.minimal->schedule.ops, rep.first_failure->schedule.ops);
+  EXPECT_FALSE(rep.reproducer.empty());
+
+  const auto& v = rep.minimal->violations.front();
+  EXPECT_TRUE(v.kind == ViolationKind::kReplicaLost ||
+              v.kind == ViolationKind::kTxnLost)
+      << violation_name(v.kind) << ": " << v.detail;
+  EXPECT_GT(v.seq, 0u);
+  EXPECT_GT(v.at, 0u);
+}
+
+TEST(ReplMutant, ShrunkenReproducerRoundTrips) {
+  const auto cfg = repl_mutant_config();
+  const auto rep = explore_repl(cfg);
+  ASSERT_TRUE(rep.minimal.has_value());
+
+  // Parse the printed schedule back and re-run it cold: the identical
+  // violation must reappear, bit for bit.
+  const auto parsed = parse_repl_reproducer(rep.reproducer);
+  ASSERT_TRUE(parsed.has_value());
+  const auto replay = run_repl_schedule(cfg, *parsed);
+  ASSERT_FALSE(replay.violations.empty())
+      << "reproducer must re-trigger the failure: " << rep.reproducer;
+  EXPECT_EQ(replay.violations.size(), rep.minimal->violations.size());
+  EXPECT_EQ(replay.violations.front().kind,
+            rep.minimal->violations.front().kind);
+  EXPECT_EQ(replay.violations.front().seq,
+            rep.minimal->violations.front().seq);
+  EXPECT_EQ(replay.violations.front().at, rep.minimal->violations.front().at);
+}
+
+TEST(ReplMutant, CorrectChainWithSameWorkloadPasses) {
+  // Control: the identical workload without the mutant must survive
+  // the exact same exploration.
+  ReplExplorerConfig cfg = repl_mutant_config();
+  cfg.ack_before_replica_persist = false;
+  cfg.random_schedules = 8;
+  const auto rep = explore_repl(cfg);
+  EXPECT_EQ(rep.schedules_failed, 0u)
+      << (rep.first_failure.has_value() &&
+                  !rep.first_failure->violations.empty()
+              ? rep.first_failure->violations.front().detail
+              : std::string());
+}
+
+TEST(ReplExplorer, ParallelJobsReportIsBitIdenticalToSerial) {
+  ReplExplorerConfig cfg = repl_mutant_config();
+  cfg.random_schedules = 8;
+  cfg.jobs = 1;
+  ReplExplorerConfig wide = cfg;
+  wide.jobs = 8;
+  const auto a = explore_repl(cfg);
+  const auto b = explore_repl(wide);
+  EXPECT_EQ(a.schedules_run, b.schedules_run);
+  EXPECT_EQ(a.schedules_failed, b.schedules_failed);
+  EXPECT_EQ(a.clean_end, b.clean_end);
+  EXPECT_EQ(a.boundary_points, b.boundary_points);
+  ASSERT_EQ(a.first_failure.has_value(), b.first_failure.has_value());
+  ASSERT_TRUE(a.first_failure.has_value());
+  EXPECT_EQ(a.first_failure->schedule.seed, b.first_failure->schedule.seed);
+  EXPECT_EQ(a.first_failure->schedule.ops, b.first_failure->schedule.ops);
+  EXPECT_EQ(a.first_failure->schedule.crashes,
+            b.first_failure->schedule.crashes);
+  EXPECT_EQ(a.reproducer, b.reproducer);
 }
 
 }  // namespace

@@ -470,6 +470,45 @@ TEST(ShadowPlane, DigestTracksWrittenExtents) {
   EXPECT_FALSE(mem.shadow_digest_at(4096 + 64, 64).has_value());
 }
 
+TEST(ShadowPlane, ReplicatedFanOutSharesOnePooledPayload) {
+  // Replication pin (DESIGN.md §7.4): forwarding one transaction to R
+  // replicas moves ONE pooled payload image by reference — every hop
+  // holds its own PayloadRef to the same block, and in shadow mode the
+  // per-replica stores land the digest with zero pool traffic and zero
+  // payload bytes on any node.
+  Simulator sim;
+  NodeMemory head(sim, small_params(ContentMode::kShadow));
+  NodeMemory tail(sim, small_params(ContentMode::kShadow));
+
+  PayloadRef img = head.pool().acquire(0);
+  img.buf()->append_shadow(4096, /*seed=*/9, /*off=*/0);
+  EXPECT_EQ(img.buf()->data_used, 0u) << "shadow extents carry no bytes";
+
+  // Each hop takes its own reference to the one block.
+  PayloadRef hop_head = img;
+  PayloadRef hop_tail = img;
+  EXPECT_EQ(img.buf()->refs, 3u);
+
+  head.poke_payload_pm(4096, hop_head);
+  tail.poke_payload_pm(4096, hop_tail);
+
+  // Identical content on both replicas, derivable without bytes...
+  const auto dh = head.shadow_digest_at(4096, 4096);
+  const auto dt = tail.shadow_digest_at(4096, 4096);
+  ASSERT_TRUE(dh.has_value());
+  ASSERT_TRUE(dt.has_value());
+  EXPECT_EQ(*dh, *dt);
+  EXPECT_EQ(*dh, shadow_digest(9, 0, 4096));
+  // ...full timing-plane accounting but no copies on either device...
+  EXPECT_EQ(head.pm().bytes_written(), 4096u);
+  EXPECT_EQ(tail.pm().bytes_written(), 4096u);
+  EXPECT_EQ(head.pm().bytes_copied(), 0u);
+  EXPECT_EQ(tail.pm().bytes_copied(), 0u);
+  // ...and the head's acquire was the only pool traffic anywhere.
+  EXPECT_EQ(head.pool().stats().acquires, 1u);
+  EXPECT_EQ(tail.pool().stats().acquires, 0u);
+}
+
 TEST(ShadowPlane, ByteOverwriteTrimsTheExtent) {
   Simulator sim;
   NodeMemory mem(sim, small_params(ContentMode::kShadow));

@@ -4,12 +4,18 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "bench_util/micro.hpp"
+#include "check/cluster_oracle.hpp"
 #include "core/durable_rpc.hpp"
 #include "core/redo_log.hpp"
 #include "core/wire.hpp"
+#include "repl/replication.hpp"
 #include "sim/rng.hpp"
 
 namespace prdma {
@@ -178,6 +184,131 @@ INSTANTIATE_TEST_SUITE_P(Variants, DurableContent,
                            }
                            return "x";
                          });
+
+// ------------------------------------------- replicated durability
+
+TEST(ReplicatedDurability, AckedTxnsSurviveRandomReplicaCrashesOnEveryReplica) {
+  // Property: under synchronous mirroring with both replicas crashing
+  // at randomized instants, (a) every issued transaction is eventually
+  // acknowledged and the set of acked transactions is exactly a prefix
+  // of the txn-id order (the cluster oracle additionally audits the
+  // prefix predicate at each crash instant, mid-run), and (b) after
+  // healing, EVERY replica's object store holds each transaction's
+  // payload pattern for the final per-replica log sequence — recovered
+  // state equals the acked order, not some reordering or subset.
+  constexpr std::uint64_t kOpsPerDriver = 20;
+  constexpr std::uint32_t kVal = 1024;
+  for (const std::uint64_t seed : {11ull, 23ull, 47ull}) {
+    bench::MicroConfig mc;
+    mc.objects = 64;
+    mc.object_size = kVal;
+    mc.read_ratio = 0.0;
+    mc.content_mode = mem::ContentMode::kFull;
+    mc.replication.protocol = repl::Protocol::kMirror;
+    mc.replication.replicas = 2;
+    const auto params = bench::params_for(mc);
+
+    // Pass 0 runs crash-free to fix the time horizon the crash
+    // instants randomize over; pass 1 injects the crashes.
+    sim::SimTime horizon = 0;
+    for (int pass = 0; pass < 2; ++pass) {
+      core::Cluster cluster(params, 3);
+      const std::size_t client_nodes[] = {std::size_t{2}};
+      auto dep = repl::make_replicated_deployment(
+          cluster, core::FlushVariant::kWFlush, mc.replication, client_nodes,
+          params);
+      auto* set = dynamic_cast<repl::ReplicaSet*>(dep.server.get());
+      auto* client =
+          dynamic_cast<repl::ReplicatedClient*>(dep.clients.front().get());
+      ASSERT_NE(set, nullptr);
+      ASSERT_NE(client, nullptr);
+      check::ClusterOracle oracle(*set, {client});
+      std::vector<std::uint64_t> ack_order;
+      client->set_txn_ack_hook([&ack_order](const repl::TxnRecord& rec) {
+        ack_order.push_back(rec.txn);
+      });
+
+      // Two pipelined drivers writing disjoint UNIQUE objects, so each
+      // object is written by exactly one transaction and "the store
+      // holds txn T's pattern" is unambiguous.
+      std::map<std::uint64_t, std::uint64_t> obj_of;  // txn -> object
+      int done = 0;
+      for (std::uint64_t d = 0; d < 2; ++d) {
+        sim::spawn([](core::RpcClient& c, std::uint64_t base,
+                      std::map<std::uint64_t, std::uint64_t>& objs,
+                      int& finished) -> sim::Task<> {
+          for (std::uint64_t i = 0; i < kOpsPerDriver; ++i) {
+            const auto res = co_await c.call(
+                core::RpcRequest{core::RpcOp::kWrite, base + i, kVal});
+            EXPECT_TRUE(res.ok);
+            objs[res.tag] = base + i;
+          }
+          ++finished;
+        }(*client, d * kOpsPerDriver, obj_of, done));
+      }
+
+      if (pass == 0) {
+        cluster.sim().run();
+        ASSERT_EQ(done, 2);
+        horizon = cluster.sim().now();
+        ASSERT_GT(horizon, 0u);
+        continue;
+      }
+
+      // Both replicas die at independent instants inside the busy
+      // window; fire in time order, then let healing finish the run.
+      sim::Rng rng(seed);
+      std::vector<std::pair<sim::SimTime, std::size_t>> crashes;
+      for (std::size_t r = 0; r < 2; ++r) {
+        crashes.emplace_back(rng.uniform(horizon / 5, (4 * horizon) / 5), r);
+      }
+      std::sort(crashes.begin(), crashes.end());
+      for (const auto& [at, r] : crashes) {
+        cluster.sim().run_until(at);
+        set->crash_replica(r, sim::kMillisecond);
+      }
+      cluster.sim().run();
+
+      ASSERT_EQ(done, 2) << "seed " << seed;
+      EXPECT_EQ(set->crashes(), 2u);
+      EXPECT_GT(oracle.txns_audited(), 0u) << "crashes must trigger audits";
+      EXPECT_TRUE(oracle.ok()) << oracle.report();
+
+      // Liveness + the acked-prefix shape: txn ids are dense from 1,
+      // and every one of them completed.
+      const std::uint64_t total = 2 * kOpsPerDriver;
+      EXPECT_EQ(client->acked(), total);
+      ASSERT_EQ(ack_order.size(), total);
+      auto sorted = ack_order;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::uint64_t t = 1; t <= total; ++t) {
+        EXPECT_EQ(sorted[t - 1], t);
+      }
+
+      // Recovered state: each replica's store holds, for the one
+      // transaction that wrote each object, the payload pattern of
+      // that transaction's final sequence on THAT replica.
+      for (const auto& [txn, rec] : client->txns()) {
+        ASSERT_TRUE(rec.acked) << "txn " << txn;
+        const auto obj_it = obj_of.find(txn);
+        ASSERT_NE(obj_it, obj_of.end());
+        for (std::size_t r = 0; r < 2; ++r) {
+          const std::uint64_t seq = rec.seq_on[r];
+          ASSERT_NE(seq, 0u) << "txn " << txn << " replica " << r;
+          std::vector<std::byte> got(kVal);
+          cluster.node(r).mem().cpu_read(
+              set->server(r).store().addr_of(obj_it->second), got);
+          for (std::uint32_t i = 0; i < kVal; ++i) {
+            ASSERT_EQ(got[i],
+                      static_cast<std::byte>((seq * 131 + i * 7) & 0xFF))
+                << "seed " << seed << " txn " << txn << " replica " << r
+                << " byte " << i;
+          }
+        }
+      }
+    }
+  }
+}
 
 // ------------------------------------------------------- redo-log fuzzing
 
