@@ -17,12 +17,16 @@
 //        --repro="seed=S crash_at=Tns ops=N" (re-run one schedule;
 //          replicated lines are "seed=S ops=N crash=R@Tns,R@Tns")
 //        --jobs=N (parallel schedules; output is identical at any N)
+//        --engine-threads=N (accepted for flag parity with the bench
+//          binaries but clamped to 1: crash hooks require the serial
+//          single-partition engine — DESIGN.md §7.5 coherence rule)
 
 #include <cstdio>
 #include <string>
 
-#include "bench_util/sweep.hpp"
 #include "bench_util/flags.hpp"
+#include "bench_util/micro.hpp"
+#include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
 #include "check/explorer.hpp"
 #include "check/repl_explorer.hpp"
@@ -94,6 +98,10 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     flags.print_help();
     return 0;
+  }
+  if (bench::engine_threads_from(flags) > 1) {
+    std::printf("note: --engine-threads clamped to 1 — crash-schedule "
+                "exploration requires the single-partition engine\n\n");
   }
   const std::string chosen = flags.str("variant", "all");
   const std::string repl_name = flags.str("replication", "none");

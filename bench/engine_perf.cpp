@@ -21,11 +21,21 @@
 //     asserting byte-identical stats, recording bytes-copied/op and
 //     wall speedup, and gating zero steady-state allocations per
 //     durable RPC (event pool + InlineFunction + payload-pool slabs
-//     all flat between an N-op and a 2N-op run).
+//     all flat between an N-op and a 2N-op run); plus the pinned cost
+//     of a fabric link-table lookup (flat open addressing — the
+//     per-packet hot path).
+//  6. Partitioned engine scaling (PR 7, DESIGN.md §7.5): a 64-node
+//     durable workload at --engine-threads 1/2/4/8, asserting every
+//     run is byte-identical to the serial engine and recording
+//     events/sec + speedup per thread count (speedup is only
+//     meaningful when the host has the cores; hw_concurrency lands in
+//     the JSON so the CI gate can tell).
 //
 // Flags: --events=N (default 1000000), --ops=N (micro cell, default
 //        2000), --pingers=N (concurrently pending events, default
-//        1024), --jobs=N (sweep comparison, 0 = cores, default 0),
+//        1024), --jobs=N (sweep comparison, 0 = clamp(cores,2,4),
+//        default 0), --scale-nodes=N (scaling section, default 64),
+//        --scale-ops=N (default 4x --ops),
 //        --out=PATH (default BENCH_engine.json),
 //        --out-dataplane=PATH (default BENCH_dataplane.json)
 
@@ -38,12 +48,16 @@
 #include <utility>
 #include <vector>
 
+#include <thread>
+
 #include "bench_util/flags.hpp"
 #include "bench_util/json.hpp"
 #include "bench_util/micro.hpp"
 #include "bench_util/sweep.hpp"
 #include "bench_util/table.hpp"
+#include "net/fabric.hpp"
 #include "sim/inline_function.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "trace/tracer.hpp"
 
@@ -178,6 +192,8 @@ int main(int argc, char** argv) {
   const std::size_t sweep_jobs =
       flags.u64("jobs", 0) == 0 ? bench::SweepRunner::default_jobs()
                                 : static_cast<std::size_t>(flags.u64("jobs", 0));
+  const std::uint64_t scale_nodes = flags.u64("scale-nodes", 64);
+  const std::uint64_t scale_ops = flags.u64("scale-ops", micro_ops * 4);
   const std::string out = flags.str("out", "BENCH_engine.json");
   const std::string out_dataplane =
       flags.str("out-dataplane", "BENCH_dataplane.json");
@@ -437,7 +453,111 @@ int main(int argc, char** argv) {
   std::printf("  mode parity (stats byte-identical shadow vs full): %s\n\n",
               plane_parity ? "yes" : "NO — DIVERGED");
 
-  // ---- 5. JSON record ---------------------------------------------
+  // Link-table lookup pin: Fabric::state() is hit once per packet, so
+  // its cost is a first-order term of the data plane. The flat
+  // open-addressing table replaced a std::map (red-black walk per
+  // send); pin the absolute ns/lookup so a regression to pointer
+  // chasing is visible in review.
+  double link_lookup_ns = 0.0;
+  {
+    sim::Simulator lsim;
+    sim::Rng lrng(1);
+    net::Fabric lf(lsim, lrng, net::LinkParams{});
+    constexpr std::uint32_t kLinkNodes = 64;
+    for (std::uint32_t from = 0; from < kLinkNodes; ++from) {
+      for (std::uint32_t to = 0; to < kLinkNodes; ++to) {
+        if (from != to) lf.link(from, to).propagation = 1000 + from + to;
+      }
+    }
+    const std::uint64_t iters = 2'000'000;
+    std::uint64_t acc = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      const auto from = static_cast<std::uint32_t>(i % kLinkNodes);
+      auto to = static_cast<std::uint32_t>((i * 7 + 1) % kLinkNodes);
+      if (to == from) to = (to + 1) % kLinkNodes;
+      acc += lf.link(from, to).propagation;
+    }
+    link_lookup_ns =
+        wall_seconds_since(t0) * 1e9 / static_cast<double>(iters);
+    std::printf("  link-table lookup (%u nodes, %llu hits): %.1f ns/lookup "
+                "(checksum %llu)\n\n",
+                kLinkNodes * (kLinkNodes - 1),
+                static_cast<unsigned long long>(iters), link_lookup_ns,
+                static_cast<unsigned long long>(acc % 1000));
+  }
+
+  // ---- 5. partitioned engine: multi-node scaling ------------------
+  // One durable server + (scale_nodes - 1) clients, zero link noise:
+  // the partitioned engine must reproduce the serial run bit for bit
+  // at every thread count, and on a multicore host turn the extra
+  // threads into simulated events per wall second.
+  const auto run_scaled = [&scale_nodes, &scale_ops](unsigned threads,
+                                                     double& secs) {
+    bench::MicroConfig cfg;
+    cfg.object_size = 1024;
+    cfg.ops = scale_ops;
+    cfg.read_ratio = 0.0;
+    cfg.clients = static_cast<std::size_t>(scale_nodes) - 1;
+    cfg.jitter_sigma = 0.0;
+    cfg.engine_threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto res = bench::run_micro(rpcs::System::kWFlushRpc, cfg);
+    secs = wall_seconds_since(t0);
+    return res;
+  };
+
+  const unsigned hw_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  constexpr unsigned kScaleThreads[] = {1, 2, 4, 8};
+  std::printf("partitioned engine (%llu nodes, %llu ops, WFlush-RPC, "
+              "host has %u hardware threads):\n",
+              static_cast<unsigned long long>(scale_nodes),
+              static_cast<unsigned long long>(scale_ops), hw_threads);
+  bench::TablePrinter scaling(
+      {"threads", "wall s", "Mevents/s", "speedup", "identical"});
+  bench::Json scaling_rows = bench::Json::array();
+  double scale_serial_secs = 0.0;
+  bench::MicroResult scale_serial;
+  bool scaling_identical = true;
+  for (const unsigned t : kScaleThreads) {
+    double secs = 0.0;
+    const bench::MicroResult res = run_scaled(t, secs);
+    if (t == 1) {
+      scale_serial = res;
+      scale_serial_secs = secs;
+    }
+    // The whole contract: every model-visible stat equals the serial
+    // engine's, no matter how many workers advanced the partitions.
+    const bool same = res.duration == scale_serial.duration &&
+                      res.ops_completed == scale_serial.ops_completed &&
+                      res.sim_events == scale_serial.sim_events &&
+                      res.kops == scale_serial.kops &&
+                      res.latency.sum() == scale_serial.latency.sum() &&
+                      res.durable_latency.sum() ==
+                          scale_serial.durable_latency.sum() &&
+                      res.server.ops_processed ==
+                          scale_serial.server.ops_processed;
+    scaling_identical = scaling_identical && same;
+    const double eps = static_cast<double>(res.sim_events) / secs;
+    const double speedup = scale_serial_secs / secs;
+    scaling.add_row({std::to_string(t), bench::TablePrinter::num(secs, 3),
+                     bench::TablePrinter::num(eps / 1e6, 2),
+                     bench::TablePrinter::num(speedup, 2) + "x",
+                     same ? "yes" : "NO"});
+    bench::Json row = bench::Json::object();
+    row.set("threads", bench::Json::num(static_cast<std::uint64_t>(t)))
+        .set("wall_secs", bench::Json::num(secs))
+        .set("events_per_sec", bench::Json::num(eps))
+        .set("speedup", bench::Json::num(speedup))
+        .set("identical", bench::Json::boolean(same));
+    scaling_rows.push(std::move(row));
+  }
+  scaling.print();
+  std::printf("  byte-identical to serial at every thread count: %s\n\n",
+              scaling_identical ? "yes" : "NO — DIVERGED");
+
+  // ---- 6. JSON record ---------------------------------------------
   bench::Json doc = bench::Json::object();
   doc.set("bench", bench::Json::str("engine_perf"))
       .set("events", bench::Json::num(events))
@@ -474,6 +594,13 @@ int main(int argc, char** argv) {
   }
   doc.set("sweep_cell_secs_serial", std::move(cell_secs_serial))
       .set("sweep_cell_secs_parallel", std::move(cell_secs_parallel));
+  bench::Json scaling_doc = bench::Json::object();
+  scaling_doc.set("nodes", bench::Json::num(scale_nodes))
+      .set("ops", bench::Json::num(scale_ops))
+      .set("hw_concurrency", bench::Json::num(static_cast<std::uint64_t>(hw_threads)))
+      .set("identical", bench::Json::boolean(scaling_identical))
+      .set("rows", std::move(scaling_rows));
+  doc.set("engine_scaling", std::move(scaling_doc));
   if (!bench::emit_json(out, doc)) {
     std::printf("\nfailed to open %s for writing\n", out.c_str());
     return 2;
@@ -491,7 +618,8 @@ int main(int argc, char** argv) {
       .set("steady_event_pool_allocs", bench::Json::num(steady_pool))
       .set("steady_fn_heap_allocs", bench::Json::num(steady_fn))
       .set("steady_payload_slab_bytes", bench::Json::num(steady_slab))
-      .set("steady_ok", bench::Json::boolean(plane_steady));
+      .set("steady_ok", bench::Json::boolean(plane_steady))
+      .set("link_lookup_ns_per_op", bench::Json::num(link_lookup_ns));
   if (!bench::emit_json(out_dataplane, dp)) {
     std::printf("failed to open %s for writing\n", out_dataplane.c_str());
     return 2;
@@ -499,7 +627,7 @@ int main(int argc, char** argv) {
   std::printf("wrote %s\n", out_dataplane.c_str());
 
   return identical && trace_inert && steady_allocs == 0 && plane_parity &&
-                 plane_steady
+                 plane_steady && scaling_identical
              ? 0
              : 1;
 }

@@ -11,7 +11,10 @@
 //
 // Flags: --ops=N (default 2000), --seed=N, --jobs=N, --quick,
 //        --json=FILE (BENCH_replication.json in CI), --trace=FILE,
-//        --content-mode=full|shadow
+//        --content-mode=full|shadow,
+//        --engine-threads=N (partitioned event engine, default 1;
+//          results are byte-identical at any value — chain cells pin a
+//          single partition internally)
 
 #include <cstdio>
 #include <string>
@@ -48,6 +51,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 400 : 2000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const unsigned engine_threads = bench::engine_threads_from(flags);
 
   bench::Report report(flags, "replication");
 
@@ -72,6 +76,7 @@ int main(int argc, char** argv) {
       mc.read_ratio = 0.0;  // replication is a write-path protocol
       mc.ops = ops;
       mc.seed = seed;
+      mc.engine_threads = engine_threads;
       if (g.protocol != repl::Protocol::kNone) {
         mc.replication.protocol = g.protocol;
         mc.replication.replicas = g.replicas;
@@ -90,6 +95,8 @@ int main(int argc, char** argv) {
       bench::run_micro_cells(runner, cells);
 
   report.meta("ops", bench::Json::num(ops));
+  report.meta("engine_threads",
+              bench::Json::num(std::uint64_t{engine_threads}));
   report.meta("object_size", bench::Json::num(std::uint64_t{kValue}));
   report.meta("grid", bench::Json::str("protocol x replicas x variant"));
 

@@ -37,6 +37,7 @@ core::ModelParams params_for(const MicroConfig& cfg) {
   p.object_count = effective_objects(cfg);
   p.rpc_processing = cfg.heavy_load ? 100 * sim::kMicrosecond : 0;
   p.link.background_load = cfg.net_load;
+  p.link.jitter_sigma = cfg.jitter_sigma;
   p.rnic.ddio = cfg.ddio;
   p.rnic.emulate_flush = cfg.emulate_flush;
   p.rnic.smartnic_rflush = cfg.smartnic_rflush;
@@ -73,15 +74,27 @@ core::ModelParams params_for(const MicroConfig& cfg) {
 
 namespace {
 
+/// Per-driver slice of the result. Each driver coroutine lives on its
+/// client's node/partition and records only here, so a partitioned run
+/// has no cross-thread stat writes; the shards merge in spawn order
+/// after the run (histogram merges are commutative bucket adds — the
+/// merged stats equal the historical shared-result accounting).
+struct DriverShard {
+  MicroResult res;
+  SimTime finished_at = 0;
+  bool done = false;
+};
+
 struct ClientDriver {
   core::RpcClient* client;
   std::uint64_t ops;
-  MicroResult* result;
+  DriverShard* shard;
   sim::Rng rng;
 };
 
 Task<> drive_client(ClientDriver drv, const MicroConfig cfg,
-                    std::uint64_t object_count, sim::WaitGroup& wg) {
+                    std::uint64_t object_count, sim::Simulator& sim) {
+  MicroResult* result = &drv.shard->res;
   sim::ZipfianGenerator zipf(object_count, cfg.zipf_theta);
   for (std::uint64_t i = 0; i < drv.ops; ++i) {
     RpcRequest req;
@@ -97,19 +110,20 @@ Task<> drive_client(ClientDriver drv, const MicroConfig cfg,
       res = co_await drv.client->call(req);
     }
     if (res.ok) {
-      ++drv.result->ops_completed;
-      drv.result->latency.record(res.latency());
+      ++result->ops_completed;
+      result->latency.record(res.latency());
       if (req.op == RpcOp::kWrite) {
-        drv.result->write_latency.record(res.latency());
+        result->write_latency.record(res.latency());
         if (res.durable_at > res.issued_at) {
-          drv.result->durable_latency.record(res.durable_at - res.issued_at);
+          result->durable_latency.record(res.durable_at - res.issued_at);
         }
       } else {
-        drv.result->read_latency.record(res.latency());
+        result->read_latency.record(res.latency());
       }
     }
   }
-  wg.done();
+  drv.shard->finished_at = sim.now();
+  drv.shard->done = true;
 }
 
 }  // namespace
@@ -118,9 +132,21 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   const ModelParams params = params_for(cfg);
   const std::size_t server_nodes =
       cfg.replication.active() ? cfg.replication.replicas : 1;
-  core::Cluster cluster(params, server_nodes + cfg.clients);
+  sim::EngineConfig ecfg;
+  ecfg.threads = std::max(1u, cfg.engine_threads);
+  // Chain replication hops clients on forwarder nodes (coroutines that
+  // span nodes) and kFull tracing needs one event ring: both pin the
+  // whole cluster into a single partition, which is trivially
+  // thread-count independent.
+  const bool chain =
+      cfg.replication.active() &&
+      cfg.replication.protocol == repl::Protocol::kChain;
+  if (chain || cfg.trace_mode == trace::Mode::kFull) {
+    ecfg.partitioning = sim::EngineConfig::Partitioning::kSingle;
+  }
+  core::Cluster cluster(params, server_nodes + cfg.clients, ecfg);
+  cluster.enable_tracing(cfg.trace_mode, cfg.trace_capacity);
   trace::Tracer& tracer = cluster.tracer();
-  tracer.enable(cfg.trace_mode, cfg.trace_capacity);
 
   std::vector<std::size_t> client_nodes;
   for (std::size_t i = 0; i < cfg.clients; ++i) {
@@ -135,48 +161,58 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   for (const std::size_t i : client_nodes) {
     cluster.node(i).host().set_load(cfg.client_cpu_load);
     // Client host software is the sender side of the Fig. 20 breakdown.
-    cluster.node(i).host().set_tracer(&tracer, trace::Component::kSenderSw,
+    cluster.node(i).host().set_tracer(&cluster.tracer_of(i),
+                                      trace::Component::kSenderSw,
                                       static_cast<std::uint16_t>(i));
   }
 
   MicroResult result;
-  sim::WaitGroup wg(cluster.sim());
   // Durable RPCs pipeline (persist-ack completion lets the sender run
   // ahead, §4.2); traditional RPCs are closed-loop serial.
   const std::uint32_t depth = rpcs::info_of(system).durable
                                   ? std::max<std::uint32_t>(
                                         1, cfg.durable_pipeline)
                                   : 1;
-  wg.add(cfg.clients * depth);
   const std::uint64_t ops_per_loop =
       std::max<std::uint64_t>(1, cfg.ops / (cfg.clients * depth));
+  std::vector<std::unique_ptr<DriverShard>> shards;
+  shards.reserve(cfg.clients * depth);
   for (std::size_t c = 0; c < cfg.clients; ++c) {
     for (std::uint32_t d = 0; d < depth; ++d) {
-      ClientDriver drv{dep.clients[c].get(), ops_per_loop, &result,
+      shards.push_back(std::make_unique<DriverShard>());
+      ClientDriver drv{dep.clients[c].get(), ops_per_loop,
+                       shards.back().get(),
                        sim::Rng(cfg.seed * 7919 + c * 64 + d)};
-      sim::spawn(drive_client(drv, cfg, params.object_count, wg));
+      sim::spawn(drive_client(drv, cfg, params.object_count,
+                              cluster.sim_of(client_nodes[c])));
     }
   }
 
-  bool finished = false;
-  SimTime end_time = 0;
-  sim::spawn([](sim::WaitGroup& w, bool& f, SimTime& t,
-                sim::Simulator& s) -> Task<> {
-    co_await w.wait();
-    f = true;
-    t = s.now();
-  }(wg, finished, end_time, cluster.sim()));
+  cluster.run();
 
-  cluster.sim().run();
+  // Merge driver shards in spawn order. Every shard finishing is the
+  // historical WaitGroup end condition: the cell ends when the last
+  // driver records its final completion.
+  bool finished = true;
+  SimTime end_time = 0;
+  for (const auto& shard : shards) {
+    finished = finished && shard->done;
+    end_time = std::max(end_time, shard->finished_at);
+    result.ops_completed += shard->res.ops_completed;
+    result.latency.merge(shard->res.latency);
+    result.write_latency.merge(shard->res.write_latency);
+    result.read_latency.merge(shard->res.read_latency);
+    result.durable_latency.merge(shard->res.durable_latency);
+  }
   if (!finished) {
     // Deadlock/bug guard: report what completed.
-    end_time = cluster.sim().now();
+    end_time = std::max(end_time, cluster.engine().max_now());
   }
 
   result.duration = end_time;
   result.server = dep.server->stats();
-  result.sim_events = cluster.sim().events_executed();
-  result.sim_pool_allocs = cluster.sim().pool_allocations();
+  result.sim_events = cluster.events_executed();
+  result.sim_pool_allocs = cluster.sim_pool_allocations();
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     auto& mem = cluster.node(i).mem();
     result.bytes_copied += mem.pm().bytes_copied() + mem.dram().bytes_copied();
@@ -263,6 +299,11 @@ repl::ReplicationConfig replication_from(const Flags& flags) {
   }
   cfg.replicas = static_cast<std::size_t>(flags.u64("replicas", 2));
   return cfg;
+}
+
+unsigned engine_threads_from(const Flags& flags, unsigned def) {
+  const std::uint64_t t = flags.u64("engine-threads", def);
+  return static_cast<unsigned>(std::max<std::uint64_t>(1, t));
 }
 
 mem::ContentMode content_mode_from(const Flags& flags, mem::ContentMode def) {

@@ -30,6 +30,16 @@ struct MicroConfig {
   std::uint32_t batch = 1;         ///< ops aggregated per RPC (§4.3)
   bool heavy_load = false;         ///< +100 µs processing per op (§5.2)
   double net_load = 0.0;           ///< background network traffic (Fig. 14)
+  /// Link latency jitter (log-normal sigma). The model default; parity
+  /// tests pin 0 so a run consumes no fabric noise draws at all and is
+  /// byte-identical across engine thread counts.
+  double jitter_sigma = 0.03;
+  /// Worker threads of the partitioned event engine (DESIGN.md §7.5).
+  /// 1 (the default) is the bit-exact serial engine; >1 shards the
+  /// cluster one partition per node under conservative lookahead.
+  /// Chain replication and kFull tracing force a single partition
+  /// regardless (their coroutines/ring span nodes).
+  unsigned engine_threads = 1;
   double server_cpu_load = 0.0;    ///< busy receiver (Fig. 15)
   double client_cpu_load = 0.0;    ///< busy sender (Fig. 16)
   bool ddio = false;
@@ -147,5 +157,11 @@ mem::ContentMode content_mode_from(const Flags& flags,
 /// Shared replication flags: --replication=none|chain|mirror (default
 /// none) and --replicas=N (default 2).
 repl::ReplicationConfig replication_from(const Flags& flags);
+
+/// Shared --engine-threads flag: worker threads of the partitioned
+/// event engine (DESIGN.md §7.5). Absent or 0 → `def` (benches pass 1,
+/// the bit-exact serial engine). Crash-injecting harnesses must keep
+/// the default — Node refuses crash hooks on a partitioned engine.
+unsigned engine_threads_from(const Flags& flags, unsigned def = 1);
 
 }  // namespace prdma::bench

@@ -9,7 +9,13 @@
 namespace prdma::bench {
 
 std::size_t SweepRunner::default_jobs() {
-  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  // Floor of 2: on a single-core host a defaulted "parallel" sweep
+  // previously collapsed to jobs=1, so the jobs=1-vs-N determinism
+  // gate in engine_perf compared a run against itself. Two timeshared
+  // workers still exercise the pool scheduling + merge path. Cap of 4:
+  // micro cells are memory-bound and wider pools stop helping.
+  const auto hw = static_cast<std::size_t>(std::thread::hardware_concurrency());
+  return std::clamp<std::size_t>(hw, 2, 4);
 }
 
 sim::ThreadPool& SweepRunner::pool() {

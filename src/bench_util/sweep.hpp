@@ -32,7 +32,9 @@ class SweepRunner {
 
   [[nodiscard]] std::size_t jobs() const { return jobs_; }
 
-  /// Hardware concurrency with a floor of 1.
+  /// Hardware concurrency clamped to [2, 4]: never degenerates to the
+  /// serial path on a single-core host, never over-fans memory-bound
+  /// cells.
   static std::size_t default_jobs();
 
   /// Runs fn(i) for every i in [0, n). Blocks until all cells finish.

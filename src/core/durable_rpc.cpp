@@ -52,7 +52,7 @@ DurableRpcServer::DurableRpcServer(Cluster& cluster, std::size_t server_idx,
       store_(std::make_unique<ObjectStore>(server_, params.object_count,
                                            std::max<std::uint64_t>(
                                                params.max_payload, 64))),
-      work_q_(std::make_unique<sim::Channel<WorkItem>>(cluster.sim())) {}
+      work_q_(std::make_unique<sim::Channel<WorkItem>>(server_.simulator())) {}
 
 DurableRpcServer::~DurableRpcServer() = default;
 
@@ -69,9 +69,10 @@ std::unique_ptr<DurableRpcClient> DurableRpcServer::connect_client(
   auto conn = std::make_unique<Conn>(server_, layout);
   conn->idx = conns_.size();
   conn->client = &client_node;
-  conn->scq = std::make_unique<rnic::Cq>(cluster_.sim());
-  conn->rcq = std::make_unique<rnic::Cq>(cluster_.sim());
-  conn->arrivals = std::make_unique<sim::Channel<std::uint64_t>>(cluster_.sim());
+  conn->scq = std::make_unique<rnic::Cq>(server_.simulator());
+  conn->rcq = std::make_unique<rnic::Cq>(server_.simulator());
+  conn->arrivals =
+      std::make_unique<sim::Channel<std::uint64_t>>(server_.simulator());
 
   // Server-side staging: [0,8) notify scratch; response staging ring
   // at +64, one slot per window entry.
@@ -95,7 +96,7 @@ std::unique_ptr<DurableRpcClient> DurableRpcServer::connect_client(
 
   conns_.push_back(std::move(conn));
   Conn& c = *conns_.back();
-  c.completer = std::make_unique<rdma::Completer>(cluster_.sim(), *c.scq);
+  c.completer = std::make_unique<rdma::Completer>(server_.simulator(), *c.scq);
 
   // Region registration (ibv_reg_mr analogue): the client may write
   // and flush the redo-log ring; the server may write the client's
@@ -120,7 +121,7 @@ std::unique_ptr<DurableRpcClient> DurableRpcServer::connect_client(
   c.session = std::make_unique<rdma::QpSession>(server_.rnic(), *server_qp,
                                                 *c.completer);
   client->completer_ =
-      std::make_unique<rdma::Completer>(cluster_.sim(), client->scq_);
+      std::make_unique<rdma::Completer>(client_node.simulator(), client->scq_);
   client->session_ = std::make_unique<rdma::QpSession>(
       client_node.rnic(), *client_qp, *client->completer_);
   sim::spawn(client->credit_pump());
@@ -209,13 +210,13 @@ sim::Task<> DurableRpcServer::conn_loop_write_based(Conn& conn) {
       // sender immediately — *before* processing (§4.1.2, Fig. 4c).
       // (In smartNIC mode the NIC already did both, §4.5.)
       const std::uint64_t sw0 = host.charged_ns();
-      const sim::SimTime persist_t0 = cluster_.sim().now();
+      const sim::SimTime persist_t0 = server_.simulator().now();
       co_await persist_slot(conn, *e);
       co_await host.exec(host.params().post_cost);
       notify_word(conn, conn.notify_persist_addr, *seq);
       stats_.critical_sw_ns += host.charged_ns() - sw0;
-      auto& tr = cluster_.tracer();
-      const sim::SimTime done = cluster_.sim().now();
+      auto& tr = cluster_.tracer_of(server_.id());
+      const sim::SimTime done = server_.simulator().now();
       tr.span(trace::Component::kOpPersist, *seq, persist_t0, done, trace_track());
       tr.span(trace::Component::kPersistAck, *seq, done, done, trace_track());
       tr.span_charged(trace::Component::kReceiverSw, *seq, persist_t0,
@@ -227,11 +228,12 @@ sim::Task<> DurableRpcServer::conn_loop_write_based(Conn& conn) {
       // the poller answers reads inline — no worker thread is spawned
       // (dispatch cost is a write/queued-read artifact).
       const std::uint64_t sw0 = host.charged_ns();
-      const sim::SimTime fast_t0 = cluster_.sim().now();
+      const sim::SimTime fast_t0 = server_.simulator().now();
       co_await process_item(WorkItem{&conn, *e, false, /*fast=*/true});
       stats_.critical_sw_ns += host.charged_ns() - sw0;
-      cluster_.tracer().span_charged(trace::Component::kReceiverSw, *seq,
-                                     fast_t0, host.charged_ns() - sw0, trace_track());
+      cluster_.tracer_of(server_.id())
+          .span_charged(trace::Component::kReceiverSw, *seq, fast_t0,
+                        host.charged_ns() - sw0, trace_track());
       continue;
     }
     ++conn.backlog;
@@ -261,7 +263,7 @@ sim::Task<> DurableRpcServer::conn_loop_send_based(Conn& conn) {
     conn.next_seq = e->seq + 1;
 
     const std::uint64_t sw0 = host.charged_ns();
-    const sim::SimTime crit_t0 = cluster_.sim().now();
+    const sim::SimTime crit_t0 = server_.simulator().now();
     if (variant_ == FlushVariant::kSRFlush && e->op == RpcOp::kWrite) {
       // Receiver-initiated persist of a send: the CPU streams the
       // message image into the redo log with non-temporal stores
@@ -271,15 +273,15 @@ sim::Task<> DurableRpcServer::conn_loop_send_based(Conn& conn) {
       auto img = server_.mem().read_payload(wc->local_addr, image);
       const std::uint64_t slot = conn.log.layout().slot_addr(e->seq);
       const auto done = server_.mem().pm().write_complete_at(
-          cluster_.sim().now(), image);
-      co_await host.exec(done - cluster_.sim().now());
+          server_.simulator().now(), image);
+      co_await host.exec(done - server_.simulator().now());
       if (epoch != epoch_) break;
       // ntstore: persist-domain direct
       server_.mem().poke_payload_pm(slot, img);
       co_await host.exec(host.params().post_cost);
       notify_word(conn, conn.notify_persist_addr, e->seq);
-      auto& tr = cluster_.tracer();
-      const sim::SimTime ack_at = cluster_.sim().now();
+      auto& tr = cluster_.tracer_of(server_.id());
+      const sim::SimTime ack_at = server_.simulator().now();
       tr.span(trace::Component::kOpPersist, e->seq, crit_t0, ack_at,
               trace_track());
       tr.span(trace::Component::kPersistAck, e->seq, ack_at, ack_at,
@@ -302,15 +304,15 @@ sim::Task<> DurableRpcServer::conn_loop_send_based(Conn& conn) {
     if (e->op == RpcOp::kRead && conn.backlog == 0) {
       co_await process_item(WorkItem{&conn, *e, false, /*fast=*/true});
       stats_.critical_sw_ns += host.charged_ns() - sw0;
-      cluster_.tracer().span_charged(trace::Component::kReceiverSw, e->seq,
-                                     crit_t0, host.charged_ns() - sw0,
-                                     trace_track());
+      cluster_.tracer_of(server_.id())
+          .span_charged(trace::Component::kReceiverSw, e->seq, crit_t0,
+                        host.charged_ns() - sw0, trace_track());
       continue;
     }
     stats_.critical_sw_ns += host.charged_ns() - sw0;
-    cluster_.tracer().span_charged(trace::Component::kReceiverSw, e->seq,
-                                   crit_t0, host.charged_ns() - sw0,
-                                   trace_track());
+    cluster_.tracer_of(server_.id())
+        .span_charged(trace::Component::kReceiverSw, e->seq, crit_t0,
+                      host.charged_ns() - sw0, trace_track());
     ++conn.backlog;
     stats_.backlog_peak = std::max(stats_.backlog_peak, backlog());
     if (backlog() > params_.flow_threshold) ++stats_.throttle_events;
@@ -335,7 +337,7 @@ sim::Task<> DurableRpcServer::process_item(WorkItem item) {
   const LogEntryView& e = item.entry;
   auto& host = server_.host();
   const std::uint64_t epoch = epoch_;
-  const sim::SimTime work_t0 = cluster_.sim().now();
+  const sim::SimTime work_t0 = server_.simulator().now();
 
   if (params_.rpc_processing > 0) {
     if (!item.fast) {
@@ -379,8 +381,9 @@ sim::Task<> DurableRpcServer::process_item(WorkItem item) {
   if (item.recovered) {
     ++stats_.recoveries;
   }
-  cluster_.tracer().span(trace::Component::kWorker, e.seq, work_t0,
-                         cluster_.sim().now(), trace_track());
+  cluster_.tracer_of(server_.id())
+      .span(trace::Component::kWorker, e.seq, work_t0,
+            server_.simulator().now(), trace_track());
   co_await advance_consumed(conn, e.seq);
 }
 
@@ -433,7 +436,8 @@ sim::Task<> DurableRpcServer::recover_and_restart() {
   // Replay committed-but-unconsumed entries, oldest first, without any
   // client involvement — the paper's headline recovery property.
   for (auto& conn : conns_) {
-    conn->completer = std::make_unique<rdma::Completer>(cluster_.sim(), *conn->scq);
+    conn->completer =
+        std::make_unique<rdma::Completer>(server_.simulator(), *conn->scq);
     const auto entries = conn->log.recover();
     conn->completed_floor = conn->log.consumed();
     conn->next_seq = conn->completed_floor + entries.size() + 1;
@@ -480,7 +484,7 @@ void DurableRpcServer::reconnect_client(DurableRpcClient& client) {
   // straggler can never match a post-recovery post.
   client.scq_.reset();
   auto fresh_completer =
-      std::make_unique<rdma::Completer>(cluster_.sim(), client.scq_);
+      std::make_unique<rdma::Completer>(client.node_.simulator(), client.scq_);
   fresh_completer->advance_wr(client.completer_->next_wr());
   client.completer_ = std::move(fresh_completer);
   client.session_ = std::make_unique<rdma::QpSession>(client.node_.rnic(),
@@ -516,9 +520,9 @@ DurableRpcClient::DurableRpcClient(DurableRpcServer& server, Node& node,
     : server_(server),
       node_(node),
       conn_idx_(conn_idx),
-      scq_(server.cluster_.sim()),
-      rcq_(server.cluster_.sim()),
-      window_(server.cluster_.sim(), server.window_) {
+      scq_(node.simulator()),
+      rcq_(node.simulator()),
+      window_(node.simulator(), server.window_) {
   window_size_ = server.window_;
   const auto& p = server.params_;
   staging_slot_bytes_ = LogLayout{0, p.log_slots, p.max_payload}.slot_bytes();
@@ -583,8 +587,8 @@ sim::Task<RpcResult> DurableRpcClient::transmit_entry(RpcOp op,
                                                       std::uint64_t obj_id,
                                                       std::uint32_t len,
                                                       std::uint32_t batch) {
-  auto& sim = server_.cluster_.sim();
-  auto& tracer = server_.cluster_.tracer();
+  auto& sim = node_.simulator();
+  auto& tracer = server_.cluster_.tracer_of(node_.id());
   const auto track = static_cast<std::uint16_t>(node_.id());
   RpcResult res;
   res.issued_at = sim.now();

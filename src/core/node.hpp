@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "net/fabric.hpp"
 #include "rdma/allocator.hpp"
 #include "rnic/rnic.hpp"
+#include "sim/partitioned_engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "trace/tracer.hpp"
@@ -24,8 +26,9 @@ namespace prdma::core {
 class Node {
  public:
   Node(sim::Simulator& sim, sim::Rng& rng, net::Fabric& fabric,
-       net::NodeId id, const ModelParams& params)
+       net::NodeId id, const ModelParams& params, bool partitioned = false)
       : id_(id),
+        partitioned_(partitioned),
         sim_(sim),
         rng_(rng.fork()),
         mem_(sim, params.memory),
@@ -81,6 +84,14 @@ class Node {
           "crash hooks require ContentMode::kFull (run with "
           "--content-mode=full)");
     }
+    if (partitioned_) {
+      // Crash coherence rule (DESIGN.md §7.5): a power failure tears
+      // down software on *other* nodes' partitions mid-epoch, which a
+      // conservative engine cannot order. Exploration pins one thread.
+      throw std::logic_error(
+          "crash hooks require a single-partition engine (run with "
+          "--engine-threads 1)");
+    }
     crash_hook_ = sim_.add_crash_hook([this] { crash(); });
   }
 
@@ -99,6 +110,7 @@ class Node {
 
  private:
   net::NodeId id_;
+  bool partitioned_;
   sim::Simulator& sim_;
   sim::Rng rng_;
   mem::NodeMemory mem_;
@@ -110,42 +122,143 @@ class Node {
   sim::Simulator::CrashHookId crash_hook_ = 0;
 };
 
-/// A simulated testbed: simulator + fabric + N nodes, built from one
+/// A simulated testbed: event engine + fabric + N nodes, built from one
 /// ModelParams. Node 0 is conventionally the server in point-to-point
 /// experiments.
+///
+/// The engine always owns the Simulator shards. With the default
+/// EngineConfig (1 thread) there is exactly one shard and every byte of
+/// behaviour matches the historical single-Simulator cluster; with more
+/// threads each node gets its own partition, its own tracer shard and
+/// its own fabric RNG streams, and run() drives the conservative
+/// epoch loop (DESIGN.md §7.5).
 class Cluster {
  public:
-  explicit Cluster(const ModelParams& params, std::size_t node_count = 2)
-      : params_(params), rng_(params.seed), fabric_(sim_, rng_, params.link) {
+  explicit Cluster(const ModelParams& params, std::size_t node_count = 2,
+                   sim::EngineConfig engine = {})
+      : params_(params),
+        engine_(node_count, engine),
+        rng_(params.seed),
+        fabric_(engine_.shard(0), rng_, params.link) {
+    fabric_.bind_engine(&engine_, params.seed);
     fabric_.set_tracer(&tracer_);
+    const std::size_t parts = engine_.partitions();
+    for (std::size_t p = 1; p < parts; ++p) {
+      shard_tracers_.push_back(std::make_unique<trace::Tracer>());
+    }
     nodes_.reserve(node_count);
     for (std::size_t i = 0; i < node_count; ++i) {
+      trace::Tracer& t = tracer_of(i);
       nodes_.push_back(std::make_unique<Node>(
-          sim_, rng_, fabric_, static_cast<net::NodeId>(i), params_));
-      nodes_.back()->rnic().set_tracer(&tracer_);
-      nodes_.back()->host().set_tracer(&tracer_, trace::Component::kHostSw,
+          engine_.shard_of_node(i), rng_, fabric_,
+          static_cast<net::NodeId>(i), params_, parts > 1));
+      nodes_.back()->rnic().set_tracer(&t);
+      nodes_.back()->host().set_tracer(&t, trace::Component::kHostSw,
                                        static_cast<std::uint16_t>(i));
-      nodes_.back()->mem().pool().set_tracer(&tracer_,
+      nodes_.back()->mem().pool().set_tracer(&t,
                                              static_cast<std::uint16_t>(i));
+      fabric_.set_node_tracer(static_cast<net::NodeId>(i), &t);
+    }
+    for (std::size_t p = 0; p < parts; ++p) {
+      std::vector<Node*> owned;
+      for (const auto& n : nodes_) {
+        if (engine_.partition_of_node(n->id()) == p) owned.push_back(n.get());
+      }
+      engine_.set_epoch_hook(p, [owned = std::move(owned)] {
+        for (Node* n : owned) n->mem().pool().drain_remote_frees();
+      });
     }
   }
 
-  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  /// The single Simulator of a serial cluster. Throws on a
+  /// multi-partition engine — serial-only harnesses (crash explorers,
+  /// fault experiments) fail fast instead of scheduling on the wrong
+  /// shard; partition-aware code uses sim_of().
+  [[nodiscard]] sim::Simulator& sim() {
+    if (engine_.partitions() > 1) {
+      throw std::logic_error(
+          "Cluster::sim() is ambiguous with a multi-partition engine; "
+          "use sim_of(node) or run with --engine-threads 1");
+    }
+    return engine_.shard(0);
+  }
+  /// The Simulator shard node `i`'s events run on.
+  [[nodiscard]] sim::Simulator& sim_of(std::size_t i) {
+    return engine_.shard_of_node(i);
+  }
+  [[nodiscard]] sim::PartitionedEngine& engine() { return engine_; }
   [[nodiscard]] sim::Rng& rng() { return rng_; }
   [[nodiscard]] net::Fabric& fabric() { return fabric_; }
 
   /// The cluster's deterministic tracer (mode kOff until enabled; the
   /// instrumented layers then record into it with zero timing impact).
+  /// After a multi-partition run() the per-shard totals have been
+  /// merged in here; read aggregates from this one only.
   [[nodiscard]] trace::Tracer& tracer() { return tracer_; }
+  /// The tracer shard node `i`'s layers record into (== tracer() for
+  /// partition 0 and for every serial cluster).
+  [[nodiscard]] trace::Tracer& tracer_of(std::size_t i) {
+    const std::size_t p = engine_.partition_of_node(i);
+    return p == 0 ? tracer_ : *shard_tracers_[p - 1];
+  }
+
+  /// Enables tracing on the main tracer and every shard tracer. kFull
+  /// (per-event ring) is confined to single-partition engines.
+  void enable_tracing(trace::Mode mode,
+                      std::size_t capacity = trace::Tracer::kDefaultCapacity) {
+    if (mode == trace::Mode::kFull && engine_.partitions() > 1) {
+      throw std::logic_error(
+          "kFull tracing (event ring) requires --engine-threads 1");
+    }
+    trace_capacity_ = capacity;
+    tracer_.enable(mode, capacity);
+    for (auto& t : shard_tracers_) t->enable(mode, capacity);
+  }
+
+  /// Runs the engine to completion: derives the conservative lookahead
+  /// from the fabric, drives the epoch loop (or the plain serial run),
+  /// then folds shard tracer totals into tracer().
+  void run() {
+    if (engine_.partitions() > 1) {
+      const sim::SimTime min_prop = fabric_.min_propagation();
+      if (min_prop < 2) {
+        throw std::logic_error(
+            "multi-partition run requires link propagation >= 2 ns "
+            "(lookahead is half the minimum propagation)");
+      }
+      engine_.set_lookahead(std::max<sim::SimTime>(1, min_prop / 2));
+    }
+    engine_.run();
+    for (auto& t : shard_tracers_) {
+      if (!t->enabled()) continue;
+      tracer_.merge_totals_from(*t);
+      // Reset so a later run() does not double-count, keeping the
+      // capacity requested by enable_tracing().
+      t->enable(t->mode(), trace_capacity_);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t events_executed() const {
+    return engine_.events_executed();
+  }
+  [[nodiscard]] std::uint64_t sim_pool_allocations() const {
+    return engine_.pool_allocations();
+  }
+
   [[nodiscard]] const ModelParams& params() const { return params_; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
   [[nodiscard]] Node& node(std::size_t i) { return *nodes_.at(i); }
 
  private:
   ModelParams params_;
-  sim::Simulator sim_;
+  sim::PartitionedEngine engine_;
   sim::Rng rng_;
   trace::Tracer tracer_;  ///< before fabric_/nodes_: outlives its users
+  /// Tracers of partitions 1..P-1 (partition 0 records into tracer_).
+  std::vector<std::unique_ptr<trace::Tracer>> shard_tracers_;
+  /// Ring capacity from the last enable_tracing(); shard tracers are
+  /// re-enabled with it when run() resets their totals.
+  std::size_t trace_capacity_ = trace::Tracer::kDefaultCapacity;
   net::Fabric fabric_;
   std::vector<std::unique_ptr<Node>> nodes_;
 };

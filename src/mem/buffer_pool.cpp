@@ -118,7 +118,7 @@ void BufferPool::note_recycle(const PayloadBuf* b) {
     tracer_->counter(trace::Component::kPayloadPool, sim_.now(),
                      stats_.outstanding, track_);
     tracer_->counter(trace::Component::kPayloadRefs, sim_.now(),
-                     b->ref_acquires, track_);
+                     b->ref_acquires.load(std::memory_order_relaxed), track_);
   }
 }
 
@@ -137,8 +137,8 @@ PayloadRef BufferPool::acquire(std::uint64_t data_cap) {
   }
   b->pool = this;
   b->next_free = nullptr;
-  b->refs = 1;
-  b->ref_acquires = 1;
+  b->refs.store(1, std::memory_order_relaxed);
+  b->ref_acquires.store(1, std::memory_order_relaxed);
   b->data_used = 0;
   b->seg_count = 0;
   b->total_len = 0;
@@ -153,6 +153,18 @@ PayloadRef BufferPool::make_bytes(std::span<const std::byte> bytes) {
 }
 
 void BufferPool::recycle(PayloadBuf* b) {
+  // A final unref on another partition's worker must not touch this
+  // pool's counters or free lists; park the block for the owner to
+  // apply at the next epoch barrier.
+  const void* shard = sim::current_engine_shard();
+  if (shard != nullptr && shard != static_cast<const void*>(&sim_)) {
+    PayloadBuf* head = remote_free_.load(std::memory_order_relaxed);
+    do {
+      b->next_free = head;
+    } while (!remote_free_.compare_exchange_weak(
+        head, b, std::memory_order_release, std::memory_order_relaxed));
+    return;
+  }
   note_recycle(b);
   if (legacy_ || b->size_class >= kClassCount) {
     ::operator delete(static_cast<void*>(b));
@@ -163,10 +175,19 @@ void BufferPool::recycle(PayloadBuf* b) {
   free_[b->size_class] = b;
 }
 
+void BufferPool::drain_remote_frees() {
+  PayloadBuf* b = remote_free_.exchange(nullptr, std::memory_order_acquire);
+  while (b != nullptr) {
+    PayloadBuf* next = b->next_free;
+    recycle(b);  // caller is the owner partition: takes the local path
+    b = next;
+  }
+}
+
 PayloadRef make_heap_payload(std::span<const std::byte> bytes) {
   PayloadBuf* b = new_block(bytes.size());
-  b->refs = 1;
-  b->ref_acquires = 1;
+  b->refs.store(1, std::memory_order_relaxed);
+  b->ref_acquires.store(1, std::memory_order_relaxed);
   if (!bytes.empty()) b->append_bytes(bytes);
   return PayloadRef(b);
 }

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "sim/partitioned_engine.hpp"
 #include "sim/simulator.hpp"
 #include "trace/tracer.hpp"
 
@@ -37,8 +39,13 @@ struct PayloadBuf {
 
   BufferPool* pool = nullptr;     ///< null: plain heap block
   PayloadBuf* next_free = nullptr;
-  std::uint32_t refs = 0;
-  std::uint32_t ref_acquires = 0;  ///< lifetime ref() count (trace gauge)
+  /// Atomic because a packet's payload may be unreffed by the receiver
+  /// node's partition worker while the owner still holds references
+  /// (relaxed bumps, acq_rel on the final release — the same contract
+  /// as shared_ptr's control block). Single-threaded runs pay only the
+  /// uncontended lock-prefix cost.
+  std::atomic<std::uint32_t> refs{0};
+  std::atomic<std::uint32_t> ref_acquires{0};  ///< lifetime ref() count
   std::uint32_t size_class = 0;
   std::uint32_t data_cap = 0;
   std::uint32_t data_used = 0;
@@ -107,8 +114,8 @@ class PayloadRef {
 
   PayloadRef(const PayloadRef& o) noexcept : buf_(o.buf_) {
     if (buf_ != nullptr) {
-      ++buf_->refs;
-      ++buf_->ref_acquires;
+      buf_->refs.fetch_add(1, std::memory_order_relaxed);
+      buf_->ref_acquires.fetch_add(1, std::memory_order_relaxed);
     }
   }
   PayloadRef(PayloadRef&& o) noexcept : buf_(o.buf_) { o.buf_ = nullptr; }
@@ -129,7 +136,9 @@ class PayloadRef {
 
   void reset() noexcept {
     if (buf_ != nullptr) {
-      if (--buf_->refs == 0) detail::release_payload(buf_);
+      if (buf_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        detail::release_payload(buf_);
+      }
       buf_ = nullptr;
     }
   }
@@ -204,7 +213,17 @@ class BufferPool {
   PayloadRef make_bytes(std::span<const std::byte> bytes);
 
   /// Returns a block whose refcount hit zero (PayloadRef internal).
+  /// From a foreign partition's worker thread the block is parked on a
+  /// lock-free remote-free stack instead; the owner partition applies
+  /// the frees at its next epoch barrier (drain_remote_frees), keeping
+  /// every pool counter single-writer and the free lists thread-local.
   void recycle(PayloadBuf* b);
+
+  /// Applies remote frees parked by other partitions. Called by the
+  /// owner partition's epoch hook (and once after the run drains);
+  /// the remote-free sets per epoch are a pure function of the
+  /// schedule, so the resulting stats are thread-count independent.
+  void drain_remote_frees();
 
   [[nodiscard]] const BufferPoolStats& stats() const { return stats_; }
   [[nodiscard]] bool legacy_mode() const { return legacy_; }
@@ -247,6 +266,10 @@ class BufferPool {
   PayloadBuf* free_[kClassCount] = {};
   std::vector<Slab> slabs_;
   BufferPoolStats stats_;
+  /// Treiber stack of blocks released by foreign partition workers
+  /// (multi-producer push, single-consumer exchange in the owner's
+  /// epoch hook — the only remover, so no ABA window).
+  std::atomic<PayloadBuf*> remote_free_{nullptr};
 };
 
 /// Heap-owned (non-pooled) single-extent payload — for tests and the

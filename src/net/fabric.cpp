@@ -2,19 +2,100 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace prdma::net {
 
-void Fabric::register_node(NodeId id, std::function<void(Packet)> deliver) {
-  sinks_[id] = std::move(deliver);
+Fabric::NodeCtx& Fabric::ctx(NodeId id) {
+  if (id >= nodes_.size()) nodes_.resize(id + 1);
+  return nodes_[id];
 }
 
-void Fabric::unregister_node(NodeId id) { sinks_[id] = nullptr; }
+void Fabric::register_node(NodeId id, sim::Simulator& sim,
+                           std::function<void(Packet)> deliver) {
+  NodeCtx& c = ctx(id);
+  c.sim = &sim;
+  c.sink = std::move(deliver);
+  if (c.tracer == nullptr) c.tracer = tracer_;
+  c.partition = engine_ != nullptr ? engine_->partition_of_node(id) : 0;
+  if (partitioned_) precreate_links(id);
+}
+
+void Fabric::unregister_node(NodeId id) { ctx(id).sink = nullptr; }
+
+void Fabric::precreate_links(NodeId id) {
+  // Worker threads of a multi-partition run probe links_ concurrently
+  // (one directed link's state is only ever *mutated* by its source
+  // partition, but the open-addressing probe walks shared slots), so
+  // the table must be frozen before run(): materialize both directions
+  // between `id` and every known node now, while still single-threaded.
+  for (std::size_t other = 0; other < nodes_.size(); ++other) {
+    if (other == id) continue;
+    state(id, static_cast<NodeId>(other));
+    state(static_cast<NodeId>(other), id);
+  }
+}
+
+void Fabric::bind_engine(sim::PartitionedEngine* engine, std::uint64_t seed) {
+  engine_ = engine;
+  link_seed_ = seed;
+  partitioned_ = engine != nullptr && engine->partitions() > 1;
+  for (std::size_t id = 0; id < nodes_.size(); ++id) {
+    nodes_[id].partition =
+        partitioned_ ? engine_->partition_of_node(id) : 0;
+  }
+  if (partitioned_) {
+    for (std::size_t id = 0; id < nodes_.size(); ++id) {
+      precreate_links(static_cast<NodeId>(id));
+    }
+  }
+}
+
+void Fabric::grow_links() {
+  std::vector<LinkSlot> old = std::move(links_);
+  links_ = std::vector<LinkSlot>(std::max<std::size_t>(16, old.size() * 2));
+  for (LinkSlot& slot : old) {
+    if (slot.key == kEmptyKey) continue;
+    std::size_t i = hash_key(slot.key) & (links_.size() - 1);
+    while (links_[i].key != kEmptyKey) i = (i + 1) & (links_.size() - 1);
+    links_[i] = std::move(slot);
+  }
+}
 
 Fabric::LinkState& Fabric::state(NodeId from, NodeId to) {
-  auto [it, inserted] = links_.try_emplace({from, to});
-  if (inserted) it->second.params = defaults_;
-  return it->second;
+  const std::uint64_t key = pack(from, to);
+  if (!links_.empty()) {
+    std::size_t i = hash_key(key) & (links_.size() - 1);
+    while (links_[i].key != kEmptyKey) {
+      if (links_[i].key == key) return links_[i].state;
+      i = (i + 1) & (links_.size() - 1);
+    }
+  }
+  // Miss: insert. On a multi-partition engine the table is frozen once
+  // workers run (register_node pre-created every directed pair), so an
+  // insert here from a worker thread is a bug — growing or writing the
+  // shared slot vector would race other partitions' probes.
+  if (partitioned_ && sim::current_engine_shard() != nullptr) {
+    throw std::logic_error(
+        "fabric link table insert during a partitioned run: packets may "
+        "only flow between nodes registered before Cluster::run()");
+  }
+  if (links_.empty() || (link_count_ + 1) * 4 > links_.size() * 3) {
+    grow_links();
+  }
+  std::size_t i = hash_key(key) & (links_.size() - 1);
+  while (links_[i].key != kEmptyKey) i = (i + 1) & (links_.size() - 1);
+  LinkSlot& slot = links_[i];
+  slot.key = key;
+  slot.state.params = defaults_;
+  if (partitioned_) {
+    // Order-independent per-link stream: a link's draws depend only on
+    // (seed, from, to), never on which partition touched it first.
+    slot.state.rng = std::make_unique<sim::Rng>(
+        hash_key(link_seed_ ^ (key * 0x9e3779b97f4a7c15ULL)));
+  }
+  ++link_count_;
+  return slot.state;
 }
 
 LinkParams& Fabric::link(NodeId from, NodeId to) {
@@ -23,15 +104,29 @@ LinkParams& Fabric::link(NodeId from, NodeId to) {
 
 void Fabric::for_all_links(const std::function<void(LinkParams&)>& fn) {
   fn(defaults_);
-  for (auto& [key, st] : links_) fn(st.params);
+  for (LinkSlot& slot : links_) {
+    if (slot.key != kEmptyKey) fn(slot.state.params);
+  }
+}
+
+sim::SimTime Fabric::min_propagation() const {
+  sim::SimTime m = defaults_.propagation;
+  for (const LinkSlot& slot : links_) {
+    if (slot.key != kEmptyKey) m = std::min(m, slot.state.params.propagation);
+  }
+  return m;
 }
 
 sim::SimTime Fabric::send(Packet p) {
+  NodeCtx& src = ctx(p.src);
+  // Unregistered senders (raw-fabric tests) run on the fabric's own
+  // simulator, matching the pre-partitioning behaviour.
+  sim::Simulator& ssim = src.sim != nullptr ? *src.sim : sim_;
   LinkState& lk = state(p.src, p.dst);
   const LinkParams& lp = lk.params;
 
   const std::uint64_t bytes = p.wire_bytes();
-  bytes_ += bytes;
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
 
   // Residual bandwidth after background traffic.
   const double load = std::clamp(lp.background_load, 0.0, 0.95);
@@ -40,8 +135,10 @@ sim::SimTime Fabric::send(Packet p) {
 
   // Serialization: this packet queues behind earlier ones in the same
   // direction.
-  const sim::SimTime tx_begin = std::max(sim_.now(), lk.busy_until);
+  const sim::SimTime tx_begin = std::max(ssim.now(), lk.busy_until);
   lk.busy_until = tx_begin + service;
+
+  sim::Rng& rng = lk.rng != nullptr ? *lk.rng : rng_;
 
   // M/M/1-flavoured queueing behind background traffic: expected wait
   // of load/(1-load) service times, sampled exponentially.
@@ -50,35 +147,48 @@ sim::SimTime Fabric::send(Packet p) {
     const double mean_wait =
         load / (1.0 - load) *
         static_cast<double>(std::max<sim::SimTime>(service, 200));
-    queueing = static_cast<sim::SimTime>(rng_.exponential(mean_wait));
+    queueing = static_cast<sim::SimTime>(rng.exponential(mean_wait));
   }
 
-  const double jitter = rng_.lognormal_jitter(lp.jitter_sigma);
+  double jitter = rng.lognormal_jitter(lp.jitter_sigma);
+  // Conservative lookahead floor: a partitioned run promises every
+  // arrival lands at least propagation/2 after the send, so the jitter
+  // multiplier cannot shrink the flight below half the nominal delay
+  // (an astronomically rare tail at the modelled sigmas).
+  if (partitioned_ && jitter < 0.5) jitter = 0.5;
   const auto flight = static_cast<sim::SimTime>(
       static_cast<double>(lp.propagation + queueing) * jitter);
   const sim::SimTime arrival = tx_begin + service + flight;
 
-  if (tracer_) {
-    tracer_->span(trace::Component::kNetSerialize, p.seq, tx_begin,
-                  tx_begin + service, static_cast<std::uint16_t>(p.src));
-    tracer_->span(trace::Component::kNetFlight, p.seq, tx_begin + service,
-                  arrival, static_cast<std::uint16_t>(p.src));
+  if (src.tracer != nullptr) {
+    src.tracer->span(trace::Component::kNetSerialize, p.seq, tx_begin,
+                     tx_begin + service, static_cast<std::uint16_t>(p.src));
+    src.tracer->span(trace::Component::kNetFlight, p.seq, tx_begin + service,
+                     arrival, static_cast<std::uint16_t>(p.src));
   }
 
-  if (lp.loss_probability > 0.0 && rng_.bernoulli(lp.loss_probability)) {
-    ++dropped_;
+  if (lp.loss_probability > 0.0 && rng.bernoulli(lp.loss_probability)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return lk.busy_until;
   }
 
-  sim_.schedule_at(arrival, [this, p = std::move(p)]() mutable {
-    const auto it = sinks_.find(p.dst);
-    if (it == sinks_.end() || !it->second) {
-      ++dropped_;  // destination crashed/unregistered
+  NodeCtx& dst = ctx(p.dst);
+  auto deliver = [this, p = std::move(p)]() mutable {
+    const NodeCtx& d = nodes_[p.dst];
+    if (!d.sink) {
+      // destination crashed/unregistered
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    ++delivered_;
-    it->second(std::move(p));
-  });
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    d.sink(std::move(p));
+  };
+  if (!partitioned_ || dst.partition == src.partition) {
+    ssim.schedule_at(arrival, std::move(deliver));
+  } else {
+    engine_->schedule_remote(src.partition, dst.partition, arrival,
+                             sim::InlineTask(std::move(deliver)));
+  }
   return lk.busy_until;
 }
 

@@ -1,12 +1,14 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "net/packet.hpp"
+#include "sim/partitioned_engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "trace/tracer.hpp"
@@ -33,6 +35,19 @@ struct LinkParams {
 /// busy-until horizon), so a large transfer delays packets behind it on
 /// the same direction but not reverse traffic — matching full-duplex
 /// links.
+///
+/// Link state lives in a flat open-addressing table keyed on the
+/// packed 64-bit (from,to) id: state() is the per-packet hot path and
+/// used to walk a red-black tree per send (see engine_perf's
+/// data-plane section for the pinned lookup cost).
+///
+/// Under a multi-partition engine (bind_engine), the fabric is the
+/// cross-partition boundary: a send whose destination lives in another
+/// partition is routed through the engine's per-edge outboxes, link
+/// noise draws come from per-link RNG streams (seeded order-
+/// independently from (seed, from, to)), and the jitter multiplier is
+/// clamped to >= 0.5 so every arrival respects the conservative
+/// lookahead of half the propagation delay.
 class Fabric {
  public:
   Fabric(sim::Simulator& sim, sim::Rng& rng, LinkParams defaults)
@@ -41,15 +56,22 @@ class Fabric {
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  /// Registers the packet sink of a node's RNIC.
-  void register_node(NodeId id, std::function<void(Packet)> deliver);
+  /// Registers the packet sink of a node's RNIC together with the
+  /// simulator shard its events must run on.
+  void register_node(NodeId id, sim::Simulator& sim,
+                     std::function<void(Packet)> deliver);
+  /// Legacy two-argument form: the node runs on the fabric's own
+  /// (construction) simulator.
+  void register_node(NodeId id, std::function<void(Packet)> deliver) {
+    register_node(id, sim_, std::move(deliver));
+  }
 
   /// Removes a node from the fabric (crashed); packets in flight to it
   /// are dropped on arrival until it re-registers.
   void unregister_node(NodeId id);
 
   [[nodiscard]] bool node_registered(NodeId id) const {
-    return sinks_.contains(id) && sinks_.at(id) != nullptr;
+    return id < nodes_.size() && nodes_[id].sink != nullptr;
   }
 
   /// Transmits `p`; delivery is scheduled per the link model. Returns
@@ -63,30 +85,101 @@ class Fabric {
   /// Applies `fn` to the default parameters and every existing link.
   void for_all_links(const std::function<void(LinkParams&)>& fn);
 
-  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_; }
-  [[nodiscard]] std::uint64_t packets_dropped() const { return dropped_; }
-  [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_; }
+  /// Minimum one-way propagation over the defaults and every existing
+  /// link override — the engine's conservative lookahead is derived
+  /// from it (links created after this call inherit the defaults, so
+  /// the bound stays valid).
+  [[nodiscard]] sim::SimTime min_propagation() const;
 
-  /// Attaches a tracer; send() records serialization + flight spans.
-  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+  [[nodiscard]] std::uint64_t packets_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t packets_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bytes_carried() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches the default tracer; send() records serialization +
+  /// flight spans on the source node's track.
+  void set_tracer(trace::Tracer* tracer) {
+    tracer_ = tracer;
+    for (auto& ctx : nodes_) {
+      if (ctx.tracer == nullptr) ctx.tracer = tracer;
+    }
+  }
+
+  /// Per-node tracer override: spans for packets *sent by* `id` are
+  /// recorded here (each partition records into its own shard tracer).
+  void set_node_tracer(NodeId id, trace::Tracer* tracer) {
+    ctx(id).tracer = tracer;
+  }
+
+  /// Routes cross-partition sends through `engine` and switches link
+  /// noise to per-link RNG streams derived from `seed`. Call before
+  /// any link state exists (Cluster construction). On a multi-partition
+  /// engine this also freezes the link table against insertion during
+  /// run(): every directed pair is pre-created here and at each
+  /// register_node(), and state() throws if a worker-thread send would
+  /// insert (worker threads probe the open-addressing table
+  /// concurrently, so it must not grow or gain slots mid-run).
+  void bind_engine(sim::PartitionedEngine* engine, std::uint64_t seed);
 
  private:
   struct LinkState {
     LinkParams params;
     sim::SimTime busy_until = 0;
+    /// Partitioned runs only: this link's private noise stream.
+    std::unique_ptr<sim::Rng> rng;
   };
 
+  struct NodeCtx {
+    sim::Simulator* sim = nullptr;
+    std::function<void(Packet)> sink;
+    trace::Tracer* tracer = nullptr;
+    std::size_t partition = 0;
+  };
+
+  static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
+
+  static std::uint64_t pack(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+  static std::size_t hash_key(std::uint64_t key) {
+    // splitmix64 finalizer — avalanches the packed id so linear
+    // probing stays short for clustered node ids.
+    key ^= key >> 30;
+    key *= 0xbf58476d1ce4e5b9ULL;
+    key ^= key >> 27;
+    key *= 0x94d049bb133111ebULL;
+    key ^= key >> 31;
+    return static_cast<std::size_t>(key);
+  }
+
   LinkState& state(NodeId from, NodeId to);
+  void grow_links();
+  void precreate_links(NodeId id);
+  NodeCtx& ctx(NodeId id);
+
+  struct LinkSlot {
+    std::uint64_t key = kEmptyKey;
+    LinkState state;
+  };
 
   sim::Simulator& sim_;
   sim::Rng& rng_;
   LinkParams defaults_;
-  std::map<NodeId, std::function<void(Packet)>> sinks_;
-  std::map<std::pair<NodeId, NodeId>, LinkState> links_;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t bytes_ = 0;
+  std::vector<NodeCtx> nodes_;  ///< indexed by NodeId
+  std::vector<LinkSlot> links_;  ///< open addressing, power-of-two size
+  std::size_t link_count_ = 0;
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> bytes_{0};
   trace::Tracer* tracer_ = nullptr;
+  sim::PartitionedEngine* engine_ = nullptr;
+  std::uint64_t link_seed_ = 0;
+  bool partitioned_ = false;
 };
 
 }  // namespace prdma::net

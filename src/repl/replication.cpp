@@ -54,7 +54,7 @@ ReplicaSet::ReplicaSet(core::Cluster& cluster, core::FlushVariant v,
   for (std::size_t r = 0; r < cfg_.replicas; ++r) {
     servers_.push_back(
         std::make_unique<core::DurableRpcServer>(cluster_, r, v, params));
-    up_.push_back(std::make_unique<sim::Event>(cluster_.sim()));
+    up_.push_back(std::make_unique<sim::Event>(cluster_.sim_of(r)));
     up_.back()->set();
     server_up_.push_back(true);
     node_alive_.push_back(true);
@@ -125,7 +125,7 @@ void ReplicaSet::crash_replica(std::size_t r, SimTime restart_delay) {
   }
   ++crashes_;
   for (auto& fn : crash_observers_) fn(r);
-  cluster_.sim().schedule(restart_delay, [this, r, my_epoch] {
+  cluster_.sim_of(r).schedule(restart_delay, [this, r, my_epoch] {
     sim::spawn(recover_replica(r, my_epoch));
   });
 }
@@ -183,8 +183,8 @@ Task<RpcResult> ReplicatedClient::read_head(RpcRequest req) {
 }
 
 Task<RpcResult> ReplicatedClient::write_txn(RpcRequest req) {
-  auto& sim = set_.cluster_.sim();
-  trace::Tracer& tracer = set_.cluster_.tracer();
+  auto& sim = set_.cluster_.sim_of(app_idx_);
+  trace::Tracer& tracer = set_.cluster_.tracer_of(app_idx_);
   const std::size_t replicas = hops_.size();
 
   const std::uint64_t txn = next_txn_++;
@@ -254,36 +254,39 @@ Task<RpcResult> ReplicatedClient::write_txn(RpcRequest req) {
 
 Task<> ReplicatedClient::mirror_hop(std::size_t h, RpcRequest req,
                                     std::uint64_t txn, sim::WaitGroup& wg) {
-  const SimTime f0 = set_.cluster_.sim().now();
+  const SimTime f0 = set_.cluster_.sim_of(hop_host_[h]).now();
   const RpcResult r = co_await hop_write(h, req);
   txns_[txn].seq_on[h] = r.tag;
   if (h > 0) {
-    set_.cluster_.tracer().span(trace::Component::kReplForward, txn, f0,
-                                set_.cluster_.sim().now(),
-                                track_of(hop_host_[h]));
+    set_.cluster_.tracer_of(hop_host_[h])
+        .span(trace::Component::kReplForward, txn, f0,
+              set_.cluster_.sim_of(hop_host_[h]).now(),
+              track_of(hop_host_[h]));
   }
   wg.done();
 }
 
 Task<> ReplicatedClient::chain_tail(RpcRequest req, std::uint64_t txn) {
   for (std::size_t h = 1; h < hops_.size(); ++h) {
-    const SimTime f0 = set_.cluster_.sim().now();
+    const SimTime f0 = set_.cluster_.sim_of(hop_host_[h]).now();
     const RpcResult r = co_await hop_write(h, req);
     txns_[txn].seq_on[h] = r.tag;
-    set_.cluster_.tracer().span(trace::Component::kReplForward, txn, f0,
-                                set_.cluster_.sim().now(),
-                                track_of(hop_host_[h]));
+    set_.cluster_.tracer_of(hop_host_[h])
+        .span(trace::Component::kReplForward, txn, f0,
+              set_.cluster_.sim_of(hop_host_[h]).now(),
+              track_of(hop_host_[h]));
   }
 }
 
 Task<> ReplicatedClient::mirror_tail(std::size_t h, RpcRequest req,
                                      std::uint64_t txn) {
-  const SimTime f0 = set_.cluster_.sim().now();
+  const SimTime f0 = set_.cluster_.sim_of(hop_host_[h]).now();
   const RpcResult r = co_await hop_write(h, req);
   txns_[txn].seq_on[h] = r.tag;
-  set_.cluster_.tracer().span(trace::Component::kReplForward, txn, f0,
-                              set_.cluster_.sim().now(),
-                              track_of(hop_host_[h]));
+  set_.cluster_.tracer_of(hop_host_[h])
+      .span(trace::Component::kReplForward, txn, f0,
+            set_.cluster_.sim_of(hop_host_[h]).now(),
+            track_of(hop_host_[h]));
 }
 
 Task<RpcResult> ReplicatedClient::hop_write(std::size_t h, RpcRequest req) {
@@ -295,7 +298,7 @@ Task<RpcResult> ReplicatedClient::hop_write(std::size_t h, RpcRequest req) {
       // On the replica's media before the lights went out: recovery
       // replayed it, nothing to re-send (§4.2).
       r.ok = true;
-      r.durable_at = set_.cluster_.sim().now();
+      r.durable_at = set_.cluster_.sim_of(hop_host_[h]).now();
       r.completed_at = r.durable_at;
       co_return r;
     }

@@ -19,7 +19,7 @@ Rnic::Rnic(sim::Simulator& sim, sim::Rng& rng, net::Fabric& fabric,
       mem_(memory),
       id_(id),
       params_(params) {
-  fabric_.register_node(id_, [this](Packet p) { on_packet(std::move(p)); });
+  fabric_.register_node(id_, sim_, [this](Packet p) { on_packet(std::move(p)); });
 }
 
 Rnic::~Rnic() { fabric_.unregister_node(id_); }
@@ -896,7 +896,7 @@ void Rnic::restart() {
   if (alive_) return;
   alive_ = true;
   ++epoch_;
-  fabric_.register_node(id_, [this](Packet p) { on_packet(std::move(p)); });
+  fabric_.register_node(id_, sim_, [this](Packet p) { on_packet(std::move(p)); });
 }
 
 }  // namespace prdma::rnic

@@ -140,9 +140,10 @@ std::unique_ptr<BaselineClient> BaselineServer::connect_client(
   auto conn = std::make_unique<Conn>(server_, layout);
   conn->idx = conns_.size();
   conn->client = &client_node;
-  conn->scq = std::make_unique<rnic::Cq>(cluster_.sim());
-  conn->rcq = std::make_unique<rnic::Cq>(cluster_.sim());
-  conn->arrivals = std::make_unique<sim::Channel<std::uint64_t>>(cluster_.sim());
+  conn->scq = std::make_unique<rnic::Cq>(server_.simulator());
+  conn->rcq = std::make_unique<rnic::Cq>(server_.simulator());
+  conn->arrivals =
+      std::make_unique<sim::Channel<std::uint64_t>>(server_.simulator());
   conn->stage_addr = server_.dram_alloc().alloc(params_.max_payload + 64, 64);
   conn->result_base = server_.dram_alloc().alloc(params_.max_payload + 64, 64);
   conn->warmup_base = server_.dram_alloc().alloc(64, 64);
@@ -158,7 +159,7 @@ std::unique_ptr<BaselineClient> BaselineServer::connect_client(
 
   conns_.push_back(std::move(conn));
   Conn& c = *conns_.back();
-  c.completer = std::make_unique<rdma::Completer>(cluster_.sim(), *c.scq);
+  c.completer = std::make_unique<rdma::Completer>(server_.simulator(), *c.scq);
   c.client_resp_base = client->resp_base_;
   c.client_warmup_ack = client->warmup_ack_addr_;
   c.client_staging = client->staging_base_;
@@ -196,7 +197,7 @@ std::unique_ptr<BaselineClient> BaselineServer::connect_client(
   c.session = std::make_unique<rdma::QpSession>(server_.rnic(), *server_qp,
                                                 *c.completer);
   client->completer_ =
-      std::make_unique<rdma::Completer>(cluster_.sim(), client->scq_);
+      std::make_unique<rdma::Completer>(client_node.simulator(), client->scq_);
   client->session_ = std::make_unique<rdma::QpSession>(
       client_node.rnic(), *client_qp, *client->completer_);
 
@@ -288,7 +289,7 @@ sim::Task<> BaselineServer::recover_and_restart() {
   running_ = true;
   for (auto& conn : conns_) {
     conn->completer =
-        std::make_unique<rdma::Completer>(cluster_.sim(), *conn->scq);
+        std::make_unique<rdma::Completer>(server_.simulator(), *conn->scq);
   }
   co_return;
 }
@@ -316,7 +317,7 @@ void BaselineServer::reconnect_client(core::RpcClient& rpc_client) {
   conn.session = std::make_unique<rdma::QpSession>(server_.rnic(), *server_qp,
                                                    *conn.completer);
   client.completer_ =
-      std::make_unique<rdma::Completer>(cluster_.sim(), client.scq_);
+      std::make_unique<rdma::Completer>(client.node_.simulator(), client.scq_);
   client.session_ = std::make_unique<rdma::QpSession>(
       client.node_.rnic(), *client_qp, *client.completer_);
   if (config_.respond == BaselineConfig::Respond::kUdSend) {
@@ -346,7 +347,7 @@ sim::Task<> BaselineServer::conn_loop_poll(Conn& conn) {
     auto seq = co_await conn.arrivals->recv();
     if (!seq.has_value() || epoch != epoch_) break;
     const std::uint64_t sw0 = host.charged_ns();
-    const sim::SimTime crit_t0 = cluster_.sim().now();
+    const sim::SimTime crit_t0 = server_.simulator().now();
     co_await host.charge_poll();
     co_await host.exec(host.params().handler_cost);
     if (epoch != epoch_) break;
@@ -354,9 +355,10 @@ sim::Task<> BaselineServer::conn_loop_poll(Conn& conn) {
     if (!e.has_value()) continue;
     co_await handle_and_respond(conn, *e);
     stats_.critical_sw_ns += host.charged_ns() - sw0;
-    cluster_.tracer().span_charged(
-        trace::Component::kReceiverSw, *seq, crit_t0, host.charged_ns() - sw0,
-        static_cast<std::uint16_t>(server_.id()));
+    cluster_.tracer_of(server_.id())
+        .span_charged(trace::Component::kReceiverSw, *seq, crit_t0,
+                      host.charged_ns() - sw0,
+                      static_cast<std::uint16_t>(server_.id()));
   }
 }
 
@@ -370,7 +372,7 @@ sim::Task<> BaselineServer::conn_loop_wc(Conn& conn) {
     if (!wc.has_value() || epoch != epoch_) break;
     if (wc->status != rnic::WcStatus::kSuccess) continue;
     const std::uint64_t sw0 = host.charged_ns();
-    const sim::SimTime crit_t0 = cluster_.sim().now();
+    const sim::SimTime crit_t0 = server_.simulator().now();
     co_await host.charge_recv_handler();
     if (epoch != epoch_) break;
 
@@ -392,9 +394,10 @@ sim::Task<> BaselineServer::conn_loop_wc(Conn& conn) {
       co_await handle_and_respond(conn, *e);
     }
     stats_.critical_sw_ns += host.charged_ns() - sw0;
-    cluster_.tracer().span_charged(
-        trace::Component::kReceiverSw, e ? e->seq : 0, crit_t0,
-        host.charged_ns() - sw0, static_cast<std::uint16_t>(server_.id()));
+    cluster_.tracer_of(server_.id())
+        .span_charged(trace::Component::kReceiverSw, e ? e->seq : 0, crit_t0,
+                      host.charged_ns() - sw0,
+                      static_cast<std::uint16_t>(server_.id()));
     if (config_.detect == BaselineConfig::Detect::kRecv) {
       server_.rnic().post_recv(*conn.qp, wc->local_addr, slot_bytes, 0);
     }
@@ -407,7 +410,8 @@ sim::Task<> BaselineServer::warmup_loop(Conn& conn) {
   // RDMA read, then acknowledges with a small write.
   auto& host = server_.host();
   Conn* c = &conn;
-  conn.warmup_ch = std::make_unique<sim::Channel<std::uint64_t>>(cluster_.sim());
+  conn.warmup_ch =
+      std::make_unique<sim::Channel<std::uint64_t>>(server_.simulator());
   conn.warmup_watch = server_.mem().add_watch(conn.warmup_base, 24, [this, c] {
     const std::uint64_t wseq = core::load_u64(server_.mem(), c->warmup_base);
     if (wseq > c->warmup_seen) {
@@ -501,8 +505,8 @@ BaselineClient::BaselineClient(BaselineServer& server, core::Node& node,
     : server_(server),
       node_(node),
       conn_idx_(idx),
-      scq_(server.cluster_.sim()),
-      rcq_(server.cluster_.sim()) {
+      scq_(node.simulator()),
+      rcq_(node.simulator()) {
   const auto& p = server.params_;
   const std::uint64_t image_cap =
       LogLayout{0, kRingSlots, p.max_payload}.slot_bytes();
@@ -596,7 +600,7 @@ sim::Task<bool> BaselineClient::await_response(std::uint64_t seq,
         if (core::load_u64(node_.mem(), resp_slot_addr + resp_len) == seq) {
           co_return true;
         }
-        co_await sim::delay(server_.cluster_.sim(), kReadPollBackoff);
+        co_await sim::delay(node_.simulator(), kReadPollBackoff);
       }
     }
     case BaselineConfig::Respond::kWriteImm: {
@@ -633,7 +637,7 @@ sim::Task<RpcResult> BaselineClient::do_call(RpcOp op, std::uint64_t obj_id,
                                              std::uint32_t batch) {
   const auto& cfg = server_.config_;
   auto& conn = *server_.conns_[conn_idx_];
-  auto& sim = server_.cluster_.sim();
+  auto& sim = node_.simulator();
   RpcResult res;
   res.issued_at = sim.now();
 

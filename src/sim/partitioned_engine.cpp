@@ -1,0 +1,255 @@
+#include "sim/partitioned_engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace prdma::sim {
+
+namespace {
+
+thread_local const void* t_current_shard = nullptr;
+
+/// Sense-reversing spin barrier. Workers spin a short budget before
+/// yielding, so an oversubscribed host (CI runners, TSan builds) makes
+/// progress instead of burning whole quanta.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int total) : total_(total) {}
+
+  /// `local_sense` is per-thread per-barrier state (starts at 0).
+  /// The last arriver runs `last_fn` before releasing the others.
+  template <typename F>
+  void arrive(int& local_sense, F&& last_fn) {
+    local_sense ^= 1;
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == total_) {
+      count_.store(0, std::memory_order_relaxed);
+      last_fn();
+      sense_.store(local_sense, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) != local_sense) {
+        if (++spins > 128) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+ private:
+  std::atomic<int> count_{0};
+  std::atomic<int> sense_{0};
+  int total_;
+};
+
+}  // namespace
+
+const void* current_engine_shard() noexcept { return t_current_shard; }
+
+namespace detail {
+void set_current_engine_shard(const void* shard) noexcept {
+  t_current_shard = shard;
+}
+}  // namespace detail
+
+PartitionedEngine::PartitionedEngine(std::size_t node_count, EngineConfig cfg)
+    : threads_(std::max(1u, cfg.threads)) {
+  bool per_node = false;
+  switch (cfg.partitioning) {
+    case EngineConfig::Partitioning::kAuto:
+      per_node = threads_ > 1;
+      break;
+    case EngineConfig::Partitioning::kSingle:
+      per_node = false;
+      break;
+    case EngineConfig::Partitioning::kPerNode:
+      per_node = true;
+      break;
+  }
+  const std::size_t partitions =
+      per_node ? std::max<std::size_t>(1, node_count) : 1;
+  shards_.reserve(partitions);
+  for (std::size_t p = 0; p < partitions; ++p) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  part_of_.resize(std::max<std::size_t>(1, node_count));
+  for (std::size_t n = 0; n < part_of_.size(); ++n) {
+    part_of_[n] = per_node ? n : 0;
+  }
+  out_.resize(partitions * partitions);
+  hooks_.resize(partitions);
+}
+
+void PartitionedEngine::set_epoch_hook(std::size_t partition,
+                                       std::function<void()> fn) {
+  hooks_[partition] = std::move(fn);
+}
+
+void PartitionedEngine::schedule_remote(std::size_t src, std::size_t dst,
+                                        SimTime t, InlineTask fn) {
+  const SimTime h = horizon_.load(std::memory_order_relaxed);
+  if (t < h) {
+    throw std::logic_error(
+        "lookahead violation: cross-partition event at t=" + std::to_string(t) +
+        " is below the epoch horizon " + std::to_string(h) +
+        " (link propagation shorter than the conservative lookahead?)");
+  }
+  out_[src * shards_.size() + dst].items.emplace_back(t, std::move(fn));
+}
+
+void PartitionedEngine::merge_outboxes_into(std::size_t dst) {
+  const std::size_t P = shards_.size();
+  for (std::size_t src = 0; src < P; ++src) {
+    Outbox& box = out_[src * P + dst];
+    for (auto& [t, fn] : box.items) {
+      shards_[dst]->schedule_at(t, std::move(fn));
+    }
+    box.items.clear();
+  }
+}
+
+void PartitionedEngine::run() {
+  if (shards_.size() == 1) {
+    shards_[0]->run();
+    if (hooks_[0]) hooks_[0]();
+    return;
+  }
+  run_partitioned();
+}
+
+void PartitionedEngine::run_partitioned() {
+  const std::size_t P = shards_.size();
+  if (lookahead_ < 1) {
+    throw std::logic_error(
+        "partitioned run requires a lookahead >= 1 ns (links with zero "
+        "propagation delay cannot be partitioned conservatively)");
+  }
+  const auto T = static_cast<std::size_t>(std::min<unsigned>(
+      threads_, static_cast<unsigned>(P)));
+  if (!pool_ || pool_->size() < T) pool_ = std::make_unique<ThreadPool>(T);
+
+  // Setup-phase sends (coroutines started eagerly before run) may have
+  // parked cross-partition events already; merge them before computing
+  // the first epoch so none lands behind a shard clock.
+  for (std::size_t p = 0; p < P; ++p) merge_outboxes_into(p);
+
+  SimTime t0 = kNever;
+  for (const auto& s : shards_) {
+    if (s->pending() > 0) t0 = std::min(t0, s->next_event_time());
+  }
+  if (t0 == kNever) {
+    for (std::size_t p = 0; p < P; ++p) {
+      if (hooks_[p]) hooks_[p]();
+    }
+    return;
+  }
+  horizon_.store(t0 + lookahead_, std::memory_order_relaxed);
+
+  SpinBarrier phase_a_done(static_cast<int>(T));
+  SpinBarrier epoch_done(static_cast<int>(T));
+  std::vector<SimTime> local_min(P, kNever);
+  std::atomic<bool> done{false};
+  std::atomic<bool> abort{false};
+  std::mutex err_mu;
+  std::exception_ptr err;
+  std::size_t err_part = SIZE_MAX;
+
+  const auto record_error = [&](std::size_t p) {
+    std::lock_guard lock(err_mu);
+    if (!err || p < err_part) {
+      err = std::current_exception();
+      err_part = p;
+    }
+    abort.store(true, std::memory_order_relaxed);
+  };
+
+  const auto worker = [&](std::size_t w) {
+    int sense_a = 0;
+    int sense_b = 0;
+    for (;;) {
+      const SimTime horizon = horizon_.load(std::memory_order_relaxed);
+      // Phase A: advance owned partitions through [now, horizon).
+      if (!abort.load(std::memory_order_relaxed)) {
+        for (std::size_t p = w; p < P; p += T) {
+          detail::set_current_engine_shard(shards_[p].get());
+          try {
+            shards_[p]->run_until(horizon - 1);
+          } catch (...) {
+            record_error(p);
+          }
+          detail::set_current_engine_shard(nullptr);
+        }
+      }
+      phase_a_done.arrive(sense_a, [] {});
+      // Phase B: merge inbound events, run epoch hooks, report the
+      // local minimum for the next epoch's horizon.
+      for (std::size_t p = w; p < P; p += T) {
+        detail::set_current_engine_shard(shards_[p].get());
+        try {
+          merge_outboxes_into(p);
+          if (hooks_[p]) hooks_[p]();
+        } catch (...) {
+          record_error(p);
+        }
+        local_min[p] =
+            shards_[p]->pending() > 0 ? shards_[p]->next_event_time() : kNever;
+        detail::set_current_engine_shard(nullptr);
+      }
+      epoch_done.arrive(sense_b, [&] {
+        SimTime next = kNever;
+        for (const SimTime m : local_min) next = std::min(next, m);
+        if (next == kNever || abort.load(std::memory_order_relaxed)) {
+          done.store(true, std::memory_order_relaxed);
+        } else {
+          horizon_.store(next + lookahead_, std::memory_order_relaxed);
+        }
+      });
+      if (done.load(std::memory_order_relaxed)) return;
+    }
+  };
+
+  std::vector<std::future<void>> running;
+  running.reserve(T);
+  for (std::size_t w = 0; w < T; ++w) {
+    running.push_back(pool_->submit([&worker, w] { worker(w); }));
+  }
+  for (auto& f : running) f.get();
+  horizon_.store(0, std::memory_order_relaxed);
+  if (err) std::rethrow_exception(err);
+  // Termination only inspects shard heaps (local_min), so an epoch
+  // hook that pushed into an outbox after its destination merged would
+  // be silently dropped — hooks must not schedule events; fail loudly
+  // if one did.
+  for (const Outbox& box : out_) {
+    if (!box.items.empty()) {
+      throw std::logic_error(
+          "partitioned run terminated with unmerged cross-partition "
+          "events: epoch hooks must not call schedule_remote/schedule_at");
+    }
+  }
+}
+
+std::uint64_t PartitionedEngine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->events_executed();
+  return total;
+}
+
+std::uint64_t PartitionedEngine::pool_allocations() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->pool_allocations();
+  return total;
+}
+
+SimTime PartitionedEngine::max_now() const {
+  SimTime t = 0;
+  for (const auto& s : shards_) t = std::max(t, s->now());
+  return t;
+}
+
+}  // namespace prdma::sim

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/inline_function.hpp"
+#include "sim/simulator.hpp"
+#include "sim/thread_pool.hpp"
+#include "sim/time.hpp"
+
+namespace prdma::sim {
+
+/// How a PartitionedEngine maps nodes to event-queue partitions.
+struct EngineConfig {
+  /// Worker threads advancing the partitions. 1 keeps the engine on a
+  /// single partition — bit-identical to a plain Simulator run.
+  unsigned threads = 1;
+
+  enum class Partitioning : std::uint8_t {
+    /// threads <= 1 -> one partition (legacy-exact); otherwise one
+    /// partition per node.
+    kAuto,
+    /// Force every node into partition 0 regardless of thread count.
+    /// Used by workloads whose coroutines migrate between nodes (chain
+    /// replication hosts hop clients on forwarder nodes), where
+    /// conservative per-node partitioning cannot apply.
+    kSingle,
+    /// One partition per node even at threads == 1 (tests).
+    kPerNode,
+  };
+  Partitioning partitioning = Partitioning::kAuto;
+};
+
+/// Shard token of the worker thread currently executing simulation
+/// events: the partition's Simulator*, or nullptr outside engine
+/// phases (setup, teardown, plain serial runs). Layers that hand
+/// resources between nodes (BufferPool recycling) use it to detect a
+/// foreign-partition release.
+[[nodiscard]] const void* current_engine_shard() noexcept;
+
+namespace detail {
+void set_current_engine_shard(const void* shard) noexcept;
+}
+
+/// Conservative-lookahead parallel discrete-event engine (DESIGN.md
+/// §7.5): one Simulator shard per partition, advanced in epochs by a
+/// worker pool. Every epoch executes events in [T, T+L) where T is the
+/// global minimum pending timestamp and L the fabric lookahead (half
+/// the minimum link propagation delay), then merges cross-partition
+/// events at a barrier. Cross-partition schedules are routed through
+/// per-(src,dst) outboxes and merged in (time arrival order is handled
+/// by the destination heap; same-timestamp ties resolve in (src
+/// partition, push index) order) — a pure function of the schedule, so
+/// every multi-partition run is byte-identical at any thread count,
+/// and noise-free runs (jitter sigma 0, no loss/load draws) are
+/// additionally byte-identical to the serial engine. Noisy cells are
+/// deterministic but draw from per-link RNG streams instead of the
+/// serial engine's shared stream, so their serial output differs
+/// (DESIGN.md §7.5).
+///
+/// With one partition the engine is exactly a Simulator: run() calls
+/// shard(0).run() with no epoch machinery, no barriers and no atomics
+/// on the hot path.
+class PartitionedEngine {
+ public:
+  PartitionedEngine(std::size_t node_count, EngineConfig cfg);
+  PartitionedEngine(const PartitionedEngine&) = delete;
+  PartitionedEngine& operator=(const PartitionedEngine&) = delete;
+
+  [[nodiscard]] std::size_t partitions() const { return shards_.size(); }
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+  [[nodiscard]] Simulator& shard(std::size_t p) { return *shards_[p]; }
+  [[nodiscard]] Simulator& shard_of_node(std::size_t node) {
+    return *shards_[part_of_[node]];
+  }
+  [[nodiscard]] std::size_t partition_of_node(std::size_t node) const {
+    return part_of_[node];
+  }
+
+  /// Conservative lookahead window L in simulated ns. Derived from the
+  /// fabric (half the minimum link propagation); must be >= 1 before a
+  /// multi-partition run.
+  void set_lookahead(SimTime l) { lookahead_ = l; }
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+
+  /// Per-partition epoch hook, run by the partition's worker at every
+  /// epoch barrier (phase B) and once after the run drains. Used to
+  /// hand back cross-partition resources (payload-pool remote frees).
+  /// Hooks must NOT schedule events (schedule_remote/schedule_at):
+  /// termination is decided from the shard heaps alone, so a
+  /// hook-scheduled event could be dropped or merged behind the
+  /// destination's clock; run() asserts all outboxes are empty at
+  /// termination to catch this.
+  void set_epoch_hook(std::size_t partition, std::function<void()> fn);
+
+  /// Routes a cross-partition schedule_at: called from `src`'s worker
+  /// during phase A, merged into `dst`'s shard at the next barrier.
+  /// Throws std::logic_error when `t` is below the current epoch
+  /// horizon — a lookahead violation would break conservative order.
+  void schedule_remote(std::size_t src, std::size_t dst, SimTime t,
+                       InlineTask fn);
+
+  /// Runs every shard to completion. Single partition: a plain
+  /// Simulator::run(). Multiple partitions: the epoch loop, using
+  /// `threads()` workers from an internal ThreadPool.
+  void run();
+
+  // ---- aggregate counters (sums over shards) ----
+
+  [[nodiscard]] std::uint64_t events_executed() const;
+  [[nodiscard]] std::uint64_t pool_allocations() const;
+  /// Max shard clock — an upper bound, not the last event time (idle
+  /// shards fast-forward to each epoch horizon).
+  [[nodiscard]] SimTime max_now() const;
+
+ private:
+  static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+  void run_partitioned();
+  void merge_outboxes_into(std::size_t dst);
+
+  unsigned threads_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::size_t> part_of_;  ///< node -> partition
+  /// Outbox (src * P + dst): filled single-producer by src's worker in
+  /// phase A, drained by dst's worker in phase B; the epoch barriers
+  /// order every access.
+  struct Outbox {
+    std::vector<std::pair<SimTime, InlineTask>> items;
+  };
+  std::vector<Outbox> out_;
+  std::vector<std::function<void()>> hooks_;
+  SimTime lookahead_ = 0;
+  std::atomic<SimTime> horizon_{0};
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace prdma::sim

@@ -116,6 +116,19 @@ void Tracer::record_counter(ComponentId id, sim::SimTime t,
   }
 }
 
+void Tracer::merge_totals_from(const Tracer& other) {
+  for (ComponentId id = 0; id < other.component_count(); ++id) {
+    const std::uint64_t total = other.total_ns(id);
+    const std::uint64_t samples = other.samples(id);
+    if (total == 0 && samples == 0) continue;
+    const ComponentId mine =
+        id < kPredefinedComponents ? id : intern(other.name_of(id));
+    if (mine >= totals_.size()) totals_.resize(mine + 1);
+    totals_[mine].total_ns += total;
+    totals_[mine].samples += samples;
+  }
+}
+
 void Tracer::push(const TraceEvent& ev) {
   ring_[head_ % ring_.size()] = ev;
   ++head_;

@@ -122,6 +122,15 @@ class Tracer {
     return id < totals_.size() ? totals_[id].last_value : 0;
   }
 
+  /// Folds another tracer's aggregate totals into this one (partition
+  /// shard tracers merging into the cluster's main tracer after a
+  /// parallel run). Predefined components add slot-wise; dynamic
+  /// components are matched by name (interned here on first sight), so
+  /// merging in partition order is deterministic. Counter last-values
+  /// and ring events are not merged — kFull tracing is confined to
+  /// single-partition runs.
+  void merge_totals_from(const Tracer& other);
+
   // ---- ring access (kFull only) ----
 
   /// Events still held by the ring, oldest first.

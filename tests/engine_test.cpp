@@ -1,0 +1,326 @@
+// Partitioned parallel event engine (src/sim/partitioned_engine.*,
+// DESIGN.md §7.5): partition mapping, the conservative epoch loop and
+// its per-edge outbox channels, the lookahead-violation guard, the
+// fabric's flat link table, the crash-coherence rule — and the
+// headline contract: a multi-node micro-benchmark cell is
+// byte-identical at --engine-threads 1, 2 and 8.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "bench_util/micro.hpp"
+#include "core/node.hpp"
+#include "net/fabric.hpp"
+#include "rpcs/registry.hpp"
+#include "sim/partitioned_engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace prdma {
+namespace {
+
+using sim::EngineConfig;
+using sim::PartitionedEngine;
+using Partitioning = sim::EngineConfig::Partitioning;
+
+EngineConfig per_node(unsigned threads) {
+  EngineConfig cfg;
+  cfg.threads = threads;
+  cfg.partitioning = Partitioning::kPerNode;
+  return cfg;
+}
+
+// ------------------------------------------------- partition mapping
+
+TEST(Engine, DefaultConfigIsOnePartitionRunLikeAPlainSimulator) {
+  PartitionedEngine eng(4, {});  // 1 thread, kAuto -> single partition
+  EXPECT_EQ(eng.partitions(), 1u);
+  for (std::size_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(eng.partition_of_node(n), 0u);
+    EXPECT_EQ(&eng.shard_of_node(n), &eng.shard(0));
+  }
+  std::vector<int> order;
+  eng.shard(0).schedule_at(50, [&order] { order.push_back(2); });
+  eng.shard_of_node(3).schedule_at(10, [&order] { order.push_back(1); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(eng.events_executed(), 2u);
+}
+
+TEST(Engine, AutoPartitioningShardsPerNodeOnlyWhenThreaded) {
+  EngineConfig threaded;
+  threaded.threads = 4;
+  PartitionedEngine eng(6, threaded);
+  EXPECT_EQ(eng.partitions(), 6u);
+  for (std::size_t n = 0; n < 6; ++n) EXPECT_EQ(eng.partition_of_node(n), n);
+
+  EngineConfig single;
+  single.threads = 4;
+  single.partitioning = Partitioning::kSingle;
+  PartitionedEngine forced(6, single);
+  EXPECT_EQ(forced.partitions(), 1u);
+}
+
+// --------------------------------------- outbox channels & determinism
+
+TEST(Engine, CrossPartitionTiesMergeInSrcThenPushOrder) {
+  // Four same-timestamp events from three source partitions: the merge
+  // must order them by (source partition, push index) — never by which
+  // worker got there first.
+  PartitionedEngine eng(3, per_node(2));
+  eng.set_lookahead(10);
+  std::vector<int> order;
+  eng.schedule_remote(2, 0, 5, [&order] { order.push_back(20); });
+  eng.schedule_remote(1, 0, 5, [&order] { order.push_back(10); });
+  eng.schedule_remote(2, 0, 5, [&order] { order.push_back(21); });
+  eng.schedule_remote(0, 0, 5, [&order] { order.push_back(1); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 10, 20, 21}));
+  EXPECT_EQ(eng.events_executed(), 4u);
+}
+
+TEST(Engine, CrossPartitionChannelsStayFifoUnderConcurrentSenders) {
+  // Three source partitions each stream 64 numbered events into
+  // partition 0 from their own worker; every (src -> 0) channel must
+  // deliver its sequence in push order across many epochs.
+  constexpr int kSteps = 64;
+  constexpr sim::SimTime kLookahead = 8;
+  PartitionedEngine eng(4, per_node(4));
+  eng.set_lookahead(kLookahead);
+  std::array<std::vector<int>, 4> got;
+  for (std::size_t src = 1; src < 4; ++src) {
+    auto step = std::make_shared<std::function<void(int)>>();
+    *step = [&eng, &got, src, step](int i) {
+      sim::Simulator& s = eng.shard(src);
+      // now + lookahead is always at/above the epoch horizon: legal.
+      eng.schedule_remote(src, 0, s.now() + kLookahead,
+                          [&got, src, i] { got[src].push_back(i); });
+      if (i + 1 < kSteps) {
+        s.schedule_at(s.now() + 3, [step, i] { (*step)(i + 1); });
+      }
+    };
+    eng.shard(src).schedule_at(1 + src, [step] { (*step)(0); });
+  }
+  eng.run();
+  for (std::size_t src = 1; src < 4; ++src) {
+    ASSERT_EQ(got[src].size(), static_cast<std::size_t>(kSteps)) << src;
+    for (int i = 0; i < kSteps; ++i) EXPECT_EQ(got[src][i], i) << src;
+  }
+}
+
+TEST(Engine, LookaheadViolationThrows) {
+  // An event at t=100 may not schedule into a sibling partition below
+  // the epoch horizon (100 + L) — conservative order would break.
+  PartitionedEngine eng(2, per_node(2));
+  eng.set_lookahead(10);
+  eng.shard(0).schedule_at(100, [&eng] {
+    eng.schedule_remote(0, 1, 105, [] {});
+  });
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(Engine, MultiPartitionRunRequiresALookahead) {
+  PartitionedEngine eng(2, per_node(2));
+  eng.shard(0).schedule_at(1, [] {});
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(Engine, EpochHooksRunOnEveryPartitionIncludingSerial) {
+  PartitionedEngine serial(2, {});
+  int serial_runs = 0;
+  serial.set_epoch_hook(0, [&serial_runs] { ++serial_runs; });
+  serial.run();
+  EXPECT_EQ(serial_runs, 1);
+
+  PartitionedEngine eng(2, per_node(2));
+  eng.set_lookahead(5);
+  std::array<int, 2> runs{0, 0};
+  eng.set_epoch_hook(0, [&runs] { ++runs[0]; });
+  eng.set_epoch_hook(1, [&runs] { ++runs[1]; });
+  eng.shard(0).schedule_at(3, [] {});
+  eng.shard(1).schedule_at(40, [] {});  // forces several epochs
+  eng.run();
+  EXPECT_GE(runs[0], 1);
+  EXPECT_GE(runs[1], 1);
+  EXPECT_EQ(eng.events_executed(), 2u);
+}
+
+TEST(Engine, EpochHookSchedulingIsCaughtAtTermination) {
+  // Termination is decided from the shard heaps alone, so an epoch
+  // hook that pushes into an outbox could have its event silently
+  // dropped — the engine must fail loudly instead.
+  PartitionedEngine eng(2, per_node(1));
+  eng.set_lookahead(5);
+  eng.shard(0).schedule_at(1, [] {});
+  bool pushed = false;
+  eng.set_epoch_hook(1, [&eng, &pushed] {
+    if (pushed) return;
+    pushed = true;
+    // Partition 0 has already merged this phase; with every heap
+    // drained the run would otherwise end with this event unmerged.
+    eng.schedule_remote(1, 0, 1'000'000, [] {});
+  });
+  EXPECT_THROW(eng.run(), std::logic_error);
+  EXPECT_TRUE(pushed);
+}
+
+// ------------------------------------------------- fabric link table
+
+TEST(Fabric, LinkTableGrowthPreservesEveryOverride) {
+  // Several hundred directed pairs force multiple rehashes of the flat
+  // open-addressing table; every override must survive, and the
+  // engine's lookahead bound must see the true minimum.
+  sim::Simulator s;
+  sim::Rng rng(7);
+  net::LinkParams def;
+  def.propagation = 2000;
+  net::Fabric f(s, rng, def);
+  constexpr std::uint32_t kPairs = 300;
+  for (std::uint32_t i = 0; i < kPairs; ++i) {
+    f.link(i * 7, i * 13 + 1).propagation = 1000 + i;
+  }
+  for (std::uint32_t i = 0; i < kPairs; ++i) {
+    EXPECT_EQ(f.link(i * 7, i * 13 + 1).propagation, 1000 + i) << i;
+  }
+  EXPECT_EQ(f.min_propagation(), 1000u);
+}
+
+TEST(Fabric, LinkTableIsFrozenDuringAPartitionedRun) {
+  // Worker threads probe the open-addressing table concurrently, so
+  // registration pre-creates every directed pair and a first-touch
+  // insert from inside a partitioned run must fail fast instead of
+  // racing a rehash.
+  sim::Rng rng(7);
+  PartitionedEngine eng(2, per_node(1));
+  eng.set_lookahead(5);
+  net::Fabric f(eng.shard(0), rng, net::LinkParams{});
+  f.bind_engine(&eng, 42);
+  f.register_node(0, eng.shard(0), [](net::Packet) {});
+  f.register_node(1, eng.shard(1), [](net::Packet) {});
+
+  // Pre-created pairs: looking one up mid-run is fine.
+  bool looked_up = false;
+  eng.shard(0).schedule_at(1, [&f, &looked_up] {
+    looked_up = f.link(0, 1).propagation > 0;
+  });
+  eng.run();
+  EXPECT_TRUE(looked_up);
+
+  // A link to a node never registered does not exist; creating it from
+  // a worker thread would mutate the shared table.
+  PartitionedEngine eng2(2, per_node(1));
+  eng2.set_lookahead(5);
+  net::Fabric f2(eng2.shard(0), rng, net::LinkParams{});
+  f2.bind_engine(&eng2, 42);
+  f2.register_node(0, eng2.shard(0), [](net::Packet) {});
+  f2.register_node(1, eng2.shard(1), [](net::Packet) {});
+  eng2.shard(0).schedule_at(1, [&f2] { (void)f2.link(0, 5); });
+  EXPECT_THROW(eng2.run(), std::logic_error);
+}
+
+// ------------------------------------------------ crash-coherence rule
+
+TEST(Engine, CrashHooksRefusedOnAPartitionedCluster) {
+  bench::MicroConfig mc;
+  mc.content_mode = mem::ContentMode::kFull;
+  const auto params = bench::params_for(mc);
+
+  EngineConfig cfg;
+  cfg.threads = 2;
+  core::Cluster parallel(params, 3, cfg);
+  EXPECT_EQ(parallel.engine().partitions(), 3u);
+  EXPECT_THROW(parallel.node(0).attach_crash_hook(), std::logic_error);
+  EXPECT_THROW((void)parallel.sim(), std::logic_error);
+
+  core::Cluster serial(params, 3);
+  serial.node(0).attach_crash_hook();  // single partition: accepted
+  EXPECT_EQ(&serial.sim(), &serial.sim_of(0));
+}
+
+// --------------------------------------------- end-to-end byte parity
+
+/// Noise-free (zero jitter/load/loss) fig08-style cell: the run
+/// consumes no fabric RNG draws at all, so serial and partitioned
+/// engines must agree on every model-visible stat bit for bit.
+bench::MicroConfig parity_config(unsigned threads, std::size_t clients = 3) {
+  bench::MicroConfig mc;
+  mc.objects = 512;
+  mc.object_size = 4096;
+  mc.ops = 600;
+  mc.clients = clients;
+  mc.jitter_sigma = 0.0;
+  mc.engine_threads = threads;
+  return mc;
+}
+
+/// Every model-visible field of a MicroResult. Host-allocator gauges
+/// (sim_pool_allocs, pool.outstanding_peak, pool.slab_bytes) are
+/// compared separately: sharding changes *where* slabs grow, not what
+/// the model computes, so they match across thread counts of the
+/// partitioned engine but not between serial and partitioned layouts.
+void expect_model_identical(const bench::MicroResult& a,
+                            const bench::MicroResult& b,
+                            std::string_view what) {
+  EXPECT_EQ(a.duration, b.duration) << what;
+  EXPECT_EQ(a.ops_completed, b.ops_completed) << what;
+  EXPECT_EQ(a.sim_events, b.sim_events) << what;
+  EXPECT_EQ(a.latency.count(), b.latency.count()) << what;
+  EXPECT_EQ(a.latency.sum(), b.latency.sum()) << what;
+  EXPECT_EQ(a.latency.min(), b.latency.min()) << what;
+  EXPECT_EQ(a.latency.max(), b.latency.max()) << what;
+  EXPECT_EQ(a.write_latency.sum(), b.write_latency.sum()) << what;
+  EXPECT_EQ(a.read_latency.sum(), b.read_latency.sum()) << what;
+  EXPECT_EQ(a.durable_latency.sum(), b.durable_latency.sum()) << what;
+  EXPECT_EQ(a.server.ops_processed, b.server.ops_processed) << what;
+  EXPECT_EQ(a.server.critical_sw_ns, b.server.critical_sw_ns) << what;
+  EXPECT_EQ(a.server.bytes_applied, b.server.bytes_applied) << what;
+  EXPECT_EQ(a.server.backlog_peak, b.server.backlog_peak) << what;
+  EXPECT_EQ(a.bytes_copied, b.bytes_copied) << what;
+  EXPECT_EQ(a.pool.acquires, b.pool.acquires) << what;
+  EXPECT_EQ(a.pool.recycles, b.pool.recycles) << what;
+  EXPECT_EQ(a.pool.oversize_allocs, b.pool.oversize_allocs) << what;
+  EXPECT_EQ(a.sender_sw_ns, b.sender_sw_ns) << what;
+  EXPECT_EQ(a.receiver_sw_ns, b.receiver_sw_ns) << what;
+  EXPECT_EQ(a.kops, b.kops) << what;
+}
+
+TEST(EngineParity, DurableCellsAreByteIdenticalAcrossThreadCounts) {
+  for (const rpcs::System s :
+       {rpcs::System::kWFlushRpc, rpcs::System::kSFlushRpc,
+        rpcs::System::kFaRM}) {
+    const auto r1 = bench::run_micro(s, parity_config(1));
+    const auto r2 = bench::run_micro(s, parity_config(2));
+    const auto r8 = bench::run_micro(s, parity_config(8));
+    expect_model_identical(r1, r2, rpcs::name_of(s));
+    expect_model_identical(r1, r8, rpcs::name_of(s));
+    // Between two partitioned runs the shard layout is identical, so
+    // even the allocator gauges must match exactly.
+    EXPECT_EQ(r2.sim_pool_allocs, r8.sim_pool_allocs) << rpcs::name_of(s);
+    EXPECT_EQ(r2.pool.outstanding_peak, r8.pool.outstanding_peak)
+        << rpcs::name_of(s);
+    EXPECT_EQ(r2.pool.slab_bytes, r8.pool.slab_bytes) << rpcs::name_of(s);
+  }
+}
+
+TEST(EngineParity, WiderClusterStaysIdenticalWithPipelinedClients) {
+  // Fig. 13 shape: more clients, deeper pipeline, heavier server.
+  bench::MicroConfig base = parity_config(1, 7);
+  base.durable_pipeline = 4;
+  base.server_cpu_load = 0.2;
+  bench::MicroConfig wide = base;
+  wide.engine_threads = 8;
+  const auto r1 = bench::run_micro(rpcs::System::kWFlushRpc, base);
+  const auto r8 = bench::run_micro(rpcs::System::kWFlushRpc, wide);
+  expect_model_identical(r1, r8, "wflush x7 clients");
+  // ops split evenly over clients x pipeline depth loops
+  EXPECT_EQ(r1.ops_completed, (600 / (7 * 4)) * (7 * 4));
+}
+
+}  // namespace
+}  // namespace prdma

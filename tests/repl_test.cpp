@@ -356,6 +356,32 @@ TEST(Determinism, ReplicatedCellsAreByteIdenticalAtAnyJobCount) {
   }
 }
 
+TEST(Determinism, ReplicatedStatsAreIdenticalAcrossEngineThreadCounts) {
+  // DESIGN.md §7.5 applied to replication: a noise-free replicated
+  // cell must produce the same stats whether the engine runs one
+  // serial partition or one partition per node under 8 workers. Chain
+  // exercises the forced-single-partition path (its hop clients live
+  // on forwarder nodes); mirror genuinely shards across replicas.
+  for (const Protocol p : {Protocol::kChain, Protocol::kMirror}) {
+    bench::MicroConfig mc = repl_config(p, 2);
+    mc.ops = 150;
+    mc.jitter_sigma = 0.0;
+    bench::MicroConfig wide = mc;
+    wide.engine_threads = 8;
+    const auto a = bench::run_micro(rpcs::System::kWFlushRpc, mc);
+    const auto b = bench::run_micro(rpcs::System::kWFlushRpc, wide);
+    EXPECT_EQ(a.duration, b.duration) << protocol_name(p);
+    EXPECT_EQ(a.ops_completed, b.ops_completed) << protocol_name(p);
+    EXPECT_EQ(a.sim_events, b.sim_events) << protocol_name(p);
+    EXPECT_EQ(a.kops, b.kops) << protocol_name(p);
+    EXPECT_EQ(a.latency.sum(), b.latency.sum()) << protocol_name(p);
+    EXPECT_EQ(a.durable_latency.sum(), b.durable_latency.sum())
+        << protocol_name(p);
+    EXPECT_EQ(a.server.ops_processed, b.server.ops_processed)
+        << protocol_name(p);
+  }
+}
+
 // ---------------------------------------------------------- reproducer
 
 TEST(Reproducer, FormatParseRoundTrip) {
