@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Ablation — DDIO off (paper default) vs on; write-only, 4KB\n\n");
@@ -40,6 +41,7 @@ int main(int argc, char** argv) {
       cfg.object_size = 4096;
       cfg.ops = ops;
       cfg.seed = seed;
+      cfg.topology = topology;
       cfg.read_ratio = 0.0;
       cfg.ddio = ddio;
       cells.push_back({sys, cfg});

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Ablation — emulated Flush (paper §4.1.3) vs idealised RNIC\n");
@@ -43,6 +44,7 @@ int main(int argc, char** argv) {
       cfg.object_size = 1024;
       cfg.ops = ops;
       cfg.seed = seed;
+      cfg.topology = topology;
       cfg.read_ratio = 0.0;
       cfg.emulate_flush = emulate;
       cells.push_back({sys, cfg});
@@ -53,6 +55,7 @@ int main(int argc, char** argv) {
     cfg.object_size = 1024;
     cfg.ops = ops;
     cfg.seed = seed;
+    cfg.topology = topology;
     cfg.read_ratio = 0.0;
     cfg.sflush_addressing_us = us;
     cells.push_back({rpcs::System::kSFlushRpc, cfg});

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Ablation — W-RFlush-RPC: CPU-emulated RFlush vs smartNIC\n");
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
     cfg.object_size = 1024;
     cfg.ops = ops;
     cfg.seed = seed;
+    cfg.topology = topology;
     cfg.read_ratio = 0.0;
     cfg.smartnic_rflush = smartnic;
     cells.push_back({rpcs::System::kWRFlushRpc, cfg});

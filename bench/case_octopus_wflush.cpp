@@ -27,11 +27,13 @@ struct Outcome {
 };
 
 Outcome run(rpcs::BaselineConfig config, std::uint64_t ops,
-            std::uint64_t seed, bool heavy) {
+            std::uint64_t seed, bool heavy,
+            const net::TopologyConfig& topology) {
   bench::MicroConfig mc;
   mc.object_size = 4096;
   mc.seed = seed;
   mc.heavy_load = heavy;
+  mc.topology = topology;
   const auto params = bench::params_for(mc);
 
   core::Cluster cluster(params, 2);
@@ -69,6 +71,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 800 : 3000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
 
   std::printf("Case study §4.4.1 — Octopus retrofitted with WFlush\n");
   std::printf("(Fig. 7a); 4KB durable writes\n\n");
@@ -79,7 +82,7 @@ int main(int argc, char** argv) {
     const bool heavy = i / 2 != 0;
     return run(i % 2 == 0 ? rpcs::octopus_config()
                           : rpcs::octopus_wflush_config(),
-               ops, seed, heavy);
+               ops, seed, heavy, topology);
   });
 
   for (const bool heavy : {false, true}) {

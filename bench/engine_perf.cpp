@@ -466,7 +466,7 @@ int main(int argc, char** argv) {
     constexpr std::uint32_t kLinkNodes = 64;
     for (std::uint32_t from = 0; from < kLinkNodes; ++from) {
       for (std::uint32_t to = 0; to < kLinkNodes; ++to) {
-        if (from != to) lf.link(from, to).propagation = 1000 + from + to;
+        if (from != to) lf.direct_link(from, to).propagation = 1000 + from + to;
       }
     }
     const std::uint64_t iters = 2'000'000;
@@ -476,7 +476,7 @@ int main(int argc, char** argv) {
       const auto from = static_cast<std::uint32_t>(i % kLinkNodes);
       auto to = static_cast<std::uint32_t>((i * 7 + 1) % kLinkNodes);
       if (to == from) to = (to + 1) % kLinkNodes;
-      acc += lf.link(from, to).propagation;
+      acc += lf.direct_link(from, to).propagation;
     }
     link_lookup_ns =
         wall_seconds_since(t0) * 1e9 / static_cast<double>(iters);

@@ -11,6 +11,7 @@
 
 #include "bench_util/sweep.hpp"
 #include "bench_util/flags.hpp"
+#include "bench_util/micro.hpp"
 #include "bench_util/table.hpp"
 #include "graph/pagerank.hpp"
 
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   cfg.iterations = static_cast<std::uint32_t>(
       flags.u64("iters", flags.flag("quick") ? 3 : 10));
   cfg.seed = flags.u64("seed", 1);
+  cfg.topology = bench::topology_from(flags);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 10 — PageRank execution time (simulated ms), %u"

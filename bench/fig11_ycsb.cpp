@@ -9,6 +9,7 @@
 
 #include "bench_util/sweep.hpp"
 #include "bench_util/flags.hpp"
+#include "bench_util/micro.hpp"
 #include "bench_util/table.hpp"
 #include "kv/ycsb.hpp"
 
@@ -22,6 +23,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 11 — YCSB average op latency (us), 4KB values\n\n");
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
       cfg.workload = w;
       cfg.ops = ops;
       cfg.seed = seed;
+      cfg.topology = topology;
       cells.push_back({sys, cfg});
     }
   }

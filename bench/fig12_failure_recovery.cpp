@@ -16,6 +16,7 @@
 
 #include "bench_util/sweep.hpp"
 #include "bench_util/flags.hpp"
+#include "bench_util/micro.hpp"
 #include "bench_util/table.hpp"
 #include "fault/experiment.hpp"
 
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 400 : 1200);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 12 — execution time with failures, durable (WFlush-RPC)\n");
@@ -46,7 +48,7 @@ int main(int argc, char** argv) {
   const std::vector<std::vector<fault::AvailabilityPoint>> columns =
       runner.map_n(std::size(mixes), [&](std::size_t mi) {
         return fault::compose_figure12(mixes[mi].read_ratio, availabilities,
-                                       seed, ops);
+                                       seed, ops, topology);
       });
   for (std::size_t ai = 0; ai < availabilities.size(); ++ai) {
     char label[32];

@@ -5,6 +5,9 @@
 // send-based ones.
 //
 // Flags: --ops=N (default 4000), --seed=N, --load=0.85, --jobs=N, --quick
+// plus the common --topology family: under rack / leaf-spine the same
+// background load applies per cable and switch queues add on top (see
+// EXPERIMENTS.md "Fig. 14 under switched topologies").
 
 #include <cstdio>
 #include <vector>
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
   const double busy = flags.real("load", 0.85);
+  const net::TopologyConfig topology = bench::topology_from(flags);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 14 — avg latency (us), idle vs busy network (load=%.2f)\n\n",
@@ -39,6 +43,7 @@ int main(int argc, char** argv) {
       cfg.ops = ops;
       cfg.seed = seed;
       cfg.net_load = is_busy ? busy : 0.0;
+      cfg.topology = topology;
       cells.push_back({sys, cfg});
     }
   }

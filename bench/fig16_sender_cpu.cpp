@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
   const double busy = flags.real("load", 30.0);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
@@ -38,6 +39,7 @@ int main(int argc, char** argv) {
       cfg.object_size = 4096;
       cfg.ops = ops;
       cfg.seed = seed;
+      cfg.topology = topology;
       cfg.client_cpu_load = is_busy ? busy : 0.0;
       cells.push_back({sys, cfg});
     }

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const std::uint64_t per_sender =
       flags.u64("ops", flags.flag("quick") ? 100 : 300);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 17 — avg latency (us) vs concurrent senders\n");
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
       cfg.ops = per_sender * n;
       cfg.read_ratio = 0.0;
       cfg.seed = seed;
+      cfg.topology = topology;
       cfg.server_cores = 20;    // testbed: 20-core Xeon Gold 6230 (§5.1)
       cfg.server_workers = 16;
       cells.push_back({sys, cfg});

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 1000 : 4000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 18 — avg latency (us) vs read/write mix (4KB objects,\n");
@@ -37,6 +38,7 @@ int main(int argc, char** argv) {
       cfg.object_size = 4096;
       cfg.ops = ops;
       cfg.seed = seed;
+      cfg.topology = topology;
       cfg.read_ratio = rr;
       cfg.heavy_load = true;
       cells.push_back({sys, cfg});

@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 2000 : 8000);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
   bench::SweepRunner runner(bench::jobs_from(flags));
 
   std::printf("Fig. 19 — total execution time (simulated ms) vs batch size\n");
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
       cfg.ops = ops / batch;  // same total sub-operations
       cfg.read_ratio = 0.0;
       cfg.seed = seed;
+      cfg.topology = topology;
       cells.push_back({sys, cfg});
     }
   }

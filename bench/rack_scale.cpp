@@ -1,0 +1,130 @@
+// Rack-scale smoke sweep over the leaf-spine topology (DESIGN.md
+// §7.6): one durable server plus (hosts - 1) clients behind per-rack
+// ToR switches (16 hosts/rack) meshed to a spine layer, swept from a
+// single rack pair up to a 64-host, 4-rack fabric. Every cell runs on
+// the serial engine and again on the 2-thread partitioned engine with
+// jitter pinned to 0; the sweep fails (exit 1) unless the two are
+// byte-identical — the CI determinism gate for switched fabrics.
+//
+// Flags: --ops=N (total, default 1024; --quick: 256), --seed=N,
+//        --pfc, --out=PATH (default BENCH_topology.json), --quick
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util/flags.hpp"
+#include "bench_util/json.hpp"
+#include "bench_util/micro.hpp"
+#include "bench_util/table.hpp"
+
+using namespace prdma;
+
+namespace {
+
+bool model_identical(const bench::MicroResult& a, const bench::MicroResult& b) {
+  return a.duration == b.duration && a.ops_completed == b.ops_completed &&
+         a.sim_events == b.sim_events && a.kops == b.kops &&
+         a.latency.sum() == b.latency.sum() &&
+         a.latency.count() == b.latency.count() &&
+         a.server.ops_processed == b.server.ops_processed &&
+         a.net_switch_hops == b.net_switch_hops &&
+         a.net_max_port_queue_ns == b.net_max_port_queue_ns &&
+         a.net_pfc_pauses == b.net_pfc_pauses;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  if (flags.help_requested()) {
+    flags.print_help();
+    return 0;
+  }
+  const bool quick = flags.flag("quick");
+  const std::uint64_t ops = flags.u64("ops", quick ? 256 : 1024);
+  const std::uint64_t seed = flags.u64("seed", 1);
+  const bool pfc = flags.flag("pfc");
+  const std::string out = flags.str("out", "BENCH_topology.json");
+  constexpr std::uint32_t kHostsPerRack = 16;
+  constexpr std::uint32_t kSpines = 2;
+
+  std::printf("Rack-scale leaf-spine sweep — WFlush-RPC, %llu ops/cell,\n",
+              static_cast<unsigned long long>(ops));
+  std::printf("%u hosts/rack, %u spines%s; serial vs 2-thread engine\n\n",
+              kHostsPerRack, kSpines, pfc ? ", PFC" : "");
+
+  const std::uint32_t host_counts[] = {2, 16, 64};
+
+  bench::TablePrinter table({"Hosts", "Racks", "kops", "avg us", "p99 us",
+                             "switch hops", "peak queue us", "identical"});
+  bench::Json rows = bench::Json::array();
+  bool deterministic = true;
+  for (const std::uint32_t hosts : host_counts) {
+    const std::uint32_t racks = (hosts + kHostsPerRack - 1) / kHostsPerRack;
+    bench::MicroConfig mc;
+    mc.objects = 512;
+    mc.object_size = 4096;
+    mc.ops = ops;
+    mc.clients = hosts - 1;
+    mc.seed = seed;
+    mc.jitter_sigma = 0.0;
+    mc.topology.preset = net::TopologyPreset::kLeafSpine;
+    mc.topology.hosts_per_rack = kHostsPerRack;
+    mc.topology.spines = kSpines;
+    mc.topology.pfc = pfc;
+
+    mc.engine_threads = 1;
+    const auto serial = bench::run_micro(rpcs::System::kWFlushRpc, mc);
+    mc.engine_threads = 2;
+    const auto sharded = bench::run_micro(rpcs::System::kWFlushRpc, mc);
+    const bool identical = model_identical(serial, sharded);
+    deterministic = deterministic && identical;
+
+    table.add_row({std::to_string(hosts), std::to_string(racks),
+                   bench::TablePrinter::num(serial.kops, 1),
+                   bench::TablePrinter::num(serial.avg_us(), 2),
+                   bench::TablePrinter::num(serial.p99_us(), 2),
+                   std::to_string(serial.net_switch_hops),
+                   bench::TablePrinter::num(
+                       static_cast<double>(serial.net_max_port_queue_ns) / 1e3,
+                       2),
+                   identical ? "yes" : "NO"});
+
+    bench::Json row = bench::Json::object();
+    row.set("hosts", bench::Json::num(static_cast<std::uint64_t>(hosts)))
+        .set("racks", bench::Json::num(static_cast<std::uint64_t>(racks)))
+        .set("kops", bench::Json::num(serial.kops))
+        .set("avg_us", bench::Json::num(serial.avg_us()))
+        .set("p99_us", bench::Json::num(serial.p99_us()))
+        .set("duration", bench::Json::num(serial.duration))
+        .set("ops_completed", bench::Json::num(serial.ops_completed))
+        .set("switch_hops", bench::Json::num(serial.net_switch_hops))
+        .set("max_port_queue_ns",
+             bench::Json::num(
+                 static_cast<std::uint64_t>(serial.net_max_port_queue_ns)))
+        .set("pfc_pauses", bench::Json::num(serial.net_pfc_pauses))
+        .set("identical", bench::Json::boolean(identical));
+    rows.push(std::move(row));
+  }
+  table.print();
+  std::printf("\n%s\n", deterministic
+                            ? "serial and partitioned runs identical"
+                            : "DIVERGED: partitioned run differs from serial");
+
+  bench::Json doc = bench::Json::object();
+  doc.set("bench", bench::Json::str("topology"))
+      .set("ops", bench::Json::num(ops))
+      .set("hosts_per_rack",
+           bench::Json::num(static_cast<std::uint64_t>(kHostsPerRack)))
+      .set("spines", bench::Json::num(static_cast<std::uint64_t>(kSpines)))
+      .set("pfc", bench::Json::boolean(pfc))
+      .set("rows", std::move(rows))
+      .set("deterministic", bench::Json::boolean(deterministic));
+  if (!bench::emit_json(out, doc)) {
+    std::printf("failed to open %s for writing\n", out.c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return deterministic ? 0 : 1;
+}

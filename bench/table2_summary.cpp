@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   }
   const std::uint64_t ops = flags.u64("ops", flags.flag("quick") ? 800 : 2500);
   const std::uint64_t seed = flags.u64("seed", 1);
+  const net::TopologyConfig topology = bench::topology_from(flags);
 
   std::printf("Table 2 — measured summary of RPC families\n\n");
 
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
     base.object_size = 4096;
     base.ops = ops;
     base.seed = seed;
+    base.topology = topology;
 
     auto busy_net_cfg = base;
     busy_net_cfg.net_load = 0.85;

@@ -14,6 +14,16 @@ const std::vector<FlagSpec>& Flags::common_flags() {
       {"content-mode", "full|shadow",
        "payload content fidelity (default shadow: elide payload "
        "copies; full is required for crash injection)"},
+      {"topology", "point-to-point|rack|leaf-spine",
+       "fabric preset (default point-to-point, byte-identical to the "
+       "historical two-server fabric; rack = one ToR switch, "
+       "leaf-spine = 2-tier Clos with ECMP)"},
+      {"racks", "N", "leaf-spine: rack (ToR) count (default 2; "
+                     "ignored when --hosts-per-rack is set)"},
+      {"hosts-per-rack", "N",
+       "hosts attached per ToR (0 = spread evenly over --racks)"},
+      {"spines", "N", "leaf-spine: spine switch count (default 2)"},
+      {"pfc", "", "model PFC pauses at congested egress ports"},
       {"json", "PATH", "also write the result table as JSON"},
       {"trace", "PATH", "write a Chrome/Perfetto trace of every cell "
                         "(open at ui.perfetto.dev)"},

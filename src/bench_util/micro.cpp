@@ -38,6 +38,7 @@ core::ModelParams params_for(const MicroConfig& cfg) {
   p.rpc_processing = cfg.heavy_load ? 100 * sim::kMicrosecond : 0;
   p.link.background_load = cfg.net_load;
   p.link.jitter_sigma = cfg.jitter_sigma;
+  p.topology = cfg.topology;
   p.rnic.ddio = cfg.ddio;
   p.rnic.emulate_flush = cfg.emulate_flush;
   p.rnic.smartnic_rflush = cfg.smartnic_rflush;
@@ -143,6 +144,14 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
       cfg.replication.protocol == repl::Protocol::kChain;
   if (chain || cfg.trace_mode == trace::Mode::kFull) {
     ecfg.partitioning = sim::EngineConfig::Partitioning::kSingle;
+  } else if (cfg.topology.switched()) {
+    // Switched fabrics interleave many nodes' packets through shared
+    // egress ports, so same-timestamp ties between merged cross-
+    // partition hops and locally scheduled events are common — and the
+    // serial heap orders them differently than the epoch merge. Pin
+    // the per-node layout even at one thread: every --engine-threads
+    // value then replays the identical partitioned schedule.
+    ecfg.partitioning = sim::EngineConfig::Partitioning::kPerNode;
   }
   core::Cluster cluster(params, server_nodes + cfg.clients, ecfg);
   cluster.enable_tracing(cfg.trace_mode, cfg.trace_capacity);
@@ -213,6 +222,9 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   result.server = dep.server->stats();
   result.sim_events = cluster.events_executed();
   result.sim_pool_allocs = cluster.sim_pool_allocations();
+  result.net_switch_hops = cluster.fabric().switch_hops();
+  result.net_max_port_queue_ns = cluster.fabric().max_port_queue_ns();
+  result.net_pfc_pauses = cluster.fabric().pfc_pauses();
   for (std::size_t i = 0; i < cluster.size(); ++i) {
     auto& mem = cluster.node(i).mem();
     result.bytes_copied += mem.pm().bytes_copied() + mem.dram().bytes_copied();
@@ -226,16 +238,10 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   }
   if (result.ops_completed > 0) {
     const auto ops = static_cast<double>(result.ops_completed);
-    std::uint64_t client_sw = 0;
-    for (const std::size_t i : client_nodes) {
-      client_sw += cluster.node(i).host().charged_ns();
-    }
-    result.legacy_sender_sw_ns = static_cast<double>(client_sw) / ops;
-    result.legacy_receiver_sw_ns =
-        static_cast<double>(result.server.critical_sw_ns) / ops;
     if (tracer.enabled()) {
-      // Span-derived accounting: exact parity with the legacy counters
-      // (pinned by trace_test), but decomposed per component.
+      // Span-derived accounting: exact parity with the counter-based
+      // fallback below (pinned by trace_test), but decomposed per
+      // component.
       result.sender_sw_ns =
           static_cast<double>(tracer.total_ns(trace::Component::kSenderSw)) /
           ops;
@@ -243,8 +249,15 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
           static_cast<double>(tracer.total_ns(trace::Component::kReceiverSw)) /
           ops;
     } else {
-      result.sender_sw_ns = result.legacy_sender_sw_ns;
-      result.receiver_sw_ns = result.legacy_receiver_sw_ns;
+      // Tracing off: the host charged-ns / ServerStats counters carry
+      // the same totals the spans would have recorded.
+      std::uint64_t client_sw = 0;
+      for (const std::size_t i : client_nodes) {
+        client_sw += cluster.node(i).host().charged_ns();
+      }
+      result.sender_sw_ns = static_cast<double>(client_sw) / ops;
+      result.receiver_sw_ns =
+          static_cast<double>(result.server.critical_sw_ns) / ops;
     }
   }
   if (tracer.enabled()) {
@@ -298,6 +311,25 @@ repl::ReplicationConfig replication_from(const Flags& flags) {
     cfg.protocol = *p;
   }
   cfg.replicas = static_cast<std::size_t>(flags.u64("replicas", 2));
+  return cfg;
+}
+
+net::TopologyConfig topology_from(const Flags& flags) {
+  net::TopologyConfig cfg;
+  const std::string v = flags.str("topology", {});
+  if (!v.empty()) {
+    const auto p = net::preset_from_name(v);
+    if (!p.has_value()) {
+      throw std::invalid_argument(
+          "--topology must be point-to-point, rack or leaf-spine, got: " + v);
+    }
+    cfg.preset = *p;
+  }
+  cfg.racks = static_cast<std::uint32_t>(flags.u64("racks", cfg.racks));
+  cfg.hosts_per_rack =
+      static_cast<std::uint32_t>(flags.u64("hosts-per-rack", 0));
+  cfg.spines = static_cast<std::uint32_t>(flags.u64("spines", cfg.spines));
+  cfg.pfc = flags.flag("pfc");
   return cfg;
 }
 

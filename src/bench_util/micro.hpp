@@ -38,8 +38,17 @@ struct MicroConfig {
   /// 1 (the default) is the bit-exact serial engine; >1 shards the
   /// cluster one partition per node under conservative lookahead.
   /// Chain replication and kFull tracing force a single partition
-  /// regardless (their coroutines/ring span nodes).
+  /// regardless (their coroutines/ring span nodes). Switched
+  /// topologies force the per-node layout even at one thread, so a
+  /// rack/leaf-spine cell replays the identical partitioned schedule
+  /// at every --engine-threads value (DESIGN.md §7.6).
   unsigned engine_threads = 1;
+  /// Fabric shape (DESIGN.md §7.6). The default point-to-point preset
+  /// reproduces the historical flat fabric byte for byte; rack /
+  /// leaf-spine route packets over switches with per-port egress
+  /// queues (incast, ECMP, optional PFC). Wired from --topology
+  /// --racks --hosts-per-rack --spines --pfc via topology_from().
+  net::TopologyConfig topology;
   double server_cpu_load = 0.0;    ///< busy receiver (Fig. 15)
   double client_cpu_load = 0.0;    ///< busy sender (Fig. 16)
   bool ddio = false;
@@ -91,12 +100,17 @@ struct MicroResult {
   std::uint64_t ops_completed = 0;
   std::uint64_t sim_events = 0;  ///< simulator events the cell replayed
   /// Span-derived (tracer) software costs per op — what Fig. 20 plots.
+  /// With tracing off they fall back to the host charged-ns /
+  /// ServerStats counters (exact parity, pinned by trace_test).
   double sender_sw_ns = 0.0;    ///< client software per op (kSenderSw spans)
   double receiver_sw_ns = 0.0;  ///< receiver critical path (kReceiverSw spans)
-  /// Pre-trace accounting (host charged-ns / ServerStats counters),
-  /// kept one release as the regression reference for the span path.
-  double legacy_sender_sw_ns = 0.0;
-  double legacy_receiver_sw_ns = 0.0;
+  // ---- topology / congestion accounting (DESIGN.md §7.6) ----
+  /// Switch traversals the cell's packets executed (0 = point-to-point).
+  std::uint64_t net_switch_hops = 0;
+  /// Worst single egress-queue wait at any topology port (incast).
+  prdma::sim::SimTime net_max_port_queue_ns = 0;
+  /// PFC pauses recorded across all ports (0 unless topology.pfc).
+  std::uint64_t net_pfc_pauses = 0;
   /// Per-component time totals from the cell's tracer.
   stats::SpanBreakdown breakdown;
   /// Chrome trace-event fragment (kFull cells only; see Report).
@@ -163,5 +177,11 @@ repl::ReplicationConfig replication_from(const Flags& flags);
 /// the bit-exact serial engine). Crash-injecting harnesses must keep
 /// the default — Node refuses crash hooks on a partitioned engine.
 unsigned engine_threads_from(const Flags& flags, unsigned def = 1);
+
+/// Shared topology flag family: --topology=point-to-point|rack|
+/// leaf-spine (default point-to-point) plus --racks, --hosts-per-rack,
+/// --spines and --pfc. Throws std::invalid_argument on unknown preset
+/// names.
+net::TopologyConfig topology_from(const Flags& flags);
 
 }  // namespace prdma::bench

@@ -20,6 +20,14 @@ Json micro_result_json(const std::string& name, const MicroResult& res) {
       .set("sim_events", Json::num(res.sim_events))
       .set("sender_sw_ns", Json::num(res.sender_sw_ns))
       .set("receiver_sw_ns", Json::num(res.receiver_sw_ns));
+  // Topology keys only when the cell actually crossed a switch, so the
+  // point-to-point rows stay byte-identical to the pre-topology JSON.
+  if (res.net_switch_hops > 0) {
+    row.set("switch_hops", Json::num(res.net_switch_hops))
+        .set("max_port_queue_ns",
+             Json::num(static_cast<std::uint64_t>(res.net_max_port_queue_ns)))
+        .set("pfc_pauses", Json::num(res.net_pfc_pauses));
+  }
 
   Json comps = Json::object();
   for (const std::string& comp : res.breakdown.component_names()) {
@@ -37,10 +45,17 @@ Report::Report(const Flags& flags, std::string bench_name)
     : bench_name_(std::move(bench_name)),
       json_path_(flags.str("json", "")),
       trace_path_(flags.str("trace", "")),
-      content_mode_(content_mode_from(flags)) {}
+      content_mode_(content_mode_from(flags)),
+      topology_(topology_from(flags)) {
+  if (topology_.switched()) {
+    meta("topology", Json::str(std::string(
+                         net::preset_name(topology_.preset))));
+  }
+}
 
 void Report::configure(MicroConfig& cfg) {
   cfg.content_mode = content_mode_;
+  cfg.topology = topology_;
   if (trace_enabled()) {
     cfg.trace_mode = trace::Mode::kFull;
     cfg.trace_pid = next_pid_++;

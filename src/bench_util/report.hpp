@@ -36,10 +36,15 @@ class Report {
   [[nodiscard]] bool trace_enabled() const { return !trace_path_.empty(); }
 
   /// Prepares `cfg` for collection: applies --content-mode (shadow by
-  /// default), and when --trace is given the cell is upgraded to full
-  /// tracing and assigned the next Chrome pid (one process lane per
-  /// cell in the Perfetto UI).
+  /// default) and the --topology flag family, and when --trace is
+  /// given the cell is upgraded to full tracing and assigned the next
+  /// Chrome pid (one process lane per cell in the Perfetto UI).
   void configure(MicroConfig& cfg);
+
+  /// The parsed --topology flag family (point-to-point when absent).
+  [[nodiscard]] const net::TopologyConfig& topology() const {
+    return topology_;
+  }
 
   /// Adds a run-level metadata entry (grid knobs, --quick, ...).
   void meta(std::string key, Json value);
@@ -56,6 +61,7 @@ class Report {
   std::string json_path_;
   std::string trace_path_;
   mem::ContentMode content_mode_;
+  net::TopologyConfig topology_;
   std::uint32_t next_pid_ = 1;
   std::string fragments_;
   Json meta_ = Json::object();

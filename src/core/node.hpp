@@ -141,6 +141,10 @@ class Cluster {
         rng_(params.seed),
         fabric_(engine_.shard(0), rng_, params.link) {
     fabric_.bind_engine(&engine_, params.seed);
+    // After bind_engine (ports inherit partitions + the link seed),
+    // before any node registers. Point-to-point is a no-op beyond
+    // storing the config, keeping the flat fabric byte-identical.
+    fabric_.set_topology(params.topology, node_count);
     fabric_.set_tracer(&tracer_);
     const std::size_t parts = engine_.partitions();
     for (std::size_t p = 1; p < parts; ++p) {

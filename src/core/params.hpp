@@ -16,6 +16,10 @@ namespace prdma::core {
 struct ModelParams {
   mem::NodeMemoryParams memory{};
   net::LinkParams link{};
+  /// Fabric shape (DESIGN.md §7.6): point-to-point by default —
+  /// byte-identical to the historical flat fabric — or a switched
+  /// rack / leaf-spine preset built from `link` as the host cable.
+  net::TopologyConfig topology{};
   rnic::RnicParams rnic{};
   host::HostParams host{};
 

@@ -132,6 +132,7 @@ FailureRunResult run_with_failures(rpcs::System system,
   // Crash injection requires the full content plane (see Node::
   // attach_crash_hook).
   mc.content_mode = mem::ContentMode::kFull;
+  mc.topology = cfg.topology;
   core::ModelParams params = bench::params_for(mc);
   params.log_slots = std::max(cfg.window * 2, 8u);
   params.flow_threshold = std::max(cfg.window, 4u);
@@ -205,7 +206,8 @@ FailureRunResult run_with_failures(rpcs::System system,
 
 std::vector<AvailabilityPoint> compose_figure12(
     double read_ratio, const std::vector<double>& availabilities,
-    std::uint64_t seed, std::uint64_t ops_per_measurement) {
+    std::uint64_t seed, std::uint64_t ops_per_measurement,
+    const net::TopologyConfig& topology) {
   // Measure per-op time and per-crash overhead for both systems with
   // the real crash/recovery machinery, then compose paper-scale totals
   // (1e9 RPCs; simulating that directly is out of reach).
@@ -219,6 +221,7 @@ std::vector<AvailabilityPoint> compose_figure12(
     base.ops = ops_per_measurement;
     base.crashes = 0;
     base.seed = seed;
+    base.topology = topology;
     const auto clean = run_with_failures(sys, base);
 
     FailureRunConfig crashy = base;

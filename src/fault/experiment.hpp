@@ -34,6 +34,9 @@ struct FailureRunConfig {
   sim::SimTime restart_delay = 300 * sim::kMillisecond;  ///< unikernel boot
   sim::SimTime retransmit_interval = 100 * sim::kMillisecond;
   bool heavy_processing = true;        ///< 100 µs per request at the server
+  /// Fabric shape (default point-to-point; --topology). Crash hooks
+  /// pin a single engine partition, which any preset satisfies here.
+  net::TopologyConfig topology;
 };
 
 struct FailureRunResult {
@@ -67,6 +70,7 @@ struct AvailabilityPoint {
 
 std::vector<AvailabilityPoint> compose_figure12(
     double read_ratio, const std::vector<double>& availabilities,
-    std::uint64_t seed, std::uint64_t ops_per_measurement = 1200);
+    std::uint64_t seed, std::uint64_t ops_per_measurement = 1200,
+    const net::TopologyConfig& topology = {});
 
 }  // namespace prdma::fault

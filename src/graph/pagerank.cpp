@@ -55,6 +55,7 @@ PageRankResult run_pagerank(rpcs::System system, const GraphSpec& spec,
   mc.objects = std::max<std::uint64_t>(pages, 64);
   mc.object_size = cfg.page_bytes;
   mc.seed = cfg.seed;
+  mc.topology = cfg.topology;
   const core::ModelParams params = bench::params_for(mc);
 
   core::Cluster cluster(params, 2);

@@ -64,6 +64,8 @@ struct PageRankConfig {
   /// Client-side compute charged per edge per iteration (the paper
   /// calls PageRank compute-intensive).
   sim::SimTime ns_per_edge = 3;
+  /// Fabric shape (default point-to-point; --topology).
+  net::TopologyConfig topology;
 };
 
 struct PageRankResult {

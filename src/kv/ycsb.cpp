@@ -92,6 +92,7 @@ YcsbResult run_ycsb(rpcs::System system, const YcsbConfig& cfg) {
   mc.objects = cfg.records * 2;  // headroom for inserts (D/E)
   mc.object_size = cfg.value_size;
   mc.seed = cfg.seed;
+  mc.topology = cfg.topology;
   const core::ModelParams params = bench::params_for(mc);
 
   core::Cluster cluster(params, 2);

@@ -64,6 +64,8 @@ struct YcsbConfig {
   std::uint64_t ops = 8'000;
   std::uint64_t seed = 1;
   std::uint32_t max_scan = 20;
+  /// Fabric shape (default point-to-point; --topology).
+  net::TopologyConfig topology;
 };
 
 /// Outcome of one YCSB run against one RPC system.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace prdma::net {
@@ -48,6 +49,35 @@ void Fabric::bind_engine(sim::PartitionedEngine* engine, std::uint64_t seed) {
     for (std::size_t id = 0; id < nodes_.size(); ++id) {
       precreate_links(static_cast<NodeId>(id));
     }
+  }
+}
+
+void Fabric::set_topology(const TopologyConfig& cfg, std::size_t hosts) {
+  topo_cfg_ = cfg;
+  topo_ = std::make_unique<Topology>(build_topology(cfg, hosts, defaults_));
+  ports_.clear();
+  if (!topo_->switched()) return;  // point-to-point: flat table untouched
+  ports_.reserve(topo_->edge_count());
+  for (std::uint32_t e = 0; e < topo_->edge_count(); ++e) {
+    const Topology::Edge& edge = topo_->edge(e);
+    Port port;
+    port.params = edge.params;
+    port.from = edge.from;
+    port.to = edge.to;
+    port.owner = topo_->is_switch(edge.from)
+                     ? topo_->switch_owner(
+                           static_cast<std::uint32_t>(edge.from - hosts))
+                     : static_cast<NodeId>(edge.from);
+    port.partition =
+        engine_ != nullptr ? engine_->partition_of_node(port.owner) : 0;
+    port.sim = engine_ != nullptr ? &engine_->shard_of_node(port.owner) : &sim_;
+    // Routed hops always draw from per-port streams (never the shared
+    // setup RNG), seeded order-independently from (seed, edge id) —
+    // edge ids are construction order, a pure function of the config —
+    // so a switched run is byte-identical at any engine thread count.
+    port.rng = std::make_unique<sim::Rng>(
+        hash_key(link_seed_ ^ ((e + 0x51ed2701ULL) * 0x9e3779b97f4a7c15ULL)));
+    ports_.push_back(std::move(port));
   }
 }
 
@@ -98,15 +128,20 @@ Fabric::LinkState& Fabric::state(NodeId from, NodeId to) {
   return slot.state;
 }
 
-LinkParams& Fabric::link(NodeId from, NodeId to) {
+LinkParams& Fabric::direct_link(NodeId from, NodeId to) {
   return state(from, to).params;
 }
 
-void Fabric::for_all_links(const std::function<void(LinkParams&)>& fn) {
-  fn(defaults_);
-  for (LinkSlot& slot : links_) {
-    if (slot.key != kEmptyKey) fn(slot.state.params);
+LinkParams& Fabric::link(NodeId from, NodeId to) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true, std::memory_order_relaxed)) {
+    std::fprintf(stderr,
+                 "net::Fabric::link(from,to) is deprecated (kept one "
+                 "release): per-pair mutation only reaches the degenerate "
+                 "point-to-point table — declare a net::Topology (or pass "
+                 "--topology) instead; forwarding to direct_link()\n");
   }
+  return direct_link(from, to);
 }
 
 sim::SimTime Fabric::min_propagation() const {
@@ -114,10 +149,186 @@ sim::SimTime Fabric::min_propagation() const {
   for (const LinkSlot& slot : links_) {
     if (slot.key != kEmptyKey) m = std::min(m, slot.state.params.propagation);
   }
+  for (const Port& port : ports_) {
+    m = std::min(m, port.params.propagation);
+  }
   return m;
 }
 
+Fabric::PortStats Fabric::port_stats(std::size_t i) const {
+  const Port& port = ports_[i];
+  PortStats s;
+  s.from = port.from;
+  s.to = port.to;
+  s.packets = port.packets;
+  s.bytes = port.bytes;
+  s.queue_ns_total = port.queue_ns_total;
+  s.queue_ns_peak = port.queue_ns_peak;
+  s.pfc_events = port.pfc_events;
+  s.pfc_pause_ns = port.pfc_pause_ns;
+  return s;
+}
+
+sim::SimTime Fabric::max_port_queue_ns() const {
+  sim::SimTime m = 0;
+  for (const Port& port : ports_) m = std::max(m, port.queue_ns_peak);
+  return m;
+}
+
+std::uint64_t Fabric::pfc_pauses() const {
+  std::uint64_t n = 0;
+  for (const Port& port : ports_) n += port.pfc_events;
+  return n;
+}
+
+sim::SimTime Fabric::pfc_pause_ns_total() const {
+  sim::SimTime n = 0;
+  for (const Port& port : ports_) n += port.pfc_pause_ns;
+  return n;
+}
+
 sim::SimTime Fabric::send(Packet p) {
+  if (routed() && p.src != p.dst && p.src < topo_->host_count() &&
+      p.dst < topo_->host_count()) {
+    const Route& route = topo_->route(p.src, p.dst);
+    if (!route.ports.empty()) {
+      NodeCtx& src = ctx(p.src);
+      sim::Simulator& ssim = src.sim != nullptr ? *src.sim : sim_;
+      return hop_transmit(std::move(p), route, 0, ssim.now());
+    }
+    // Host pair the graph leaves disconnected: fall through to the
+    // direct point-to-point link, like the pre-topology fabric.
+  }
+  return send_direct(std::move(p));
+}
+
+sim::SimTime Fabric::hop_transmit(Packet p, const Route& route,
+                                  std::size_t hop, sim::SimTime t_in) {
+  Port& port = ports_[route.ports[hop]];
+  // Store-and-forward: a switch charges its traversal latency before
+  // the packet can contend for the egress queue.
+  const sim::SimTime ready =
+      hop == 0 ? t_in : t_in + topo_cfg_.switch_latency;
+  if (hop > 0) switch_hops_.fetch_add(1, std::memory_order_relaxed);
+
+  const LinkParams& lp = port.params;
+  const std::uint64_t bytes = p.wire_bytes();
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  port.packets += 1;
+  port.bytes += bytes;
+
+  // Residual bandwidth after background traffic (same model as the
+  // direct path, applied per cable).
+  const double load = std::clamp(lp.background_load, 0.0, 0.95);
+  const double residual_bw = lp.bandwidth_bytes_per_s * (1.0 - load);
+  const sim::SimTime service = sim::transfer_time(bytes, residual_bw);
+
+  // Egress-queue occupancy: the wait behind earlier packets out of
+  // this port is where incast at fan-in ports becomes visible.
+  const sim::SimTime tx_begin = std::max(ready, port.busy_until);
+  const sim::SimTime queued = tx_begin - ready;
+  port.busy_until = tx_begin + service;
+  port.queue_ns_total += queued;
+  port.queue_ns_peak = std::max(port.queue_ns_peak, queued);
+
+  sim::Rng& rng = *port.rng;
+  sim::SimTime queueing = 0;
+  if (load > 0.0) {
+    const double mean_wait =
+        load / (1.0 - load) *
+        static_cast<double>(std::max<sim::SimTime>(service, 200));
+    queueing = static_cast<sim::SimTime>(rng.exponential(mean_wait));
+  }
+  double jitter = rng.lognormal_jitter(lp.jitter_sigma);
+  // Routed paths always honor the conservative lookahead floor (half
+  // the propagation), partitioned or not, so a switched run is
+  // byte-identical at any engine thread count.
+  if (jitter < 0.5) jitter = 0.5;
+
+  // PFC pause (opt-in): backlog past the threshold pauses the
+  // upstream sender. Modeled as an arrival-gated penalty at this port
+  // — the excess wait is charged to the packet and counted — instead
+  // of literal pause frames walking upstream, which would mutate
+  // foreign ports' state across partitions mid-epoch.
+  sim::SimTime pfc_hold = 0;
+  if (topo_cfg_.pfc) {
+    const sim::SimTime threshold_ns =
+        sim::transfer_time(topo_cfg_.pfc_threshold, residual_bw);
+    if (queued > threshold_ns) {
+      pfc_hold = queued - threshold_ns;
+      port.pfc_events += 1;
+      port.pfc_pause_ns += pfc_hold;
+    }
+  }
+
+  const auto flight = static_cast<sim::SimTime>(
+                          static_cast<double>(lp.propagation + queueing) *
+                          jitter) +
+                      pfc_hold;
+  const sim::SimTime arrival = port.busy_until + flight;
+
+  trace::Tracer* tracer =
+      port.owner < nodes_.size() ? nodes_[port.owner].tracer : tracer_;
+  if (tracer != nullptr) {
+    if (hop == 0) {
+      tracer->span(trace::Component::kNetSerialize, p.seq, tx_begin,
+                   port.busy_until, static_cast<std::uint16_t>(p.src));
+    } else {
+      tracer->span(trace::Component::kNetSwitchHop, p.seq, t_in,
+                   port.busy_until, static_cast<std::uint16_t>(port.owner));
+    }
+    tracer->span(trace::Component::kNetFlight, p.seq, port.busy_until, arrival,
+                 static_cast<std::uint16_t>(port.owner));
+    if (queued > 0) {
+      tracer->counter(trace::Component::kNetPortQueue, ready,
+                      static_cast<std::uint64_t>(queued),
+                      static_cast<std::uint16_t>(route.ports[hop]));
+    }
+  }
+
+  if (lp.loss_probability > 0.0 && rng.bernoulli(lp.loss_probability)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return port.busy_until;
+  }
+
+  const sim::SimTime accepted = port.busy_until;
+  if (hop + 1 < route.ports.size()) {
+    const Port& next = ports_[route.ports[hop + 1]];
+    auto forward = [this, p = std::move(p), r = &route, next_hop = hop + 1,
+                    t = arrival]() mutable {
+      hop_transmit(std::move(p), *r, next_hop, t);
+    };
+    if (!partitioned_ || next.partition == port.partition) {
+      next.sim->schedule_at(arrival, std::move(forward));
+    } else {
+      engine_->schedule_remote(port.partition, next.partition, arrival,
+                               sim::InlineTask(std::move(forward)));
+    }
+    return accepted;
+  }
+
+  NodeCtx& dst = ctx(p.dst);
+  auto deliver = [this, p = std::move(p)]() mutable {
+    const NodeCtx& d = nodes_[p.dst];
+    if (!d.sink) {
+      // destination crashed/unregistered
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+    d.sink(std::move(p));
+  };
+  sim::Simulator& dsim = dst.sim != nullptr ? *dst.sim : sim_;
+  if (!partitioned_ || dst.partition == port.partition) {
+    dsim.schedule_at(arrival, std::move(deliver));
+  } else {
+    engine_->schedule_remote(port.partition, dst.partition, arrival,
+                             sim::InlineTask(std::move(deliver)));
+  }
+  return accepted;
+}
+
+sim::SimTime Fabric::send_direct(Packet p) {
   NodeCtx& src = ctx(p.src);
   // Unregistered senders (raw-fabric tests) run on the fabric's own
   // simulator, matching the pre-partitioning behaviour.

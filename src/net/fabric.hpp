@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "net/packet.hpp"
+#include "net/topology.hpp"
 #include "sim/partitioned_engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -15,39 +16,29 @@
 
 namespace prdma::net {
 
-/// Timing/behaviour of one directed link between two nodes.
-struct LinkParams {
-  sim::SimTime propagation = 1000;  ///< one-way latency (1 µs IB class)
-  double bandwidth_bytes_per_s = 5e9;  ///< 40 GbE
-  /// Fraction of the link consumed by background traffic [0, 1).
-  /// Models the paper's Fig. 14 "busy network": less residual
-  /// bandwidth plus M/M/1-style queueing delay.
-  double background_load = 0.0;
-  /// Log-normal sigma applied to propagation+queueing (latency tail).
-  double jitter_sigma = 0.03;
-  /// Per-packet drop probability (lossless IB default: 0).
-  double loss_probability = 0.0;
-};
-
-/// Point-to-point switched fabric connecting RNICs.
+/// The packet engine of the simulated fabric.
 ///
-/// Each directed node pair has its own serialization queue (a
-/// busy-until horizon), so a large transfer delays packets behind it on
-/// the same direction but not reverse traffic — matching full-duplex
-/// links.
-///
-/// Link state lives in a flat open-addressing table keyed on the
-/// packed 64-bit (from,to) id: state() is the per-packet hot path and
-/// used to walk a red-black tree per send (see engine_perf's
-/// data-plane section for the pinned lookup cost).
+/// Shape comes from a declarative net::Topology (set_topology): under
+/// the degenerate point-to-point preset every directed node pair has
+/// its own serialization queue (a busy-until horizon) in a flat
+/// open-addressing table keyed on the packed 64-bit (from,to) id —
+/// state() is the per-packet hot path and used to walk a red-black
+/// tree per send (see engine_perf's data-plane section for the pinned
+/// lookup cost). Under a switched preset (rack / leaf-spine) send()
+/// instead walks the precomputed ECMP route hop by hop: every directed
+/// cable is a Port with its own egress queue, noise stream and
+/// congestion counters, switches charge a store-and-forward latency,
+/// and contention at fan-in ports (incast) shows up as queue-occupancy
+/// delay — optionally surfaced as PFC pauses past a backlog threshold.
 ///
 /// Under a multi-partition engine (bind_engine), the fabric is the
-/// cross-partition boundary: a send whose destination lives in another
-/// partition is routed through the engine's per-edge outboxes, link
-/// noise draws come from per-link RNG streams (seeded order-
-/// independently from (seed, from, to)), and the jitter multiplier is
-/// clamped to >= 0.5 so every arrival respects the conservative
-/// lookahead of half the propagation delay.
+/// cross-partition boundary: a hop whose next vertex lives in another
+/// partition is routed through the engine's per-edge outboxes (switch
+/// forwarding runs on the deterministic owner host's shard —
+/// Topology::switch_owner), link noise draws come from per-link/per-
+/// port RNG streams (seeded order-independently), and the jitter
+/// multiplier is clamped to >= 0.5 so every arrival respects the
+/// conservative lookahead of half the minimum propagation delay.
 class Fabric {
  public:
   Fabric(sim::Simulator& sim, sim::Rng& rng, LinkParams defaults)
@@ -74,21 +65,59 @@ class Fabric {
     return id < nodes_.size() && nodes_[id].sink != nullptr;
   }
 
-  /// Transmits `p`; delivery is scheduled per the link model. Returns
-  /// the local "wire accepted" time (after serialization) so the
-  /// sender can model TX-queue occupancy.
+  /// Installs the fabric shape for `hosts` nodes (Cluster calls this
+  /// right after bind_engine, before any node registers). The
+  /// point-to-point preset keeps the flat direct-link table and is
+  /// byte-identical to the historical fabric; switched presets build
+  /// the graph, precompute ECMP routes and materialize one Port (with
+  /// its own RNG stream seeded from the bind_engine seed) per directed
+  /// cable.
+  void set_topology(const TopologyConfig& cfg, std::size_t hosts);
+
+  [[nodiscard]] const TopologyConfig& topology_config() const {
+    return topo_cfg_;
+  }
+  /// The installed graph (nullptr before set_topology).
+  [[nodiscard]] const Topology* topology() const { return topo_.get(); }
+  /// True when send() walks switch routes instead of direct links.
+  [[nodiscard]] bool routed() const {
+    return topo_ != nullptr && topo_->switched();
+  }
+
+  /// Transmits `p`; delivery is scheduled per the link model (direct
+  /// link or multi-hop route). Returns the local "wire accepted" time
+  /// (after first-hop serialization) so the sender can model TX-queue
+  /// occupancy.
   sim::SimTime send(Packet p);
 
-  /// Per-directed-pair parameter override (creates on first use).
+  /// Per-directed-pair parameter override of the point-to-point table
+  /// (creates on first use). Under a switched topology these links are
+  /// only consulted for host pairs the graph leaves disconnected.
+  LinkParams& direct_link(NodeId from, NodeId to);
+
+  /// Deprecated (one release): pre-topology callers mutated directed
+  /// (from,to) pairs one at a time. Forwards to the degenerate
+  /// point-to-point table (direct_link) and warns once per process —
+  /// declare a Topology / pass --topology instead.
   LinkParams& link(NodeId from, NodeId to);
 
-  /// Applies `fn` to the default parameters and every existing link.
-  void for_all_links(const std::function<void(LinkParams&)>& fn);
+  /// Applies `fn` (any LinkParams& callable) to the default
+  /// parameters, every direct point-to-point link and every topology
+  /// port — the setup-phase bulk-override hook. Template visitor: the
+  /// historical const std::function& signature allocated per call.
+  template <typename Fn>
+  void for_each_link(Fn&& fn) {
+    fn(defaults_);
+    for (LinkSlot& slot : links_) {
+      if (slot.key != kEmptyKey) fn(slot.state.params);
+    }
+    for (Port& port : ports_) fn(port.params);
+  }
 
-  /// Minimum one-way propagation over the defaults and every existing
-  /// link override — the engine's conservative lookahead is derived
-  /// from it (links created after this call inherit the defaults, so
-  /// the bound stays valid).
+  /// Minimum one-way propagation over the defaults, every existing
+  /// link override and every topology port — the engine's conservative
+  /// lookahead is derived from it (links created after this call
+  /// inherit the defaults, so the bound stays valid).
   [[nodiscard]] sim::SimTime min_propagation() const;
 
   [[nodiscard]] std::uint64_t packets_delivered() const {
@@ -97,12 +126,45 @@ class Fabric {
   [[nodiscard]] std::uint64_t packets_dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Bytes that occupied a cable, summed over every hop a packet took
+  /// (a 3-port route charges the packet three times — wire occupancy,
+  /// not goodput).
   [[nodiscard]] std::uint64_t bytes_carried() const {
     return bytes_.load(std::memory_order_relaxed);
   }
+  /// Switch traversals executed (0 under point-to-point).
+  [[nodiscard]] std::uint64_t switch_hops() const {
+    return switch_hops_.load(std::memory_order_relaxed);
+  }
+
+  // ---- per-port congestion introspection (switched presets) ----
+
+  struct PortStats {
+    Vertex from = 0;
+    Vertex to = 0;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    /// Egress-queue wait behind earlier packets, total / worst single.
+    sim::SimTime queue_ns_total = 0;
+    sim::SimTime queue_ns_peak = 0;
+    std::uint64_t pfc_events = 0;
+    sim::SimTime pfc_pause_ns = 0;
+  };
+
+  [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
+  /// Snapshot of port `i` (indexes match Topology edge ids). Only
+  /// meaningful between runs — port counters are single-writer by the
+  /// owner shard during a partitioned run.
+  [[nodiscard]] PortStats port_stats(std::size_t i) const;
+  /// Worst single egress-queue wait over all ports.
+  [[nodiscard]] sim::SimTime max_port_queue_ns() const;
+  /// PFC pauses recorded over all ports (0 unless cfg.pfc).
+  [[nodiscard]] std::uint64_t pfc_pauses() const;
+  [[nodiscard]] sim::SimTime pfc_pause_ns_total() const;
 
   /// Attaches the default tracer; send() records serialization +
-  /// flight spans on the source node's track.
+  /// flight spans on the source node's track, and switch hops record
+  /// kNetSwitchHop spans / kNetPortQueue gauges on the owner's tracer.
   void set_tracer(trace::Tracer* tracer) {
     tracer_ = tracer;
     for (auto& ctx : nodes_) {
@@ -110,8 +172,9 @@ class Fabric {
     }
   }
 
-  /// Per-node tracer override: spans for packets *sent by* `id` are
-  /// recorded here (each partition records into its own shard tracer).
+  /// Per-node tracer override: spans for packets *sent by* `id` (and
+  /// for switches owned by `id`) are recorded here (each partition
+  /// records into its own shard tracer).
   void set_node_tracer(NodeId id, trace::Tracer* tracer) {
     ctx(id).tracer = tracer;
   }
@@ -141,6 +204,28 @@ class Fabric {
     std::size_t partition = 0;
   };
 
+  /// One directed cable of a switched topology. All mutable state is
+  /// single-writer: forwarding out of a vertex always executes on the
+  /// owner host's shard, so no atomics on the per-hop path.
+  struct Port {
+    LinkParams params;
+    Vertex from = 0;
+    Vertex to = 0;
+    /// Host whose shard runs this port's egress (the vertex itself
+    /// for host ports, Topology::switch_owner for switch ports).
+    NodeId owner = 0;
+    std::size_t partition = 0;
+    sim::Simulator* sim = nullptr;
+    sim::SimTime busy_until = 0;
+    std::unique_ptr<sim::Rng> rng;
+    std::uint64_t packets = 0;
+    std::uint64_t bytes = 0;
+    sim::SimTime queue_ns_total = 0;
+    sim::SimTime queue_ns_peak = 0;
+    std::uint64_t pfc_events = 0;
+    sim::SimTime pfc_pause_ns = 0;
+  };
+
   static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
 
   static std::uint64_t pack(NodeId from, NodeId to) {
@@ -161,6 +246,12 @@ class Fabric {
   void grow_links();
   void precreate_links(NodeId id);
   NodeCtx& ctx(NodeId id);
+  sim::SimTime send_direct(Packet p);
+  /// Enqueues `p` on route hop `hop`, entering the port at `t_in`
+  /// (switch hops add the store-and-forward latency first). Returns
+  /// the port's busy-until after this packet serializes.
+  sim::SimTime hop_transmit(Packet p, const Route& route, std::size_t hop,
+                            sim::SimTime t_in);
 
   struct LinkSlot {
     std::uint64_t key = kEmptyKey;
@@ -173,9 +264,13 @@ class Fabric {
   std::vector<NodeCtx> nodes_;  ///< indexed by NodeId
   std::vector<LinkSlot> links_;  ///< open addressing, power-of-two size
   std::size_t link_count_ = 0;
+  TopologyConfig topo_cfg_;
+  std::unique_ptr<Topology> topo_;
+  std::vector<Port> ports_;  ///< indexed by Topology edge id
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> bytes_{0};
+  std::atomic<std::uint64_t> switch_hops_{0};
   trace::Tracer* tracer_ = nullptr;
   sim::PartitionedEngine* engine_ = nullptr;
   std::uint64_t link_seed_ = 0;

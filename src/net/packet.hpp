@@ -40,8 +40,6 @@ inline constexpr std::uint64_t kHeaderBytes = 66;
 /// deliveries and the final DMA reference the same scatter-gather
 /// block (pooled when it came out of a node's BufferPool).
 using PayloadRef = mem::PayloadRef;
-/// Transitional alias — kept one release for out-of-tree callers.
-using PayloadPtr = mem::PayloadRef;
 
 inline PayloadRef make_payload(const std::vector<std::byte>& bytes) {
   return mem::make_heap_payload({bytes.data(), bytes.size()});

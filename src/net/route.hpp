@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace prdma::net {
+
+using NodeId = std::uint32_t;
+
+/// Topology-graph vertex. Hosts occupy [0, host_count); switch `s`
+/// (construction order) is vertex host_count + s. A NodeId is therefore
+/// always a valid Vertex, never the other way around.
+using Vertex = std::uint32_t;
+
+/// One precomputed unidirectional path through the topology: the
+/// directed cables ("ports" — each has its own egress queue) a packet
+/// crosses from the source host to the destination host, in hop order.
+/// Empty for src == dst and for host pairs the graph does not connect
+/// (the fabric then falls back to the flat point-to-point link).
+struct Route {
+  std::vector<std::uint32_t> ports;
+};
+
+/// Deterministic ECMP flow hash: equal-cost next-hop selection is a
+/// pure function of (flow src, flow dst, forwarding vertex), so a flow
+/// is pinned to one path (no packet reordering across equal-cost
+/// members) and the choice is stable across runs, platforms and engine
+/// thread counts. splitmix64 finalizer — same mixer the fabric's link
+/// table uses — so clustered ids spread over the equal-cost set.
+[[nodiscard]] constexpr std::uint64_t ecmp_hash(NodeId src, NodeId dst,
+                                                Vertex at) {
+  std::uint64_t key = (static_cast<std::uint64_t>(src) << 32) ^
+                      (static_cast<std::uint64_t>(dst) << 20) ^ at;
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ULL;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebULL;
+  key ^= key >> 31;
+  return key;
+}
+
+}  // namespace prdma::net

@@ -1,0 +1,190 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace prdma::net {
+
+std::optional<TopologyPreset> preset_from_name(std::string_view name) {
+  if (name == "point-to-point" || name == "p2p") {
+    return TopologyPreset::kPointToPoint;
+  }
+  if (name == "rack") return TopologyPreset::kRack;
+  if (name == "leaf-spine") return TopologyPreset::kLeafSpine;
+  return std::nullopt;
+}
+
+std::string_view preset_name(TopologyPreset preset) {
+  switch (preset) {
+    case TopologyPreset::kPointToPoint: return "point-to-point";
+    case TopologyPreset::kRack: return "rack";
+    case TopologyPreset::kLeafSpine: return "leaf-spine";
+  }
+  return "?";
+}
+
+std::uint32_t Topology::add_switch(std::string name) {
+  switch_names_.push_back(std::move(name));
+  adj_.emplace_back();
+  return static_cast<std::uint32_t>(switch_names_.size() - 1);
+}
+
+std::uint32_t Topology::connect(Vertex a, Vertex b, const LinkParams& ab,
+                                const LinkParams& ba) {
+  if (a >= vertex_count() || b >= vertex_count() || a == b) {
+    throw std::invalid_argument("topology connect: bad vertex pair");
+  }
+  const auto id = static_cast<std::uint32_t>(edges_.size());
+  edges_.push_back(Edge{a, b, ab});
+  adj_[a].push_back(id);
+  edges_.push_back(Edge{b, a, ba});
+  adj_[b].push_back(id + 1);
+  return id;
+}
+
+void Topology::compute_routes() {
+  const std::size_t V = vertex_count();
+  constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+
+  // Hop distance from every vertex to one destination host, by reverse
+  // BFS. Cables are declared in full-duplex pairs, so vertex adjacency
+  // is symmetric and the forward adjacency list serves both directions.
+  const auto distances_to = [&](Vertex dst) {
+    std::vector<std::uint32_t> dist(V, kUnreached);
+    dist[dst] = 0;
+    std::queue<Vertex> q;
+    q.push(dst);
+    while (!q.empty()) {
+      const Vertex v = q.front();
+      q.pop();
+      for (const std::uint32_t e : adj_[v]) {
+        const Vertex n = edges_[e].to;
+        if (dist[n] == kUnreached) {
+          dist[n] = dist[v] + 1;
+          q.push(n);
+        }
+      }
+    }
+    return dist;
+  };
+
+  // Switch owners: hosts at minimal hop distance, (s mod count)-th
+  // smallest id. adj_ ids are construction-ordered, so the candidate
+  // set — and therefore the owner — is a pure function of the graph.
+  owners_.assign(switch_count(), 0);
+  for (std::uint32_t s = 0; s < switch_count(); ++s) {
+    const std::vector<std::uint32_t> dist = distances_to(switch_vertex(s));
+    std::uint32_t best = kUnreached;
+    std::vector<NodeId> candidates;
+    for (Vertex h = 0; h < hosts_; ++h) {
+      if (dist[h] == kUnreached) continue;
+      if (dist[h] < best) {
+        best = dist[h];
+        candidates.clear();
+      }
+      if (dist[h] == best) candidates.push_back(h);
+    }
+    if (candidates.empty()) {
+      throw std::logic_error("topology: switch \"" + switch_names_[s] +
+                             "\" is not reachable from any host");
+    }
+    owners_[s] = candidates[s % candidates.size()];
+  }
+
+  routes_.assign(hosts_ * hosts_, Route{});
+  for (Vertex to = 0; to < hosts_; ++to) {
+    const std::vector<std::uint32_t> dist = distances_to(to);
+    for (Vertex from = 0; from < hosts_; ++from) {
+      if (from == to || dist[from] == kUnreached) continue;
+      Route& r = routes_[static_cast<std::size_t>(from) * hosts_ + to];
+      r.ports.reserve(dist[from]);
+      Vertex cur = from;
+      while (cur != to) {
+        // Equal-cost next hops, in edge-construction order; the flow
+        // hash pins this (from,to) flow to one of them.
+        std::vector<std::uint32_t> next;
+        for (const std::uint32_t e : adj_[cur]) {
+          if (dist[edges_[e].to] + 1 == dist[cur]) next.push_back(e);
+        }
+        const std::uint32_t e =
+            next[ecmp_hash(from, to, cur) % next.size()];
+        r.ports.push_back(e);
+        cur = edges_[e].to;
+      }
+    }
+  }
+}
+
+sim::SimTime Topology::min_propagation() const {
+  sim::SimTime m = std::numeric_limits<sim::SimTime>::max();
+  for (const Edge& e : edges_) m = std::min(m, e.params.propagation);
+  return m;
+}
+
+std::size_t Topology::max_route_hops() const {
+  std::size_t m = 0;
+  for (const Route& r : routes_) m = std::max(m, r.ports.size());
+  return m;
+}
+
+Topology build_topology(const TopologyConfig& cfg, std::size_t hosts,
+                        const LinkParams& host_link) {
+  Topology topo(hosts);
+  if (!cfg.switched() || hosts == 0) return topo;
+
+  LinkParams trunk = host_link;
+  trunk.bandwidth_bytes_per_s *= std::max(cfg.trunk_bw_scale, 0.01);
+  trunk.propagation = std::max<sim::SimTime>(
+      1, static_cast<sim::SimTime>(
+             static_cast<double>(host_link.propagation) *
+             std::max(cfg.trunk_prop_scale, 0.0)));
+
+  if (cfg.preset == TopologyPreset::kRack) {
+    const std::uint32_t tor = topo.add_switch("tor0");
+    for (Vertex h = 0; h < hosts; ++h) {
+      topo.connect(h, topo.switch_vertex(tor), host_link);
+    }
+    topo.compute_routes();
+    return topo;
+  }
+
+  // leaf-spine: hosts striped over racks in id order, every ToR cabled
+  // to every spine.
+  std::uint32_t racks = cfg.hosts_per_rack > 0
+                            ? static_cast<std::uint32_t>(
+                                  (hosts + cfg.hosts_per_rack - 1) /
+                                  cfg.hosts_per_rack)
+                            : cfg.racks;
+  racks = std::max(1u, std::min<std::uint32_t>(
+                           racks, static_cast<std::uint32_t>(hosts)));
+  const std::uint32_t per_rack =
+      static_cast<std::uint32_t>((hosts + racks - 1) / racks);
+  const std::uint32_t spines = std::max(1u, cfg.spines);
+
+  std::vector<std::uint32_t> tors;
+  tors.reserve(racks);
+  for (std::uint32_t r = 0; r < racks; ++r) {
+    tors.push_back(topo.add_switch("tor" + std::to_string(r)));
+  }
+  std::vector<std::uint32_t> spine_ids;
+  spine_ids.reserve(spines);
+  for (std::uint32_t s = 0; s < spines; ++s) {
+    spine_ids.push_back(topo.add_switch("spine" + std::to_string(s)));
+  }
+  for (Vertex h = 0; h < hosts; ++h) {
+    const std::uint32_t r = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(h) / per_rack, racks - 1);
+    topo.connect(h, topo.switch_vertex(tors[r]), host_link);
+  }
+  for (const std::uint32_t t : tors) {
+    for (const std::uint32_t s : spine_ids) {
+      topo.connect(topo.switch_vertex(t), topo.switch_vertex(s), trunk);
+    }
+  }
+  topo.compute_routes();
+  return topo;
+}
+
+}  // namespace prdma::net

@@ -201,7 +201,7 @@ class InlineFunction<R(Args...), Capacity> {
 
 /// Inline budget for simulator events. Sized to the largest hot-path
 /// capture in the tree: the RNIC DMA-completion continuation — `this`,
-/// epoch, address/offset/length bookkeeping, a PayloadPtr and a nested
+/// epoch, address/offset/length bookkeeping, a PayloadRef and a nested
 /// DMA-done InlineFunction (~192 B with padding). sim_test pins the
 /// zero-allocation property end-to-end through a full micro cell, so a
 /// capture outgrowing this budget fails a test instead of silently

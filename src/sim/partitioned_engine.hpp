@@ -51,17 +51,23 @@ void set_current_engine_shard(const void* shard) noexcept;
 /// §7.5): one Simulator shard per partition, advanced in epochs by a
 /// worker pool. Every epoch executes events in [T, T+L) where T is the
 /// global minimum pending timestamp and L the fabric lookahead (half
-/// the minimum link propagation delay), then merges cross-partition
+/// the minimum propagation over every cable — direct links *and*
+/// topology ports, so multi-hop switched fabrics keep the bound from
+/// their shortest trunk), then merges cross-partition
 /// events at a barrier. Cross-partition schedules are routed through
 /// per-(src,dst) outboxes and merged in (time arrival order is handled
 /// by the destination heap; same-timestamp ties resolve in (src
 /// partition, push index) order) — a pure function of the schedule, so
 /// every multi-partition run is byte-identical at any thread count,
-/// and noise-free runs (jitter sigma 0, no loss/load draws) are
-/// additionally byte-identical to the serial engine. Noisy cells are
-/// deterministic but draw from per-link RNG streams instead of the
-/// serial engine's shared stream, so their serial output differs
-/// (DESIGN.md §7.5).
+/// and noise-free runs (jitter sigma 0, no loss/load draws) over
+/// direct-link fabrics are additionally byte-identical to the serial
+/// engine. Noisy cells are deterministic but draw from per-link RNG
+/// streams instead of the serial engine's shared stream, so their
+/// serial output differs (DESIGN.md §7.5). Switched fabrics funnel
+/// many nodes through shared ports, where merged-vs-local ties at one
+/// timestamp order differently than the serial heap — run_micro pins
+/// such cells to the per-node layout at every thread count instead
+/// (DESIGN.md §7.6).
 ///
 /// With one partition the engine is exactly a Simulator: run() calls
 /// shard(0).run() with no epoch machinery, no barriers and no atomics
@@ -75,6 +81,11 @@ class PartitionedEngine {
   [[nodiscard]] std::size_t partitions() const { return shards_.size(); }
   [[nodiscard]] unsigned threads() const { return threads_; }
 
+  /// Node-to-partition mapping is the engine's only placement policy;
+  /// entities without a node of their own map through a deterministic
+  /// anchor node (fabric switches run on Topology::switch_owner's
+  /// shard), so every event lands on the same shard at any thread
+  /// count.
   [[nodiscard]] Simulator& shard(std::size_t p) { return *shards_[p]; }
   [[nodiscard]] Simulator& shard_of_node(std::size_t node) {
     return *shards_[part_of_[node]];

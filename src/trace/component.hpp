@@ -38,6 +38,8 @@ enum class Component : ComponentId {
   kPayloadRefs,    ///< payload handle acquisitions per recycled block
   kReplForward,    ///< replication forwarding hop (chain/mirror, repl/)
   kReplAck,        ///< replication ack back to the application
+  kNetSwitchHop,   ///< switch traversal + egress queue + serialization
+  kNetPortQueue,   ///< egress-queue wait at a topology port (counter, ns)
   kCount
 };
 

@@ -34,6 +34,8 @@ constexpr std::array<NameEntry, kPredefinedComponents> kNames{{
     {"payload_refs", "mem"},    // kPayloadRefs
     {"repl_forward", "rpc"},    // kReplForward
     {"repl_ack", "rpc"},        // kReplAck
+    {"net_switch_hop", "net"},  // kNetSwitchHop
+    {"net_port_queue", "net"},  // kNetPortQueue
 }};
 
 }  // namespace

@@ -183,10 +183,10 @@ TEST(Fabric, LinkTableGrowthPreservesEveryOverride) {
   net::Fabric f(s, rng, def);
   constexpr std::uint32_t kPairs = 300;
   for (std::uint32_t i = 0; i < kPairs; ++i) {
-    f.link(i * 7, i * 13 + 1).propagation = 1000 + i;
+    f.direct_link(i * 7, i * 13 + 1).propagation = 1000 + i;
   }
   for (std::uint32_t i = 0; i < kPairs; ++i) {
-    EXPECT_EQ(f.link(i * 7, i * 13 + 1).propagation, 1000 + i) << i;
+    EXPECT_EQ(f.direct_link(i * 7, i * 13 + 1).propagation, 1000 + i) << i;
   }
   EXPECT_EQ(f.min_propagation(), 1000u);
 }
@@ -207,7 +207,7 @@ TEST(Fabric, LinkTableIsFrozenDuringAPartitionedRun) {
   // Pre-created pairs: looking one up mid-run is fine.
   bool looked_up = false;
   eng.shard(0).schedule_at(1, [&f, &looked_up] {
-    looked_up = f.link(0, 1).propagation > 0;
+    looked_up = f.direct_link(0, 1).propagation > 0;
   });
   eng.run();
   EXPECT_TRUE(looked_up);
@@ -220,7 +220,7 @@ TEST(Fabric, LinkTableIsFrozenDuringAPartitionedRun) {
   f2.bind_engine(&eng2, 42);
   f2.register_node(0, eng2.shard(0), [](net::Packet) {});
   f2.register_node(1, eng2.shard(1), [](net::Packet) {});
-  eng2.shard(0).schedule_at(1, [&f2] { (void)f2.link(0, 5); });
+  eng2.shard(0).schedule_at(1, [&f2] { (void)f2.direct_link(0, 5); });
   EXPECT_THROW(eng2.run(), std::logic_error);
 }
 

@@ -1,0 +1,352 @@
+// Topology-graph network API (src/net/topology.*, DESIGN.md §7.6):
+// preset construction, deterministic shortest-path ECMP routing, the
+// per-port congestion model (incast queueing, PFC pauses) — and the
+// headline contracts: the point-to-point preset is byte-identical to
+// the historical flat fabric, and a switched cell is byte-identical
+// at --engine-threads 1, 2 and 8 (conservative lookahead included).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "bench_util/micro.hpp"
+#include "net/fabric.hpp"
+#include "net/topology.hpp"
+#include "rpcs/registry.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace prdma {
+namespace {
+
+using net::LinkParams;
+using net::Topology;
+using net::TopologyConfig;
+using net::TopologyPreset;
+
+// ------------------------------------------------------ preset names
+
+TEST(TopologyPreset_, NamesRoundTripAndAliasesParse) {
+  EXPECT_EQ(net::preset_from_name("point-to-point"),
+            TopologyPreset::kPointToPoint);
+  EXPECT_EQ(net::preset_from_name("p2p"), TopologyPreset::kPointToPoint);
+  EXPECT_EQ(net::preset_from_name("rack"), TopologyPreset::kRack);
+  EXPECT_EQ(net::preset_from_name("leaf-spine"), TopologyPreset::kLeafSpine);
+  EXPECT_FALSE(net::preset_from_name("torus").has_value());
+  EXPECT_FALSE(net::preset_from_name("").has_value());
+  for (const auto p : {TopologyPreset::kPointToPoint, TopologyPreset::kRack,
+                       TopologyPreset::kLeafSpine}) {
+    EXPECT_EQ(net::preset_from_name(net::preset_name(p)), p);
+  }
+}
+
+// ---------------------------------------------------------- routing
+
+TEST(TopologyGraph, RackRoutesEveryPairThroughTheSingleTor) {
+  TopologyConfig cfg;
+  cfg.preset = TopologyPreset::kRack;
+  const Topology t = net::build_topology(cfg, 5, LinkParams{});
+  ASSERT_TRUE(t.switched());
+  EXPECT_EQ(t.switch_count(), 1u);
+  EXPECT_TRUE(t.routes_computed());
+  EXPECT_EQ(t.max_route_hops(), 2u);
+  const net::Vertex tor = t.switch_vertex(0);
+  for (net::NodeId from = 0; from < 5; ++from) {
+    for (net::NodeId to = 0; to < 5; ++to) {
+      const net::Route& r = t.route(from, to);
+      if (from == to) {
+        EXPECT_TRUE(r.ports.empty());
+        continue;
+      }
+      ASSERT_EQ(r.ports.size(), 2u) << from << "->" << to;
+      EXPECT_EQ(t.edge(r.ports[0]).from, from);
+      EXPECT_EQ(t.edge(r.ports[0]).to, tor);
+      EXPECT_EQ(t.edge(r.ports[1]).from, tor);
+      EXPECT_EQ(t.edge(r.ports[1]).to, to);
+    }
+  }
+  // Host cables inherit the fabric defaults unchanged.
+  EXPECT_EQ(t.min_propagation(), LinkParams{}.propagation);
+}
+
+TEST(TopologyGraph, LeafSpineRoutesAreDeterministicAndEcmpSpreads) {
+  TopologyConfig cfg;
+  cfg.preset = TopologyPreset::kLeafSpine;
+  cfg.racks = 2;
+  cfg.spines = 4;
+  constexpr std::size_t kHosts = 8;
+  const Topology a = net::build_topology(cfg, kHosts, LinkParams{});
+  const Topology b = net::build_topology(cfg, kHosts, LinkParams{});
+  ASSERT_EQ(a.switch_count(), 2u + 4u);  // 2 ToRs + 4 spines
+  EXPECT_EQ(a.max_route_hops(), 4u);
+
+  std::set<net::Vertex> spines_used;
+  for (net::NodeId from = 0; from < kHosts; ++from) {
+    for (net::NodeId to = 0; to < kHosts; ++to) {
+      const net::Route& ra = a.route(from, to);
+      const net::Route& rb = b.route(from, to);
+      // Same graph, same seeds: the table is reproducible build to
+      // build (ECMP choices are pure functions of (src, dst, vertex)).
+      EXPECT_EQ(ra.ports, rb.ports) << from << "->" << to;
+      if (from == to) continue;
+      const bool same_rack = (from / 4) == (to / 4);
+      ASSERT_EQ(ra.ports.size(), same_rack ? 2u : 4u) << from << "->" << to;
+      if (!same_rack) {
+        const net::Vertex spine = a.edge(ra.ports[1]).to;
+        EXPECT_TRUE(a.is_switch(spine));
+        spines_used.insert(spine);
+      }
+    }
+  }
+  // 32 directed inter-rack flows hashed over 4 spines must not all
+  // collapse onto one trunk.
+  EXPECT_GE(spines_used.size(), 2u);
+
+  // Forwarding ownership: every switch is anchored to a host at
+  // minimal hop distance, deterministically.
+  for (std::uint32_t s = 0; s < a.switch_count(); ++s) {
+    EXPECT_EQ(a.switch_owner(s), b.switch_owner(s));
+    EXPECT_LT(a.switch_owner(s), kHosts);
+  }
+}
+
+// --------------------------------------- point-to-point byte parity
+
+struct DriveLog {
+  std::vector<std::pair<sim::SimTime, std::uint64_t>> arrivals;
+  std::vector<sim::SimTime> accepted;
+  std::uint64_t delivered = 0;
+  std::uint64_t bytes = 0;
+  sim::SimTime min_prop = 0;
+
+  bool operator==(const DriveLog&) const = default;
+};
+
+/// Runs the same packet program against a fabric with (or without) the
+/// point-to-point topology installed. Background load + jitter make
+/// the run consume queueing and noise draws from the shared RNG, so
+/// any divergence in draw order or arithmetic shows up as a different
+/// arrival timestamp.
+DriveLog drive_p2p(bool install_topology) {
+  sim::Simulator s;
+  sim::Rng rng(11);
+  LinkParams def;
+  def.background_load = 0.3;
+  net::Fabric f(s, rng, def);
+  if (install_topology) f.set_topology(TopologyConfig{}, 3);
+
+  DriveLog log;
+  for (net::NodeId n = 0; n < 3; ++n) {
+    f.register_node(n, [&log, &s](net::Packet p) {
+      log.arrivals.emplace_back(s.now(), p.wr_id);
+    });
+  }
+  const auto send_at = [&s, &f, &log](sim::SimTime t, net::NodeId src,
+                                      net::NodeId dst, std::uint64_t wr,
+                                      std::uint64_t len) {
+    s.schedule_at(t, [&f, &log, src, dst, wr, len] {
+      net::Packet p;
+      p.src = src;
+      p.dst = dst;
+      p.wr_id = wr;
+      p.op = net::WireOp::kWrite;
+      p.length = len;
+      log.accepted.push_back(f.send(std::move(p)));
+    });
+  };
+  send_at(0, 1, 0, 1, 8192);     // two senders racing for node 0
+  send_at(0, 2, 0, 2, 4096);
+  send_at(100, 1, 0, 3, 256);    // queues behind wr 1 on the same link
+  send_at(5000, 0, 2, 4, 64 * 1024);
+  send_at(5000, 0, 1, 5, 512);
+  s.run();
+
+  log.delivered = f.packets_delivered();
+  log.bytes = f.bytes_carried();
+  log.min_prop = f.min_propagation();
+  return log;
+}
+
+TEST(FabricParity, PointToPointPresetIsByteIdenticalToTheFlatFabric) {
+  const DriveLog flat = drive_p2p(false);
+  const DriveLog preset = drive_p2p(true);
+  EXPECT_EQ(flat, preset);
+  ASSERT_EQ(flat.arrivals.size(), 5u);
+  ASSERT_EQ(flat.accepted.size(), 5u);
+}
+
+TEST(FabricParity, PointToPointInstallsTheGraphButKeepsTheDirectPath) {
+  sim::Simulator s;
+  sim::Rng rng(1);
+  net::Fabric f(s, rng, LinkParams{});
+  f.set_topology(TopologyConfig{}, 4);
+  ASSERT_NE(f.topology(), nullptr);
+  EXPECT_FALSE(f.routed());
+  EXPECT_EQ(f.port_count(), 0u);
+  EXPECT_EQ(f.switch_hops(), 0u);
+}
+
+TEST(FabricParity, DeprecatedLinkForwardsToDirectLink) {
+  sim::Simulator s;
+  sim::Rng rng(1);
+  net::Fabric f(s, rng, LinkParams{});
+  LinkParams& via_new = f.direct_link(0, 1);
+  via_new.propagation = 4242;
+  EXPECT_EQ(&f.link(0, 1), &via_new);  // same slot, one warning only
+  EXPECT_EQ(f.link(0, 1).propagation, 4242u);
+}
+
+// ------------------------------------------------ congestion model
+
+struct IncastStats {
+  sim::SimTime peak_queue = 0;
+  std::uint64_t switch_hops = 0;
+  std::uint64_t pfc_pauses = 0;
+};
+
+/// `clients` hosts fire one 64 KB write at host 0 at t=0 through a
+/// single ToR: the fan-in port (ToR -> host 0) serializes them and the
+/// backlog is the incast signal.
+IncastStats incast(std::uint32_t clients, bool pfc) {
+  sim::Simulator s;
+  sim::Rng rng(5);
+  LinkParams def;
+  def.jitter_sigma = 0.0;
+  net::Fabric f(s, rng, def);
+  TopologyConfig cfg;
+  cfg.preset = TopologyPreset::kRack;
+  cfg.pfc = pfc;
+  cfg.pfc_threshold = 1024;
+  f.set_topology(cfg, clients + 1);
+  for (net::NodeId n = 0; n <= clients; ++n) {
+    f.register_node(n, [](net::Packet) {});
+  }
+  for (net::NodeId c = 1; c <= clients; ++c) {
+    s.schedule_at(0, [&f, c] {
+      net::Packet p;
+      p.src = c;
+      p.dst = 0;
+      p.op = net::WireOp::kWrite;
+      p.length = 64 * 1024;
+      (void)f.send(std::move(p));
+    });
+  }
+  s.run();
+  IncastStats out;
+  out.peak_queue = f.max_port_queue_ns();
+  out.switch_hops = f.switch_hops();
+  out.pfc_pauses = f.pfc_pauses();
+  EXPECT_EQ(f.packets_delivered(), clients);
+  return out;
+}
+
+TEST(Congestion, IncastGrowsThePortQueueMonotonically) {
+  const IncastStats one = incast(1, false);
+  const IncastStats two = incast(2, false);
+  const IncastStats eight = incast(8, false);
+  EXPECT_EQ(one.peak_queue, 0u);   // a lone packet never waits
+  EXPECT_GT(two.peak_queue, one.peak_queue);
+  EXPECT_GT(eight.peak_queue, two.peak_queue);
+  // Each packet traverses the ToR exactly once.
+  EXPECT_EQ(one.switch_hops, 1u);
+  EXPECT_EQ(eight.switch_hops, 8u);
+  EXPECT_EQ(eight.pfc_pauses, 0u);  // pfc off: backlog rides the queue
+}
+
+TEST(Congestion, PfcSurfacesPausesPastTheBacklogThreshold) {
+  EXPECT_EQ(incast(1, true).pfc_pauses, 0u);
+  EXPECT_GT(incast(8, true).pfc_pauses, 0u);
+}
+
+// --------------------------------- switched cells x engine threads
+
+bench::MicroConfig switched_cell(const TopologyConfig& topology,
+                                 unsigned threads, double sigma = 0.0) {
+  bench::MicroConfig mc;
+  mc.objects = 512;
+  mc.object_size = 4096;
+  mc.ops = 600;
+  mc.clients = 3;
+  mc.jitter_sigma = sigma;
+  mc.engine_threads = threads;
+  mc.topology = topology;
+  return mc;
+}
+
+/// Every model-visible field, plus the topology counters (engine_test
+/// owns the same check for the point-to-point fabric).
+void expect_model_identical(const bench::MicroResult& a,
+                            const bench::MicroResult& b,
+                            std::string_view what) {
+  EXPECT_EQ(a.duration, b.duration) << what;
+  EXPECT_EQ(a.ops_completed, b.ops_completed) << what;
+  EXPECT_EQ(a.sim_events, b.sim_events) << what;
+  EXPECT_EQ(a.latency.count(), b.latency.count()) << what;
+  EXPECT_EQ(a.latency.sum(), b.latency.sum()) << what;
+  EXPECT_EQ(a.latency.min(), b.latency.min()) << what;
+  EXPECT_EQ(a.latency.max(), b.latency.max()) << what;
+  EXPECT_EQ(a.durable_latency.sum(), b.durable_latency.sum()) << what;
+  EXPECT_EQ(a.server.ops_processed, b.server.ops_processed) << what;
+  EXPECT_EQ(a.server.critical_sw_ns, b.server.critical_sw_ns) << what;
+  EXPECT_EQ(a.sender_sw_ns, b.sender_sw_ns) << what;
+  EXPECT_EQ(a.receiver_sw_ns, b.receiver_sw_ns) << what;
+  EXPECT_EQ(a.kops, b.kops) << what;
+  EXPECT_EQ(a.net_switch_hops, b.net_switch_hops) << what;
+  EXPECT_EQ(a.net_max_port_queue_ns, b.net_max_port_queue_ns) << what;
+  EXPECT_EQ(a.net_pfc_pauses, b.net_pfc_pauses) << what;
+}
+
+TEST(SwitchedParity, LeafSpineCellsAreByteIdenticalAcrossThreadCounts) {
+  TopologyConfig topo;
+  topo.preset = TopologyPreset::kLeafSpine;
+  topo.racks = 2;
+  const auto r1 =
+      bench::run_micro(rpcs::System::kWFlushRpc, switched_cell(topo, 1));
+  const auto r2 =
+      bench::run_micro(rpcs::System::kWFlushRpc, switched_cell(topo, 2));
+  const auto r8 =
+      bench::run_micro(rpcs::System::kWFlushRpc, switched_cell(topo, 8));
+  ASSERT_GT(r1.ops_completed, 0u);
+  EXPECT_GT(r1.net_switch_hops, 0u);
+  expect_model_identical(r1, r2, "leaf-spine x2");
+  expect_model_identical(r1, r8, "leaf-spine x8");
+}
+
+TEST(SwitchedParity, JitteredRackCellMatchesSerialExactly) {
+  // Per-port RNG streams are seeded from the bind_engine seed and the
+  // edge id (never the shared serial stream), and the jitter clamp is
+  // unconditional on routed paths — so even a noisy switched cell is
+  // reproducible across thread counts.
+  TopologyConfig topo;
+  topo.preset = TopologyPreset::kRack;
+  const auto r1 = bench::run_micro(rpcs::System::kWFlushRpc,
+                                   switched_cell(topo, 1, 0.03));
+  const auto r2 = bench::run_micro(rpcs::System::kWFlushRpc,
+                                   switched_cell(topo, 2, 0.03));
+  ASSERT_GT(r1.ops_completed, 0u);
+  expect_model_identical(r1, r2, "rack jittered x2");
+}
+
+TEST(SwitchedParity, ShortTrunksStayInsideTheConservativeLookahead) {
+  // trunk_prop_scale < 1 shrinks the fabric-wide minimum propagation:
+  // the engine's lookahead must follow it (min over topology ports,
+  // not just direct links), or a spine hop lands below the horizon and
+  // the violation guard throws.
+  TopologyConfig topo;
+  topo.preset = TopologyPreset::kLeafSpine;
+  topo.racks = 2;
+  topo.trunk_prop_scale = 0.25;
+  const auto r1 =
+      bench::run_micro(rpcs::System::kWFlushRpc, switched_cell(topo, 1));
+  const auto r2 =
+      bench::run_micro(rpcs::System::kWFlushRpc, switched_cell(topo, 2));
+  ASSERT_GT(r1.ops_completed, 0u);
+  expect_model_identical(r1, r2, "short trunks x2");
+}
+
+}  // namespace
+}  // namespace prdma
