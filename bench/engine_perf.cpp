@@ -519,6 +519,7 @@ int main(int argc, char** argv) {
   bench::Json scaling_rows = bench::Json::array();
   double scale_serial_secs = 0.0;
   bench::MicroResult scale_serial;
+  std::uint64_t partitioned_epochs = 0;
   bool scaling_identical = true;
   for (const unsigned t : kScaleThreads) {
     double secs = 0.0;
@@ -529,7 +530,7 @@ int main(int argc, char** argv) {
     }
     // The whole contract: every model-visible stat equals the serial
     // engine's, no matter how many workers advanced the partitions.
-    const bool same = res.duration == scale_serial.duration &&
+    bool same = res.duration == scale_serial.duration &&
                       res.ops_completed == scale_serial.ops_completed &&
                       res.sim_events == scale_serial.sim_events &&
                       res.kops == scale_serial.kops &&
@@ -538,6 +539,14 @@ int main(int argc, char** argv) {
                           scale_serial.durable_latency.sum() &&
                       res.server.ops_processed ==
                           scale_serial.server.ops_processed;
+    // The epoch count is part of the deterministic schedule of a
+    // layout: every partitioned run (threads > 1 shards per node
+    // here; the serial run is one partition with no epochs) must
+    // agree on it exactly.
+    if (t > 1) {
+      if (partitioned_epochs == 0) partitioned_epochs = res.engine_epochs;
+      same = same && res.engine_epochs == partitioned_epochs;
+    }
     scaling_identical = scaling_identical && same;
     const double eps = static_cast<double>(res.sim_events) / secs;
     const double speedup = scale_serial_secs / secs;
@@ -550,6 +559,9 @@ int main(int argc, char** argv) {
         .set("wall_secs", bench::Json::num(secs))
         .set("events_per_sec", bench::Json::num(eps))
         .set("speedup", bench::Json::num(speedup))
+        .set("partitions", bench::Json::num(res.engine_partitions))
+        .set("epochs", bench::Json::num(res.engine_epochs))
+        .set("barrier_wall_ns", bench::Json::num(res.engine_barrier_wall_ns))
         .set("identical", bench::Json::boolean(same));
     scaling_rows.push(std::move(row));
   }

@@ -7,10 +7,12 @@
 #include <stdexcept>
 
 #include "core/node.hpp"
+#include "net/topology.hpp"
 #include "sim/rng.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "trace/export.hpp"
+#include "workload/client_pool.hpp"
 
 namespace prdma::bench {
 
@@ -144,6 +146,18 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
       cfg.replication.protocol == repl::Protocol::kChain;
   if (chain || cfg.trace_mode == trace::Mode::kFull) {
     ecfg.partitioning = sim::EngineConfig::Partitioning::kSingle;
+  } else if (cfg.partitioning != sim::EngineConfig::Partitioning::kAuto) {
+    // Explicit layout override (rack_scale's per-node vs per-rack
+    // barrier-count A/B). Cluster fills the per-rack map if needed.
+    ecfg.partitioning = cfg.partitioning;
+  } else if (cfg.topology.switched() &&
+             net::rack_count(cfg.topology, server_nodes + cfg.clients) >= 2) {
+    // Multi-rack fabrics partition per rack (DESIGN.md §7.7): only
+    // the ToR-spine trunks cross partitions, so the conservative
+    // lookahead grows from half the shortest cable to half the trunk
+    // propagation and whole racks advance without a barrier. Pinned
+    // at every thread count, like per-node below.
+    ecfg.partitioning = sim::EngineConfig::Partitioning::kPerRack;
   } else if (cfg.topology.switched()) {
     // Switched fabrics interleave many nodes' packets through shared
     // egress ports, so same-timestamp ties between merged cross-
@@ -153,6 +167,7 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
     // value then replays the identical partitioned schedule.
     ecfg.partitioning = sim::EngineConfig::Partitioning::kPerNode;
   }
+  ecfg.adaptive_epochs = cfg.adaptive_epochs;
   core::Cluster cluster(params, server_nodes + cfg.clients, ecfg);
   cluster.enable_tracing(cfg.trace_mode, cfg.trace_capacity);
   trace::Tracer& tracer = cluster.tracer();
@@ -185,15 +200,44 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   const std::uint64_t ops_per_loop =
       std::max<std::uint64_t>(1, cfg.ops / (cfg.clients * depth));
   std::vector<std::unique_ptr<DriverShard>> shards;
-  shards.reserve(cfg.clients * depth);
-  for (std::size_t c = 0; c < cfg.clients; ++c) {
-    for (std::uint32_t d = 0; d < depth; ++d) {
-      shards.push_back(std::make_unique<DriverShard>());
-      ClientDriver drv{dep.clients[c].get(), ops_per_loop,
-                       shards.back().get(),
-                       sim::Rng(cfg.seed * 7919 + c * 64 + d)};
-      sim::spawn(drive_client(drv, cfg, params.object_count,
-                              cluster.sim_of(client_nodes[c])));
+  std::vector<std::unique_ptr<workload::ClientPool>> pools;
+  if (cfg.clients_per_host > 0) {
+    // Aggregated closed-loop mode (DESIGN.md §7.7): one ClientPool per
+    // host stands in for clients_per_host virtual clients — the 512-
+    // host rack_scale points drive half a million clients this way.
+    if (cfg.batch > 1) {
+      throw std::invalid_argument(
+          "clients_per_host mode issues single-op RPCs; batch must be 1");
+    }
+    const std::uint64_t ops_per_host =
+        std::max<std::uint64_t>(1, cfg.ops / cfg.clients);
+    pools.reserve(cfg.clients);
+    for (std::size_t c = 0; c < cfg.clients; ++c) {
+      workload::ClientPoolConfig pc;
+      pc.clients = cfg.clients_per_host;
+      pc.total_ops = ops_per_host;
+      pc.max_outstanding = std::max<std::uint32_t>(1, cfg.client_outstanding);
+      pc.mean_think_ns = cfg.client_think_ns;
+      pc.read_ratio = cfg.read_ratio;
+      pc.op_len = cfg.object_size;
+      pc.object_count = params.object_count;
+      pc.zipf_theta = cfg.zipf_theta;
+      pc.seed = cfg.seed * 7919 + c * 64;  // same stream family as classic
+      pools.push_back(std::make_unique<workload::ClientPool>(
+          cluster.sim_of(client_nodes[c]), *dep.clients[c], std::move(pc)));
+      pools.back()->start();
+    }
+  } else {
+    shards.reserve(cfg.clients * depth);
+    for (std::size_t c = 0; c < cfg.clients; ++c) {
+      for (std::uint32_t d = 0; d < depth; ++d) {
+        shards.push_back(std::make_unique<DriverShard>());
+        ClientDriver drv{dep.clients[c].get(), ops_per_loop,
+                         shards.back().get(),
+                         sim::Rng(cfg.seed * 7919 + c * 64 + d)};
+        sim::spawn(drive_client(drv, cfg, params.object_count,
+                                cluster.sim_of(client_nodes[c])));
+      }
     }
   }
 
@@ -213,6 +257,16 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
     result.read_latency.merge(shard->res.read_latency);
     result.durable_latency.merge(shard->res.durable_latency);
   }
+  for (const auto& pool : pools) {
+    finished = finished && pool->done();
+    end_time = std::max(end_time, pool->finished_at());
+    const workload::ClientPoolStats& s = pool->stats();
+    result.ops_completed += s.ops_completed;
+    result.latency.merge(s.latency);
+    result.write_latency.merge(s.write_latency);
+    result.read_latency.merge(s.read_latency);
+    result.durable_latency.merge(s.durable_latency);
+  }
   if (!finished) {
     // Deadlock/bug guard: report what completed.
     end_time = std::max(end_time, cluster.engine().max_now());
@@ -222,6 +276,9 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   result.server = dep.server->stats();
   result.sim_events = cluster.events_executed();
   result.sim_pool_allocs = cluster.sim_pool_allocations();
+  result.engine_partitions = cluster.engine().partitions();
+  result.engine_epochs = cluster.engine().epochs();
+  result.engine_barrier_wall_ns = cluster.engine().barrier_wall_ns();
   result.net_switch_hops = cluster.fabric().switch_hops();
   result.net_max_port_queue_ns = cluster.fabric().max_port_queue_ns();
   result.net_pfc_pauses = cluster.fabric().pfc_pauses();

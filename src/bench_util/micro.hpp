@@ -10,6 +10,7 @@
 #include "mem/device.hpp"
 #include "repl/replication.hpp"
 #include "rpcs/registry.hpp"
+#include "sim/partitioned_engine.hpp"
 #include "stats/breakdown.hpp"
 #include "stats/histogram.hpp"
 #include "trace/tracer.hpp"
@@ -43,6 +44,33 @@ struct MicroConfig {
   /// rack/leaf-spine cell replays the identical partitioned schedule
   /// at every --engine-threads value (DESIGN.md §7.6).
   unsigned engine_threads = 1;
+  /// Engine partition layout override. kAuto (the default) applies the
+  /// policy above: chain replication / kFull tracing pin a single
+  /// partition, switched cells with >= 2 racks pin the per-rack layout
+  /// at every thread count, remaining switched cells pin per-node.
+  /// kPerRack / kPerNode / kSingle force a layout for A/B comparisons
+  /// (rack_scale's barrier-count experiment); chain/kFull still win.
+  sim::EngineConfig::Partitioning partitioning =
+      sim::EngineConfig::Partitioning::kAuto;
+  /// Adaptive epoch extension (DESIGN.md §7.7): per-partition horizons
+  /// grow beyond the static lookahead whenever the other partitions'
+  /// earliest pending work allows. A pure function of the schedule —
+  /// stats are pinned byte-identical on vs off (engine_test).
+  bool adaptive_epochs = true;
+  /// Aggregated closed-loop load (DESIGN.md §7.7): when > 0, every
+  /// client host drives this many virtual closed-loop clients through
+  /// one workload::ClientPool (shared RNG, exponential think times,
+  /// at most client_outstanding requests in flight per host) instead
+  /// of spawning one coroutine per client × pipeline-depth. This is
+  /// what lets rack_scale reach 512 hosts × 1000 clients. 0 keeps the
+  /// classic per-coroutine driver. Requires batch == 1.
+  std::uint64_t clients_per_host = 0;
+  /// Mean exponential think time between a virtual client's completion
+  /// and its next request (clients_per_host mode only).
+  prdma::sim::SimTime client_think_ns = 0;
+  /// Bound on concurrently outstanding requests per host pool
+  /// (clients_per_host mode only).
+  std::uint32_t client_outstanding = 8;
   /// Fabric shape (DESIGN.md §7.6). The default point-to-point preset
   /// reproduces the historical flat fabric byte for byte; rack /
   /// leaf-spine route packets over switches with per-port egress
@@ -123,6 +151,15 @@ struct MicroResult {
   mem::BufferPoolStats pool;
   /// Event-pool heap refills in the simulator (steady state: 0 per op).
   std::uint64_t sim_pool_allocs = 0;
+  // ---- partitioned-engine accounting (DESIGN.md §7.7) ----
+  /// Partitions the cell's engine sharded the cluster into (1 = serial).
+  std::uint64_t engine_partitions = 0;
+  /// Lookahead epochs (barrier rounds) the run executed. Deterministic:
+  /// a pure function of config + seed, identical at every thread count.
+  std::uint64_t engine_epochs = 0;
+  /// Wall-clock nanoseconds workers spent inside epoch barriers. Host
+  /// telemetry — excluded from every determinism/identity comparison.
+  std::uint64_t engine_barrier_wall_ns = 0;
 
   [[nodiscard]] double avg_us() const { return latency.mean() / 1e3; }
   [[nodiscard]] double p95_us() const {

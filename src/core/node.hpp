@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -134,10 +135,37 @@ class Node {
 /// epoch loop (DESIGN.md §7.5).
 class Cluster {
  public:
+  /// Resolves an EngineConfig against the declared topology before the
+  /// engine is built (member-init order: engine_ precedes fabric_):
+  /// kAuto promotes to kPerRack whenever the worker count and the
+  /// fabric allow it (threads > 1, switched preset, >= 2 racks), and a
+  /// kPerRack request with no explicit map derives one from the
+  /// topology's rack striping (net::rack_partition_map) — each ToR and
+  /// its hosts share a partition; spines follow their deterministic
+  /// owner host (Topology::switch_owner).
+  [[nodiscard]] static sim::EngineConfig resolve_engine_config(
+      const ModelParams& params, std::size_t node_count,
+      sim::EngineConfig engine) {
+    using Partitioning = sim::EngineConfig::Partitioning;
+    if (engine.partitioning == Partitioning::kAuto && engine.threads > 1 &&
+        params.topology.switched() &&
+        net::rack_count(params.topology, node_count) >= 2) {
+      engine.partitioning = Partitioning::kPerRack;
+    }
+    if (engine.partitioning == Partitioning::kPerRack &&
+        engine.partition_map.empty()) {
+      const std::vector<std::uint32_t> racks =
+          net::rack_partition_map(params.topology, node_count);
+      engine.partition_map.assign(racks.begin(), racks.end());
+    }
+    return engine;
+  }
+
   explicit Cluster(const ModelParams& params, std::size_t node_count = 2,
                    sim::EngineConfig engine = {})
       : params_(params),
-        engine_(node_count, engine),
+        engine_(node_count,
+                resolve_engine_config(params, node_count, std::move(engine))),
         rng_(params.seed),
         fabric_(engine_.shard(0), rng_, params.link) {
     fabric_.bind_engine(&engine_, params.seed);
@@ -224,7 +252,15 @@ class Cluster {
   /// then folds shard tracer totals into tracer().
   void run() {
     if (engine_.partitions() > 1) {
-      const sim::SimTime min_prop = fabric_.min_propagation();
+      // Lookahead from the cables that can actually cross a partition
+      // boundary: under per-rack partitioning only the trunks do, so L
+      // grows with the inter-rack propagation instead of being pinned
+      // to the shortest intra-rack cable (DESIGN.md §7.7). Falls back
+      // to the global minimum when nothing is known to cross.
+      sim::SimTime min_prop = fabric_.min_cross_partition_propagation();
+      if (min_prop == std::numeric_limits<sim::SimTime>::max()) {
+        min_prop = fabric_.min_propagation();
+      }
       if (min_prop < 2) {
         throw std::logic_error(
             "multi-partition run requires link propagation >= 2 ns "
@@ -233,6 +269,13 @@ class Cluster {
       engine_.set_lookahead(std::max<sim::SimTime>(1, min_prop / 2));
     }
     engine_.run();
+    // Epoch/barrier telemetry: the epoch count is deterministic (a
+    // pure function of the schedule); barrier wall-ns is host noise and
+    // excluded from every model-identity comparison.
+    tracer_.counter(trace::Component::kEngineEpochs, engine_.max_now(),
+                    engine_.epochs(), 0);
+    tracer_.counter(trace::Component::kEngineBarrierNs, engine_.max_now(),
+                    engine_.barrier_wall_ns(), 0);
     for (auto& t : shard_tracers_) {
       if (!t->enabled()) continue;
       tracer_.merge_totals_from(*t);

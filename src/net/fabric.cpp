@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 namespace prdma::net {
@@ -30,10 +30,22 @@ void Fabric::precreate_links(NodeId id) {
   // partition, but the open-addressing probe walks shared slots), so
   // the table must be frozen before run(): materialize both directions
   // between `id` and every known node now, while still single-threaded.
+  // Pairs the switch graph routes never reach the flat table (send()
+  // prefers a non-empty route), so only unrouted pairs materialize —
+  // a 512-host leaf-spine would otherwise eagerly build ~260 K dead
+  // links, each with a private RNG stream.
+  const std::size_t hosts = topo_ != nullptr ? topo_->host_count() : 0;
   for (std::size_t other = 0; other < nodes_.size(); ++other) {
     if (other == id) continue;
-    state(id, static_cast<NodeId>(other));
-    state(static_cast<NodeId>(other), id);
+    const auto o = static_cast<NodeId>(other);
+    if (routed() && id < hosts && other < hosts) {
+      if (!topo_->route(id, o).ports.empty() &&
+          !topo_->route(o, id).ports.empty()) {
+        continue;
+      }
+    }
+    state(id, o);
+    state(o, id);
   }
 }
 
@@ -132,16 +144,54 @@ LinkParams& Fabric::direct_link(NodeId from, NodeId to) {
   return state(from, to).params;
 }
 
-LinkParams& Fabric::link(NodeId from, NodeId to) {
-  static std::atomic<bool> warned{false};
-  if (!warned.exchange(true, std::memory_order_relaxed)) {
-    std::fprintf(stderr,
-                 "net::Fabric::link(from,to) is deprecated (kept one "
-                 "release): per-pair mutation only reaches the degenerate "
-                 "point-to-point table — declare a net::Topology (or pass "
-                 "--topology) instead; forwarding to direct_link()\n");
+sim::SimTime Fabric::min_cross_partition_propagation() const {
+  constexpr sim::SimTime kNever = std::numeric_limits<sim::SimTime>::max();
+  if (!partitioned_) return kNever;
+  sim::SimTime m = kNever;
+
+  const auto host_partition = [&](NodeId id) -> std::size_t {
+    return id < nodes_.size() ? nodes_[id].partition
+                              : engine_->partition_of_node(id);
+  };
+
+  // Routed ports: the conservative floor guarantees a hop's arrival
+  // lands >= propagation/2 after the send executes (jitter clamp), so
+  // a port bounds the lookahead only when the arrival can execute on a
+  // different partition than the send.
+  for (const Port& port : ports_) {
+    bool crosses = false;
+    if (!topo_->is_switch(port.to)) {
+      crosses = host_partition(static_cast<NodeId>(port.to)) != port.partition;
+    } else {
+      for (const Port& next : ports_) {
+        if (next.from == port.to && next.partition != port.partition) {
+          crosses = true;
+          break;
+        }
+      }
+    }
+    if (crosses) m = std::min(m, port.params.propagation);
   }
-  return direct_link(from, to);
+
+  // Direct links: only host pairs the routed graph does not cover can
+  // reach the flat table (send() prefers a non-empty route), so the
+  // precreated default-propagation entries between routed hosts are
+  // unreachable and excluded.
+  const std::size_t hosts = topo_ != nullptr ? topo_->host_count() : 0;
+  for (const LinkSlot& slot : links_) {
+    if (slot.key == kEmptyKey) continue;
+    const auto from = static_cast<NodeId>(slot.key >> 32);
+    const auto to = static_cast<NodeId>(slot.key & 0xffffffffu);
+    if (routed() && from != to && from < hosts && to < hosts &&
+        !topo_->route(from, to).ports.empty()) {
+      continue;
+    }
+    if (from >= nodes_.size() || to >= nodes_.size() ||
+        nodes_[from].partition != nodes_[to].partition) {
+      m = std::min(m, slot.state.params.propagation);
+    }
+  }
+  return m;
 }
 
 sim::SimTime Fabric::min_propagation() const {

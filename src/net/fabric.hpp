@@ -95,11 +95,18 @@ class Fabric {
   /// only consulted for host pairs the graph leaves disconnected.
   LinkParams& direct_link(NodeId from, NodeId to);
 
-  /// Deprecated (one release): pre-topology callers mutated directed
-  /// (from,to) pairs one at a time. Forwards to the degenerate
-  /// point-to-point table (direct_link) and warns once per process —
-  /// declare a Topology / pass --topology instead.
-  LinkParams& link(NodeId from, NodeId to);
+  /// Minimum one-way propagation over every cable whose traversal can
+  /// cross an engine-partition boundary — the basis of the per-rack
+  /// conservative lookahead (DESIGN.md §7.7). A routed port crosses
+  /// when any of its successors (the destination host, or the ports
+  /// out of its destination switch) executes on a different partition;
+  /// a direct link crosses when its endpoints' partitions differ *and*
+  /// the graph leaves the pair unrouted (routed pairs never take the
+  /// flat table, so its default-propagation entries must not shrink
+  /// the bound below the trunks'). Returns SimTime max when no cable
+  /// crosses (single partition, or not bound to an engine) — callers
+  /// fall back to min_propagation().
+  [[nodiscard]] sim::SimTime min_cross_partition_propagation() const;
 
   /// Applies `fn` (any LinkParams& callable) to the default
   /// parameters, every direct point-to-point link and every topology

@@ -187,4 +187,38 @@ Topology build_topology(const TopologyConfig& cfg, std::size_t hosts,
   return topo;
 }
 
+std::uint32_t rack_count(const TopologyConfig& cfg, std::size_t hosts) {
+  if (hosts == 0) return 0;
+  if (!cfg.switched()) return static_cast<std::uint32_t>(hosts);
+  if (cfg.preset == TopologyPreset::kRack) return 1;
+  std::uint32_t racks = cfg.hosts_per_rack > 0
+                            ? static_cast<std::uint32_t>(
+                                  (hosts + cfg.hosts_per_rack - 1) /
+                                  cfg.hosts_per_rack)
+                            : cfg.racks;
+  return std::max(1u, std::min<std::uint32_t>(
+                          racks, static_cast<std::uint32_t>(hosts)));
+}
+
+std::vector<std::uint32_t> rack_partition_map(const TopologyConfig& cfg,
+                                              std::size_t hosts) {
+  std::vector<std::uint32_t> map(hosts, 0);
+  if (hosts == 0) return map;
+  if (!cfg.switched()) {
+    for (std::size_t h = 0; h < hosts; ++h) {
+      map[h] = static_cast<std::uint32_t>(h);
+    }
+    return map;
+  }
+  if (cfg.preset == TopologyPreset::kRack) return map;
+  const std::uint32_t racks = rack_count(cfg, hosts);
+  const std::uint32_t per_rack =
+      static_cast<std::uint32_t>((hosts + racks - 1) / racks);
+  for (std::size_t h = 0; h < hosts; ++h) {
+    map[h] = std::min<std::uint32_t>(
+        static_cast<std::uint32_t>(h / per_rack), racks - 1);
+  }
+  return map;
+}
+
 }  // namespace prdma::net

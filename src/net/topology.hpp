@@ -172,4 +172,20 @@ class Topology {
                                       std::size_t hosts,
                                       const LinkParams& host_link);
 
+/// How many racks the preset materializes for `hosts` hosts — the same
+/// derivation build_topology uses (hosts_per_rack wins over racks,
+/// clamped to [1, hosts]). Point-to-point has no switches, so every
+/// host is its own "rack" (per-rack partitioning degenerates to
+/// per-node); the single-ToR rack preset is one rack.
+[[nodiscard]] std::uint32_t rack_count(const TopologyConfig& cfg,
+                                       std::size_t hosts);
+
+/// Per-host rack index, mirroring build_topology's id-order striping
+/// exactly (host h -> min(h / per_rack, racks - 1) under leaf-spine).
+/// This is the engine partition map for Partitioning::kPerRack; switch
+/// forwarding events already run on Topology::switch_owner's shard, so
+/// a spine lands in the partition of its deterministic owner host.
+[[nodiscard]] std::vector<std::uint32_t> rack_partition_map(
+    const TopologyConfig& cfg, std::size_t hosts);
+
 }  // namespace prdma::net

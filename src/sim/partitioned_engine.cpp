@@ -1,6 +1,7 @@
 #include "sim/partitioned_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -58,31 +59,59 @@ void set_current_engine_shard(const void* shard) noexcept {
 }  // namespace detail
 
 PartitionedEngine::PartitionedEngine(std::size_t node_count, EngineConfig cfg)
-    : threads_(std::max(1u, cfg.threads)) {
-  bool per_node = false;
-  switch (cfg.partitioning) {
-    case EngineConfig::Partitioning::kAuto:
-      per_node = threads_ > 1;
-      break;
-    case EngineConfig::Partitioning::kSingle:
-      per_node = false;
-      break;
-    case EngineConfig::Partitioning::kPerNode:
-      per_node = true;
-      break;
+    : threads_(std::max(1u, cfg.threads)), adaptive_(cfg.adaptive_epochs) {
+  const std::size_t nodes = std::max<std::size_t>(1, node_count);
+  part_of_.resize(nodes);
+  std::size_t partitions = 1;
+  if (cfg.partitioning == EngineConfig::Partitioning::kPerRack) {
+    if (cfg.partition_map.size() < nodes) {
+      throw std::invalid_argument(
+          "kPerRack requires a partition_map covering every node (" +
+          std::to_string(cfg.partition_map.size()) + " entries for " +
+          std::to_string(nodes) + " nodes)");
+    }
+    std::size_t max_part = 0;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      part_of_[n] = cfg.partition_map[n];
+      max_part = std::max(max_part, cfg.partition_map[n]);
+    }
+    partitions = max_part + 1;
+    std::vector<char> seen(partitions, 0);
+    for (std::size_t n = 0; n < nodes; ++n) seen[part_of_[n]] = 1;
+    for (std::size_t p = 0; p < partitions; ++p) {
+      if (!seen[p]) {
+        throw std::invalid_argument(
+            "kPerRack partition_map must use dense partition ids: id " +
+            std::to_string(p) + " of " + std::to_string(partitions) +
+            " is unused");
+      }
+    }
+  } else {
+    bool per_node = false;
+    switch (cfg.partitioning) {
+      case EngineConfig::Partitioning::kAuto:
+        per_node = threads_ > 1;
+        break;
+      case EngineConfig::Partitioning::kSingle:
+        per_node = false;
+        break;
+      case EngineConfig::Partitioning::kPerNode:
+        per_node = true;
+        break;
+      case EngineConfig::Partitioning::kPerRack:
+        break;  // handled above
+    }
+    partitions = per_node ? nodes : 1;
+    for (std::size_t n = 0; n < nodes; ++n) part_of_[n] = per_node ? n : 0;
   }
-  const std::size_t partitions =
-      per_node ? std::max<std::size_t>(1, node_count) : 1;
   shards_.reserve(partitions);
   for (std::size_t p = 0; p < partitions; ++p) {
     shards_.push_back(std::make_unique<Simulator>());
   }
-  part_of_.resize(std::max<std::size_t>(1, node_count));
-  for (std::size_t n = 0; n < part_of_.size(); ++n) {
-    part_of_[n] = per_node ? n : 0;
-  }
   out_.resize(partitions * partitions);
+  staged_.resize(partitions);
   hooks_.resize(partitions);
+  horizons_.assign(partitions, 0);
 }
 
 void PartitionedEngine::set_epoch_hook(std::size_t partition,
@@ -99,21 +128,59 @@ void PartitionedEngine::schedule_remote(std::size_t src, std::size_t dst,
         " is below the epoch horizon " + std::to_string(h) +
         " (link propagation shorter than the conservative lookahead?)");
   }
-  out_[src * shards_.size() + dst].items.emplace_back(t, std::move(fn));
+  out_[src * shards_.size() + dst].items.push_back(
+      OutItem{t, shards_[src]->now(), std::move(fn)});
+}
+
+SimTime PartitionedEngine::Staging::min_time() const {
+  SimTime m = kNever;
+  for (const StagedItem& it : items) m = std::min(m, it.t);
+  return m;
 }
 
 void PartitionedEngine::merge_outboxes_into(std::size_t dst) {
   const std::size_t P = shards_.size();
+  Staging& st = staged_[dst];
   for (std::size_t src = 0; src < P; ++src) {
     Outbox& box = out_[src * P + dst];
-    for (auto& [t, fn] : box.items) {
-      shards_[dst]->schedule_at(t, std::move(fn));
+    for (OutItem& it : box.items) {
+      st.items.push_back(StagedItem{it.t, it.created,
+                                    static_cast<std::uint32_t>(src),
+                                    st.next_seq++, std::move(it.fn)});
     }
     box.items.clear();
   }
 }
 
+void PartitionedEngine::flush_staged_into(std::size_t p) {
+  Staging& st = staged_[p];
+  if (st.items.empty()) return;
+  const SimTime h = horizons_[p];
+  // Keep not-yet-due items in front (their relative order is
+  // irrelevant — every comparison uses the explicit canonical key).
+  const auto mid =
+      std::partition(st.items.begin(), st.items.end(),
+                     [h](const StagedItem& it) { return it.t >= h; });
+  if (mid == st.items.end()) return;
+  // Equal (t, created, src) implies the same source epoch, so the
+  // arrival seq is consistent across epoch structures; every earlier
+  // key component is epoch-independent by construction.
+  std::sort(mid, st.items.end(),
+            [](const StagedItem& a, const StagedItem& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.created != b.created) return a.created < b.created;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (auto it = mid; it != st.items.end(); ++it) {
+    shards_[p]->schedule_at(it->t, std::move(it->fn));
+  }
+  st.items.erase(mid, st.items.end());
+}
+
 void PartitionedEngine::run() {
+  epochs_ = 0;
+  barrier_wall_ns_.store(0, std::memory_order_relaxed);
   if (shards_.size() == 1) {
     shards_[0]->run();
     if (hooks_[0]) hooks_[0]();
@@ -134,25 +201,66 @@ void PartitionedEngine::run_partitioned() {
   if (!pool_ || pool_->size() < T) pool_ = std::make_unique<ThreadPool>(T);
 
   // Setup-phase sends (coroutines started eagerly before run) may have
-  // parked cross-partition events already; merge them before computing
+  // parked cross-partition events already; stage them before computing
   // the first epoch so none lands behind a shard clock.
   for (std::size_t p = 0; p < P; ++p) merge_outboxes_into(p);
 
+  const auto earliest_pending = [&](std::size_t p) {
+    const SimTime heap_min =
+        shards_[p]->pending() > 0 ? shards_[p]->next_event_time() : kNever;
+    return std::min(heap_min, staged_[p].min_time());
+  };
+
+  std::vector<SimTime> local_min(P, kNever);
+  for (std::size_t p = 0; p < P; ++p) local_min[p] = earliest_pending(p);
+
+  // Horizons for the next epoch, from the per-partition earliest
+  // pending times (DESIGN.md §7.7). Static mode: every partition stops
+  // at next + L. Adaptive mode: partition p may run until the earliest
+  // instant a cross-partition event could still reach it — one L past
+  // the earliest *other* active partition — capped at next + 2L so the
+  // bound stays sound across epochs (events routed through a partition
+  // that is idle *this* epoch arrive at >= next + 2L, never earlier).
+  const auto update_horizons = [&](SimTime next) {
+    horizon_.store(next + lookahead_, std::memory_order_relaxed);
+    if (!adaptive_) {
+      for (std::size_t p = 0; p < P; ++p) horizons_[p] = next + lookahead_;
+      return;
+    }
+    const SimTime cap = next + 2 * lookahead_;
+    // Smallest and second-smallest pending times, so min over q != p
+    // is O(1) per partition.
+    SimTime m1 = kNever;
+    SimTime m2 = kNever;
+    std::size_t i1 = SIZE_MAX;
+    for (std::size_t q = 0; q < P; ++q) {
+      if (local_min[q] < m1) {
+        m2 = m1;
+        m1 = local_min[q];
+        i1 = q;
+      } else {
+        m2 = std::min(m2, local_min[q]);
+      }
+    }
+    for (std::size_t p = 0; p < P; ++p) {
+      const SimTime others = p == i1 ? m2 : m1;
+      horizons_[p] =
+          others == kNever ? cap : std::min(others + lookahead_, cap);
+    }
+  };
+
   SimTime t0 = kNever;
-  for (const auto& s : shards_) {
-    if (s->pending() > 0) t0 = std::min(t0, s->next_event_time());
-  }
+  for (const SimTime m : local_min) t0 = std::min(t0, m);
   if (t0 == kNever) {
     for (std::size_t p = 0; p < P; ++p) {
       if (hooks_[p]) hooks_[p]();
     }
     return;
   }
-  horizon_.store(t0 + lookahead_, std::memory_order_relaxed);
+  update_horizons(t0);
 
   SpinBarrier phase_a_done(static_cast<int>(T));
   SpinBarrier epoch_done(static_cast<int>(T));
-  std::vector<SimTime> local_min(P, kNever);
   std::atomic<bool> done{false};
   std::atomic<bool> abort{false};
   std::mutex err_mu;
@@ -171,23 +279,30 @@ void PartitionedEngine::run_partitioned() {
   const auto worker = [&](std::size_t w) {
     int sense_a = 0;
     int sense_b = 0;
+    std::uint64_t barrier_ns = 0;
     for (;;) {
-      const SimTime horizon = horizon_.load(std::memory_order_relaxed);
-      // Phase A: advance owned partitions through [now, horizon).
+      // Phase A: release due staged arrivals, then advance owned
+      // partitions through [now, H_p).
       if (!abort.load(std::memory_order_relaxed)) {
         for (std::size_t p = w; p < P; p += T) {
           detail::set_current_engine_shard(shards_[p].get());
           try {
-            shards_[p]->run_until(horizon - 1);
+            flush_staged_into(p);
+            shards_[p]->run_until(horizons_[p] - 1);
           } catch (...) {
             record_error(p);
           }
           detail::set_current_engine_shard(nullptr);
         }
       }
+      const auto wait_a = std::chrono::steady_clock::now();
       phase_a_done.arrive(sense_a, [] {});
+      barrier_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wait_a)
+              .count());
       // Phase B: merge inbound events, run epoch hooks, report the
-      // local minimum for the next epoch's horizon.
+      // local minimum for the next epoch's horizons.
       for (std::size_t p = w; p < P; p += T) {
         detail::set_current_engine_shard(shards_[p].get());
         try {
@@ -196,20 +311,28 @@ void PartitionedEngine::run_partitioned() {
         } catch (...) {
           record_error(p);
         }
-        local_min[p] =
-            shards_[p]->pending() > 0 ? shards_[p]->next_event_time() : kNever;
+        local_min[p] = earliest_pending(p);
         detail::set_current_engine_shard(nullptr);
       }
+      const auto wait_b = std::chrono::steady_clock::now();
       epoch_done.arrive(sense_b, [&] {
+        ++epochs_;
         SimTime next = kNever;
         for (const SimTime m : local_min) next = std::min(next, m);
         if (next == kNever || abort.load(std::memory_order_relaxed)) {
           done.store(true, std::memory_order_relaxed);
         } else {
-          horizon_.store(next + lookahead_, std::memory_order_relaxed);
+          update_horizons(next);
         }
       });
-      if (done.load(std::memory_order_relaxed)) return;
+      barrier_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - wait_b)
+              .count());
+      if (done.load(std::memory_order_relaxed)) {
+        barrier_wall_ns_.fetch_add(barrier_ns, std::memory_order_relaxed);
+        return;
+      }
     }
   };
 
@@ -230,6 +353,14 @@ void PartitionedEngine::run_partitioned() {
       throw std::logic_error(
           "partitioned run terminated with unmerged cross-partition "
           "events: epoch hooks must not call schedule_remote/schedule_at");
+    }
+  }
+  // Staged items are part of every termination decision (local_min
+  // counts them), so leftovers here mean the decision logic is broken.
+  for (const Staging& st : staged_) {
+    if (!st.items.empty()) {
+      throw std::logic_error(
+          "partitioned run terminated with staged cross-partition events");
     }
   }
 }

@@ -32,8 +32,32 @@ struct EngineConfig {
     kSingle,
     /// One partition per node even at threads == 1 (tests).
     kPerNode,
+    /// Partition per topology rack via `partition_map` (node ->
+    /// partition, dense ids): a ToR and its hosts share one shard, so
+    /// the conservative lookahead derives from the *inter-rack* trunk
+    /// latency instead of the shortest intra-rack cable — longer
+    /// epochs, far fewer barriers. Applied at every thread count
+    /// (including 1) so the layout — and therefore every merged-tie
+    /// order — is identical across --engine-threads.
+    kPerRack,
   };
   Partitioning partitioning = Partitioning::kAuto;
+
+  /// Node -> partition for kPerRack (ignored otherwise). Must cover
+  /// every node and use dense partition ids 0..P-1 (see
+  /// net::rack_partition_map, which derives it from the topology).
+  std::vector<std::size_t> partition_map;
+
+  /// Adaptive epoch length (DESIGN.md §7.7): at every barrier the
+  /// horizon of partition p extends to
+  ///   H_p = min( min over active q != p of (e_q + L),  next + 2L )
+  /// where e_q is q's earliest pending event and next = min e_q —
+  /// instead of the static next + L. A pure function of the schedule,
+  /// so runs stay byte-identical at any thread count; the 2L cap keeps
+  /// every horizon sound across epochs (a lone active partition may
+  /// otherwise race past replies routed through currently-idle
+  /// partitions). Off -> every epoch is the static next + L window.
+  bool adaptive_epochs = true;
 };
 
 /// Shard token of the worker thread currently executing simulation
@@ -66,8 +90,14 @@ void set_current_engine_shard(const void* shard) noexcept;
 /// serial output differs (DESIGN.md §7.5). Switched fabrics funnel
 /// many nodes through shared ports, where merged-vs-local ties at one
 /// timestamp order differently than the serial heap — run_micro pins
-/// such cells to the per-node layout at every thread count instead
-/// (DESIGN.md §7.6).
+/// such cells to one fixed layout at every thread count instead
+/// (per-rack when the topology has >= 2 racks, else per-node;
+/// DESIGN.md §7.6/§7.7). Adaptive epochs (EngineConfig::
+/// adaptive_epochs, DESIGN.md §7.7) lengthen each partition's phase-A
+/// window beyond the static L whenever the other partitions' earliest
+/// pending events allow it; merge order is canonicalized by
+/// (timestamp, creation time, src, push index), so stats are identical
+/// with the extension on or off.
 ///
 /// With one partition the engine is exactly a Simulator: run() calls
 /// shard(0).run() with no epoch machinery, no barriers and no atomics
@@ -130,25 +160,78 @@ class PartitionedEngine {
   /// shards fast-forward to each epoch horizon).
   [[nodiscard]] SimTime max_now() const;
 
+  /// Epoch barriers completed by the last run (0 for a single
+  /// partition). Deterministic: a pure function of the schedule,
+  /// identical at any thread count.
+  [[nodiscard]] std::uint64_t epochs() const { return epochs_; }
+  /// Wall-clock ns the workers spent inside epoch barriers during the
+  /// last run, summed over workers. Telemetry only — nondeterministic,
+  /// never part of a model-identity comparison.
+  [[nodiscard]] std::uint64_t barrier_wall_ns() const {
+    return barrier_wall_ns_.load(std::memory_order_relaxed);
+  }
+
  private:
   static constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
 
   void run_partitioned();
   void merge_outboxes_into(std::size_t dst);
+  /// Moves every staged item with t < horizons_[p] into p's heap in
+  /// canonical order. Called by p's owner worker before phase A.
+  void flush_staged_into(std::size_t p);
 
   unsigned threads_;
+  bool adaptive_;
   std::vector<std::unique_ptr<Simulator>> shards_;
   std::vector<std::size_t> part_of_;  ///< node -> partition
   /// Outbox (src * P + dst): filled single-producer by src's worker in
   /// phase A, drained by dst's worker in phase B; the epoch barriers
-  /// order every access.
+  /// order every access. `created` is the source shard clock at push —
+  /// part of the canonical merge key, so same-timestamp ties order the
+  /// same way no matter how adaptive horizons batch the epochs.
+  struct OutItem {
+    SimTime t;
+    SimTime created;
+    InlineTask fn;
+  };
   struct Outbox {
-    std::vector<std::pair<SimTime, InlineTask>> items;
+    std::vector<OutItem> items;
   };
   std::vector<Outbox> out_;
+  /// Per-destination inbound staging calendar. Outboxes drain into it
+  /// at every barrier; items enter the destination heap only once the
+  /// epoch horizon reaches them (flush_staged_into, at the top of
+  /// phase A), sorted by the canonical key (t, created, src, arrival
+  /// seq). The destination heap breaks same-timestamp ties by
+  /// insertion order, and deferring insertion until the horizon
+  /// requires it guarantees every same-timestamp group is inserted
+  /// together in canonical order — a pure function of the schedule,
+  /// independent of how adaptive horizons batch the epochs (two equal
+  /// ties can otherwise arrive at *different* barriers under one epoch
+  /// structure and the same barrier under another).
+  struct StagedItem {
+    SimTime t;
+    SimTime created;
+    std::uint32_t src;
+    std::uint64_t seq;
+    InlineTask fn;
+  };
+  struct Staging {
+    std::vector<StagedItem> items;
+    std::uint64_t next_seq = 0;
+    [[nodiscard]] SimTime min_time() const;
+  };
+  std::vector<Staging> staged_;
   std::vector<std::function<void()>> hooks_;
   SimTime lookahead_ = 0;
-  std::atomic<SimTime> horizon_{0};
+  /// Per-partition phase-A horizons for the current epoch; written by
+  /// the epoch barrier's last arriver, read by every worker after the
+  /// barrier releases (the sense-reversing release/acquire pair orders
+  /// the accesses, like local_min).
+  std::vector<SimTime> horizons_;
+  std::atomic<SimTime> horizon_{0};  ///< next + L: schedule_remote guard
+  std::uint64_t epochs_ = 0;
+  std::atomic<std::uint64_t> barrier_wall_ns_{0};
   std::unique_ptr<ThreadPool> pool_;
 };
 

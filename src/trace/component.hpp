@@ -40,6 +40,8 @@ enum class Component : ComponentId {
   kReplAck,        ///< replication ack back to the application
   kNetSwitchHop,   ///< switch traversal + egress queue + serialization
   kNetPortQueue,   ///< egress-queue wait at a topology port (counter, ns)
+  kEngineEpochs,   ///< partitioned-engine epochs completed (counter)
+  kEngineBarrierNs,  ///< wall-clock ns spent at epoch barriers (counter)
   kCount
 };
 

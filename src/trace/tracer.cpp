@@ -36,6 +36,8 @@ constexpr std::array<NameEntry, kPredefinedComponents> kNames{{
     {"repl_ack", "rpc"},        // kReplAck
     {"net_switch_hop", "net"},  // kNetSwitchHop
     {"net_port_queue", "net"},  // kNetPortQueue
+    {"engine_epochs", "sim"},   // kEngineEpochs
+    {"engine_barrier_ns", "sim"},  // kEngineBarrierNs
 }};
 
 }  // namespace

@@ -308,6 +308,166 @@ TEST(EngineParity, DurableCellsAreByteIdenticalAcrossThreadCounts) {
   }
 }
 
+// ------------------------------------------- per-rack partition layout
+
+TEST(Engine, PerRackMapGroupsNodesAndValidates) {
+  EngineConfig cfg;
+  cfg.threads = 2;
+  cfg.partitioning = Partitioning::kPerRack;
+  cfg.partition_map = {0, 0, 1, 1, 2};
+  PartitionedEngine eng(5, cfg);
+  EXPECT_EQ(eng.partitions(), 3u);
+  EXPECT_EQ(eng.partition_of_node(0), 0u);
+  EXPECT_EQ(eng.partition_of_node(1), 0u);
+  EXPECT_EQ(eng.partition_of_node(3), 1u);
+  EXPECT_EQ(eng.partition_of_node(4), 2u);
+  EXPECT_EQ(&eng.shard_of_node(0), &eng.shard_of_node(1));
+
+  EngineConfig short_map = cfg;
+  short_map.partition_map = {0, 0, 1};  // nodes 3, 4 unmapped
+  EXPECT_THROW(PartitionedEngine(5, short_map), std::invalid_argument);
+
+  EngineConfig gap = cfg;
+  gap.partition_map = {0, 0, 2, 2, 2};  // partition id 1 never used
+  EXPECT_THROW(PartitionedEngine(5, gap), std::invalid_argument);
+}
+
+TEST(Engine, AdaptiveEpochsKeepCrossPartitionTieOrder) {
+  // Same-timestamp arrivals into rack 0 from two sibling racks must
+  // execute in the canonical (time, send time, source, push order)
+  // order — never in the order the epoch structure happened to merge
+  // them. Adaptive epochs change the structure, so the observed
+  // schedule must be identical with the extension on and off.
+  std::array<std::vector<int>, 2> orders;
+  for (const bool adaptive : {false, true}) {
+    EngineConfig cfg;
+    cfg.threads = 2;
+    cfg.partitioning = Partitioning::kPerRack;
+    cfg.partition_map = {0, 0, 1, 1, 2, 2};
+    cfg.adaptive_epochs = adaptive;
+    PartitionedEngine eng(6, cfg);
+    eng.set_lookahead(10);
+    std::vector<int>& order = orders[adaptive ? 1 : 0];
+    // Both racks send at local time 6 for arrival 30: a full tie on
+    // (time, send time) resolved by source partition, then push order.
+    eng.shard(2).schedule_at(6, [&eng, &order] {
+      eng.schedule_remote(2, 0, 30, [&order] { order.push_back(201); });
+    });
+    eng.shard(1).schedule_at(6, [&eng, &order] {
+      eng.schedule_remote(1, 0, 30, [&order] { order.push_back(101); });
+      eng.schedule_remote(1, 0, 30, [&order] { order.push_back(102); });
+    });
+    // A later send that still arrives at t=30 sorts after both.
+    eng.shard(2).schedule_at(19, [&eng, &order] {
+      eng.schedule_remote(2, 0, 30, [&order] { order.push_back(202); });
+    });
+    eng.shard(0).schedule_at(30, [&order] { order.push_back(1); });
+    eng.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 101, 102, 201, 202}))
+        << "adaptive=" << adaptive;
+  }
+  EXPECT_EQ(orders[0], orders[1]);
+}
+
+bench::MicroConfig rack_parity_config(unsigned threads) {
+  bench::MicroConfig mc = parity_config(threads);
+  mc.topology.preset = net::TopologyPreset::kLeafSpine;
+  mc.topology.racks = 2;
+  mc.topology.spines = 2;
+  return mc;
+}
+
+TEST(EngineParity, PerRackCellsAreByteIdenticalAcrossThreadCounts) {
+  // Two-rack leaf-spine cells resolve to the per-rack layout (pinned
+  // at every thread count); the whole-model schedule must not depend
+  // on how many workers execute it.
+  const auto r1 = bench::run_micro(rpcs::System::kWFlushRpc,
+                                   rack_parity_config(1));
+  const auto r2 = bench::run_micro(rpcs::System::kWFlushRpc,
+                                   rack_parity_config(2));
+  const auto r8 = bench::run_micro(rpcs::System::kWFlushRpc,
+                                   rack_parity_config(8));
+  EXPECT_EQ(r1.engine_partitions, 2u);
+  EXPECT_EQ(r2.engine_partitions, 2u);
+  expect_model_identical(r1, r2, "per-rack x2 threads");
+  expect_model_identical(r1, r8, "per-rack x8 threads");
+  // Epoch counts are part of the deterministic schedule.
+  EXPECT_EQ(r1.engine_epochs, r2.engine_epochs);
+  EXPECT_EQ(r1.engine_epochs, r8.engine_epochs);
+}
+
+TEST(EngineParity, ExplicitPerRackOnASingleRackMatchesTheDefaultLayout) {
+  // The rack preset is one rack: the per-rack layout degenerates to a
+  // single partition, and the model stats still match the default
+  // (per-node) layout bit for bit.
+  bench::MicroConfig def = parity_config(1);
+  def.topology.preset = net::TopologyPreset::kRack;
+  bench::MicroConfig forced = def;
+  forced.engine_threads = 2;
+  forced.partitioning = Partitioning::kPerRack;
+  const auto a = bench::run_micro(rpcs::System::kWFlushRpc, def);
+  const auto b = bench::run_micro(rpcs::System::kWFlushRpc, forced);
+  EXPECT_EQ(b.engine_partitions, 1u);
+  expect_model_identical(a, b, "rack preset per-rack vs default");
+}
+
+TEST(EngineParity, AdaptiveEpochsAreAPureScheduleOptimization) {
+  // Adaptive extension changes how many barrier rounds the run takes —
+  // never what the model computes.
+  bench::MicroConfig on = rack_parity_config(4);
+  bench::MicroConfig off = on;
+  off.adaptive_epochs = false;
+  const auto r_on = bench::run_micro(rpcs::System::kWFlushRpc, on);
+  const auto r_off = bench::run_micro(rpcs::System::kWFlushRpc, off);
+  expect_model_identical(r_on, r_off, "adaptive on vs off");
+  EXPECT_LE(r_on.engine_epochs, r_off.engine_epochs);
+  EXPECT_GT(r_on.engine_epochs, 0u);
+}
+
+// ------------------------------------------- aggregated client pools
+
+TEST(ClientPool, MatchesExplicitCoroutineClientsOnCountStats) {
+  // With reads disabled the op mix is RNG-independent: K virtual
+  // clients aggregated into a pool must complete exactly the same
+  // work as K explicit driver coroutines.
+  bench::MicroConfig classic = parity_config(1);
+  classic.read_ratio = 0.0;
+  bench::MicroConfig pooled = classic;
+  pooled.clients_per_host = 4;
+  pooled.client_outstanding = 4;
+  const auto a = bench::run_micro(rpcs::System::kWFlushRpc, classic);
+  const auto b = bench::run_micro(rpcs::System::kWFlushRpc, pooled);
+  EXPECT_EQ(a.ops_completed, b.ops_completed);
+  EXPECT_EQ(a.latency.count(), b.latency.count());
+  EXPECT_EQ(a.durable_latency.count(), b.durable_latency.count());
+  EXPECT_EQ(a.server.ops_processed, b.server.ops_processed);
+  EXPECT_EQ(a.server.bytes_applied, b.server.bytes_applied);
+}
+
+TEST(ClientPool, PooledCellsAreByteIdenticalAcrossThreadCounts) {
+  // The 512-host rack_scale identity gate in miniature: an aggregated
+  // pool with think times on a two-rack fabric replays the identical
+  // schedule at any worker count.
+  bench::MicroConfig base = rack_parity_config(1);
+  base.clients_per_host = 32;
+  base.client_outstanding = 8;
+  base.client_think_ns = 2000;
+  bench::MicroConfig wide = base;
+  wide.engine_threads = 8;
+  const auto r1 = bench::run_micro(rpcs::System::kWFlushRpc, base);
+  const auto r8 = bench::run_micro(rpcs::System::kWFlushRpc, wide);
+  expect_model_identical(r1, r8, "pooled clients x8 threads");
+  EXPECT_EQ(r1.engine_epochs, r8.engine_epochs);
+}
+
+TEST(ClientPool, RejectsBatchedRequests) {
+  bench::MicroConfig mc = parity_config(1);
+  mc.clients_per_host = 2;
+  mc.batch = 4;
+  EXPECT_THROW(bench::run_micro(rpcs::System::kWFlushRpc, mc),
+               std::invalid_argument);
+}
+
 TEST(EngineParity, WiderClusterStaysIdenticalWithPipelinedClients) {
   // Fig. 13 shape: more clients, deeper pipeline, heavier server.
   bench::MicroConfig base = parity_config(1, 7);

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -190,14 +191,40 @@ TEST(FabricParity, PointToPointInstallsTheGraphButKeepsTheDirectPath) {
   EXPECT_EQ(f.switch_hops(), 0u);
 }
 
-TEST(FabricParity, DeprecatedLinkForwardsToDirectLink) {
-  sim::Simulator s;
-  sim::Rng rng(1);
-  net::Fabric f(s, rng, LinkParams{});
-  LinkParams& via_new = f.direct_link(0, 1);
-  via_new.propagation = 4242;
-  EXPECT_EQ(&f.link(0, 1), &via_new);  // same slot, one warning only
-  EXPECT_EQ(f.link(0, 1).propagation, 4242u);
+TEST(RackPartitionMap, MirrorsTheLeafSpineStriping) {
+  TopologyConfig cfg;
+  cfg.preset = TopologyPreset::kLeafSpine;
+  cfg.hosts_per_rack = 4;
+  EXPECT_EQ(net::rack_count(cfg, 10), 3u);  // ceil(10/4)
+  const auto map = net::rack_partition_map(cfg, 10);
+  ASSERT_EQ(map.size(), 10u);
+  EXPECT_EQ(map, (std::vector<std::uint32_t>{0, 0, 0, 0, 1, 1, 1, 1, 2, 2}));
+  // The striping must match build_topology exactly: host h hangs off
+  // tor{map[h]}.
+  net::Topology topo = net::build_topology(cfg, 10, LinkParams{});
+  for (net::Vertex h = 0; h < 10; ++h) {
+    const net::Route& r = topo.route(h, h == 0 ? 9 : 0);
+    const net::Vertex first_switch = topo.edge(r.ports[0]).to;
+    EXPECT_EQ(topo.switch_name(
+                  static_cast<std::uint32_t>(first_switch - 10)),
+              "tor" + std::to_string(map[h]));
+  }
+}
+
+TEST(RackPartitionMap, DegeneratePresetsCoverPerNodeAndSingleRack) {
+  TopologyConfig p2p;  // no switches: every host its own rack
+  EXPECT_EQ(net::rack_count(p2p, 4), 4u);
+  EXPECT_EQ(net::rack_partition_map(p2p, 4),
+            (std::vector<std::uint32_t>{0, 1, 2, 3}));
+  TopologyConfig rack;
+  rack.preset = TopologyPreset::kRack;
+  EXPECT_EQ(net::rack_count(rack, 4), 1u);
+  EXPECT_EQ(net::rack_partition_map(rack, 4),
+            (std::vector<std::uint32_t>{0, 0, 0, 0}));
+  TopologyConfig wide;  // more racks than hosts clamps to one per host
+  wide.preset = TopologyPreset::kLeafSpine;
+  wide.racks = 9;
+  EXPECT_EQ(net::rack_count(wide, 3), 3u);
 }
 
 // ------------------------------------------------ congestion model
