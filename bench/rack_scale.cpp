@@ -60,6 +60,14 @@ bool run_identical(const bench::MicroResult& a, const bench::MicroResult& b) {
          a.engine_epochs == b.engine_epochs;
 }
 
+/// Degraded-run equality additionally pins the lossy-fabric accounting
+/// (DESIGN.md §7.8): every drop and every go-back-N replay must land
+/// identically at any thread count.
+bool lossy_identical(const bench::MicroResult& a, const bench::MicroResult& b) {
+  return run_identical(a, b) && a.net_drops == b.net_drops &&
+         a.rnic_retransmits == b.rnic_retransmits;
+}
+
 struct TimedRun {
   bench::MicroResult res;
   double wall_s = 0.0;
@@ -282,8 +290,82 @@ int main(int argc, char** argv) {
       .set("fewer_barriers", bench::Json::boolean(fewer_barriers))
       .set("same_work", bench::Json::boolean(work_agrees));
 
+  // ---- degraded-fabric loss sweep (DESIGN.md §7.8) ----------------
+  // A small leaf-spine cell swept over per-packet loss probabilities.
+  // Gates: every op completes despite the loss (RC go-back-N recovers),
+  // a lossy fabric actually drops and retransmits, a clean one does
+  // neither, degradation is monotone at the top of the sweep, and the
+  // whole degraded schedule replays byte-identically at 8 threads.
+  const double loss_points[] = {0.0, 1e-4, 1e-2};
+  bench::Json loss_rows = bench::Json::array();
+  bool loss_ok = true;
+  double clean_avg_us = 0.0;
+  double worst_avg_us = 0.0;
+  std::uint64_t worst_drops = 0;
+  std::uint64_t worst_retx = 0;
+  for (const double loss : loss_points) {
+    bench::MicroConfig lc;
+    lc.objects = 512;
+    lc.object_size = 4096;
+    lc.clients = 1;
+    lc.ops = 256;
+    lc.seed = seed;
+    lc.jitter_sigma = 0.0;
+    lc.topology.preset = net::TopologyPreset::kLeafSpine;
+    lc.topology.hosts_per_rack = kHostsPerRack;
+    lc.topology.spines = kSpines;
+    lc.topology.trunk_prop_scale = kTrunkPropScale;
+    lc.topology.pfc = pfc;
+    lc.clients_per_host = 64;
+    lc.client_outstanding = 8;
+    lc.client_think_ns = 2000;
+    lc.loss_probability = loss;
+    lc.retransmit_interval = 1 * sim::kMillisecond;
+
+    lc.engine_threads = 1;
+    const TimedRun serial = timed_run(lc);
+    lc.engine_threads = 8;
+    const TimedRun sharded = timed_run(lc);
+    const bool same = lossy_identical(serial.res, sharded.res);
+
+    const bench::MicroResult& r = serial.res;
+    const bool completed = r.ops_completed >= lc.ops;
+    bool row_ok = same && completed;
+    if (loss == 0.0) {
+      clean_avg_us = r.avg_us();
+      row_ok = row_ok && r.net_drops == 0 && r.rnic_retransmits == 0;
+    } else if (loss >= 1e-2) {
+      worst_avg_us = r.avg_us();
+      worst_drops = r.net_drops;
+      worst_retx = r.rnic_retransmits;
+      row_ok = row_ok && r.net_drops > 0 && r.rnic_retransmits > 0;
+    }
+    loss_ok = loss_ok && row_ok;
+
+    bench::Json row = bench::Json::object();
+    row.set("loss", bench::Json::num(loss))
+        .set("kops", bench::Json::num(r.kops))
+        .set("avg_us", bench::Json::num(r.avg_us()))
+        .set("p99_us", bench::Json::num(r.p99_us()))
+        .set("ops_completed", bench::Json::num(r.ops_completed))
+        .set("net_drops", bench::Json::num(r.net_drops))
+        .set("rnic_retransmits", bench::Json::num(r.rnic_retransmits))
+        .set("identical", bench::Json::boolean(same))
+        .set("ok", bench::Json::boolean(row_ok));
+    loss_rows.push(std::move(row));
+  }
+  const bool degrades = worst_avg_us >= clean_avg_us;
+  loss_ok = loss_ok && degrades;
+  std::printf(
+      "\nloss sweep (2 hosts, 64 clients): clean %.2f us -> 1e-2 %.2f us "
+      "(%llu drops, %llu retransmits)%s\n",
+      clean_avg_us, worst_avg_us,
+      static_cast<unsigned long long>(worst_drops),
+      static_cast<unsigned long long>(worst_retx),
+      loss_ok ? "" : " FAILED");
+
   const bool ok =
-      deterministic && fewer_barriers && work_agrees && speedup_ok;
+      deterministic && fewer_barriers && work_agrees && speedup_ok && loss_ok;
 
   bench::Json doc = bench::Json::object();
   doc.set("bench", bench::Json::str("topology"))
@@ -295,6 +377,8 @@ int main(int argc, char** argv) {
       .set("pfc", bench::Json::boolean(pfc))
       .set("rows", std::move(rows))
       .set("layout_ab", std::move(layout))
+      .set("loss_sweep", std::move(loss_rows))
+      .set("loss_ok", bench::Json::boolean(loss_ok))
       .set("deterministic", bench::Json::boolean(deterministic));
   if (!bench::emit_json(out, doc)) {
     std::printf("failed to open %s for writing\n", out.c_str());

@@ -40,7 +40,12 @@ core::ModelParams params_for(const MicroConfig& cfg) {
   p.rpc_processing = cfg.heavy_load ? 100 * sim::kMicrosecond : 0;
   p.link.background_load = cfg.net_load;
   p.link.jitter_sigma = cfg.jitter_sigma;
+  p.link.loss_probability = cfg.loss_probability;
   p.topology = cfg.topology;
+  p.faults = cfg.faults;
+  if (cfg.retransmit_interval > 0) {
+    p.rnic.retransmit_interval = cfg.retransmit_interval;
+  }
   p.rnic.ddio = cfg.ddio;
   p.rnic.emulate_flush = cfg.emulate_flush;
   p.rnic.smartnic_rflush = cfg.smartnic_rflush;
@@ -144,6 +149,10 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   const bool chain =
       cfg.replication.active() &&
       cfg.replication.protocol == repl::Protocol::kChain;
+  // A lossy or faulty fabric draws loss/corruption decisions at every
+  // egress; the per-node layout gives each link its own RNG stream so
+  // those draws replay identically at every thread count (§7.8).
+  const bool lossy = cfg.loss_probability > 0.0 || !cfg.faults.empty();
   if (chain || cfg.trace_mode == trace::Mode::kFull) {
     ecfg.partitioning = sim::EngineConfig::Partitioning::kSingle;
   } else if (cfg.partitioning != sim::EngineConfig::Partitioning::kAuto) {
@@ -158,13 +167,14 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
     // propagation and whole racks advance without a barrier. Pinned
     // at every thread count, like per-node below.
     ecfg.partitioning = sim::EngineConfig::Partitioning::kPerRack;
-  } else if (cfg.topology.switched()) {
+  } else if (cfg.topology.switched() || lossy) {
     // Switched fabrics interleave many nodes' packets through shared
     // egress ports, so same-timestamp ties between merged cross-
     // partition hops and locally scheduled events are common — and the
     // serial heap orders them differently than the epoch merge. Pin
     // the per-node layout even at one thread: every --engine-threads
-    // value then replays the identical partitioned schedule.
+    // value then replays the identical partitioned schedule. Lossy
+    // point-to-point cells pin it too, for the per-link RNGs.
     ecfg.partitioning = sim::EngineConfig::Partitioning::kPerNode;
   }
   ecfg.adaptive_epochs = cfg.adaptive_epochs;
@@ -282,7 +292,9 @@ MicroResult run_micro(rpcs::System system, const MicroConfig& cfg) {
   result.net_switch_hops = cluster.fabric().switch_hops();
   result.net_max_port_queue_ns = cluster.fabric().max_port_queue_ns();
   result.net_pfc_pauses = cluster.fabric().pfc_pauses();
+  result.net_drops = cluster.fabric().packets_dropped();
   for (std::size_t i = 0; i < cluster.size(); ++i) {
+    result.rnic_retransmits += cluster.node(i).rnic().retransmits();
     auto& mem = cluster.node(i).mem();
     result.bytes_copied += mem.pm().bytes_copied() + mem.dram().bytes_copied();
     const mem::BufferPoolStats s = mem.pool().stats();

@@ -77,6 +77,19 @@ struct MicroConfig {
   /// queues (incast, ECMP, optional PFC). Wired from --topology
   /// --racks --hosts-per-rack --spines --pfc via topology_from().
   net::TopologyConfig topology;
+  /// Uniform packet-loss probability on every cable (lossy-fabric axis,
+  /// DESIGN.md §7.8). Non-zero loss pins the per-node engine layout so
+  /// the per-link RNG loss draws replay identically at every
+  /// --engine-threads value.
+  double loss_probability = 0.0;
+  /// Deterministic network-fault schedule (link flaps, switch crashes,
+  /// partitions, loss bursts; DESIGN.md §7.8). Installed into the
+  /// fabric when non-empty; pins the per-node layout like loss above.
+  net::FaultPlan faults;
+  /// Override of the RC retransmission timer base interval (0 = keep
+  /// the model default). Loss sweeps shrink this so recovery cost, not
+  /// the paper's 100 ms crash-detection timer, dominates.
+  prdma::sim::SimTime retransmit_interval = 0;
   double server_cpu_load = 0.0;    ///< busy receiver (Fig. 15)
   double client_cpu_load = 0.0;    ///< busy sender (Fig. 16)
   bool ddio = false;
@@ -139,6 +152,12 @@ struct MicroResult {
   prdma::sim::SimTime net_max_port_queue_ns = 0;
   /// PFC pauses recorded across all ports (0 unless topology.pfc).
   std::uint64_t net_pfc_pauses = 0;
+  // ---- lossy-fabric accounting (DESIGN.md §7.8) ----
+  /// Packets the fabric dropped (loss, corruption, downed links,
+  /// partitions, dead nodes) — every drop is accounted, never silent.
+  std::uint64_t net_drops = 0;
+  /// RC data packets the RNICs replayed after retransmission timeouts.
+  std::uint64_t rnic_retransmits = 0;
   /// Per-component time totals from the cell's tracer.
   stats::SpanBreakdown breakdown;
   /// Chrome trace-event fragment (kFull cells only; see Report).

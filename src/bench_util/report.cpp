@@ -28,6 +28,12 @@ Json micro_result_json(const std::string& name, const MicroResult& res) {
              Json::num(static_cast<std::uint64_t>(res.net_max_port_queue_ns)))
         .set("pfc_pauses", Json::num(res.net_pfc_pauses));
   }
+  // Lossy-fabric keys likewise only on degraded runs: clean cells keep
+  // the historical JSON byte for byte.
+  if (res.net_drops > 0 || res.rnic_retransmits > 0) {
+    row.set("net_drops", Json::num(res.net_drops))
+        .set("rnic_retransmits", Json::num(res.rnic_retransmits));
+  }
 
   Json comps = Json::object();
   for (const std::string& comp : res.breakdown.component_names()) {

@@ -95,6 +95,8 @@ ScheduleResult run_schedule(const ExplorerConfig& cfg, const Schedule& s,
   params.flow_threshold = std::max(cfg.window, 4u);
   params.rnic.retransmit_interval = cfg.retransmit_interval;
   params.rnic.ack_before_persist = cfg.ack_before_persist;
+  params.link.loss_probability = cfg.loss_probability;
+  params.faults = cfg.faults;
   params.seed = s.seed;
 
   core::Cluster cluster(params, 2);
@@ -270,6 +272,72 @@ ExplorerReport explore(const ExplorerConfig& cfg) {
     rep.reproducer = format_reproducer(best);
   }
   return rep;
+}
+
+const char* net_fault_family_name(NetFaultFamily family) {
+  switch (family) {
+    case NetFaultFamily::kCrashDuringRetransmit:
+      return "crash-during-retransmit";
+    case NetFaultFamily::kFlapDuringRecovery:
+      return "flap-during-recovery";
+    case NetFaultFamily::kPartitionThenHeal:
+      return "partition-then-heal";
+  }
+  return "?";
+}
+
+ExplorerConfig with_net_faults(ExplorerConfig cfg, NetFaultFamily family) {
+  // Size the fault windows off a clean dry run of the same workload.
+  ExplorerConfig clean = cfg;
+  clean.loss_probability = 0.0;
+  clean.faults = net::FaultPlan{};
+  const ScheduleResult base =
+      run_schedule(clean, Schedule{cfg.seed, 0, cfg.ops});
+  const SimTime span = std::max<SimTime>(base.end_time, 16);
+
+  // Shrink the RC timer: recovery from a dropped packet should cost
+  // backoff rounds inside the run, not the paper's 100 ms crash-
+  // detection interval. The driver's crash-retry delay shrinks with it
+  // (run_schedule reads params.rnic.retransmit_interval).
+  cfg.retransmit_interval =
+      std::min<SimTime>(cfg.retransmit_interval, 200 * sim::kMicrosecond);
+
+  net::FaultPlan plan;
+  switch (family) {
+    case NetFaultFamily::kCrashDuringRetransmit: {
+      // Lossy from early on: almost every crash instant the explorer
+      // probes lands while go-back-N replays are in flight.
+      net::LossBurst b;
+      b.begin = span / 8;
+      b.end = span * 4;  // outlasts post-crash recovery traffic too
+      b.loss = 0.05;
+      b.corrupt = 0.01;
+      plan.bursts.push_back(b);
+      break;
+    }
+    case NetFaultFamily::kFlapDuringRecovery: {
+      // The cable goes dark across the middle of the run; crashes near
+      // the flap probe recovery traffic racing a dead link.
+      net::LinkFlap f;
+      f.a = 0;
+      f.b = 1;
+      f.down_at = span / 3;
+      f.up_at = span / 3 + span / 8 + 1;
+      plan.link_flaps.push_back(f);
+      break;
+    }
+    case NetFaultFamily::kPartitionThenHeal: {
+      net::NetPartition p;
+      p.island = {1};  // the client's island
+      p.begin = span / 2;
+      p.end = span / 2 + span / 8 + 1;
+      plan.partitions.push_back(p);
+      break;
+    }
+  }
+  plan.validate();
+  cfg.faults = std::move(plan);
+  return cfg;
 }
 
 std::string format_reproducer(const Schedule& s) {

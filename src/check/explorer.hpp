@@ -8,6 +8,7 @@
 
 #include "check/oracle.hpp"
 #include "core/durable_rpc.hpp"
+#include "net/faults.hpp"
 #include "sim/time.hpp"
 
 namespace prdma::check {
@@ -30,6 +31,15 @@ struct ExplorerConfig {
   bool heavy_processing = false;
   sim::SimTime restart_delay = 1 * sim::kMillisecond;
   sim::SimTime retransmit_interval = 100 * sim::kMillisecond;
+  /// Uniform packet-loss probability on the client-server cable
+  /// (degraded-fabric exploration, DESIGN.md §7.8). Schedules stay a
+  /// pure function of (cfg, s): loss draws replay identically.
+  double loss_probability = 0.0;
+  /// Deterministic network-fault schedule installed into the fabric of
+  /// every schedule (link flaps, partitions, loss bursts). Combine
+  /// with crash instants to probe crash-during-retransmit windows; use
+  /// with_net_faults() for the canned families.
+  net::FaultPlan faults;
   /// Worker threads for independent schedules (0 = hardware
   /// concurrency). Every schedule is a pure function of (cfg, s), so
   /// the report is byte-identical at any jobs value; only wall-clock
@@ -89,6 +99,30 @@ ScheduleResult run_schedule(const ExplorerConfig& cfg, const Schedule& s,
 /// t+1), then cfg.random_schedules seeded-random crash instants. The
 /// first failing schedule is shrunk to a minimal reproducer.
 ExplorerReport explore(const ExplorerConfig& cfg);
+
+/// Canned degraded-fabric schedule families (DESIGN.md §7.8). Each
+/// overlays a deterministic FaultPlan on the exploration so the crash
+/// instants the explorer probes land inside the degraded window:
+///  * kCrashDuringRetransmit — a loss/corruption burst covers most of
+///    the run, so crashes interleave with go-back-N replays;
+///  * kFlapDuringRecovery    — the client-server cable flaps over the
+///    window where post-crash recovery traffic flows;
+///  * kPartitionThenHeal     — the client is partitioned away for a
+///    stretch of the run, then the partition heals.
+enum class NetFaultFamily {
+  kCrashDuringRetransmit,
+  kFlapDuringRecovery,
+  kPartitionThenHeal,
+};
+
+[[nodiscard]] const char* net_fault_family_name(NetFaultFamily family);
+
+/// Derives a faulted ExplorerConfig from `cfg`: dry-runs one clean
+/// schedule to size the windows, shrinks the RC timer so lost packets
+/// recover inside the run, and installs the family's FaultPlan.
+/// Deterministic: same (cfg, family) in, same config out.
+[[nodiscard]] ExplorerConfig with_net_faults(ExplorerConfig cfg,
+                                             NetFaultFamily family);
 
 /// Formats / parses the re-runnable reproducer line.
 [[nodiscard]] std::string format_reproducer(const Schedule& s);

@@ -78,6 +78,8 @@ ReplScheduleResult run_repl_schedule(const ReplExplorerConfig& cfg,
   params.log_slots = std::max(cfg.window * 2, 8u);
   params.flow_threshold = std::max(cfg.window, 4u);
   params.rnic.retransmit_interval = cfg.retransmit_interval;
+  params.link.loss_probability = cfg.loss_probability;
+  params.faults = cfg.faults;
   params.seed = s.seed;
 
   core::Cluster cluster(params, cfg.replicas + 1);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "check/cluster_oracle.hpp"
+#include "net/faults.hpp"
 #include "repl/replication.hpp"
 #include "sim/time.hpp"
 
@@ -34,6 +35,12 @@ struct ReplExplorerConfig {
   bool ack_before_replica_persist = false;
   sim::SimTime restart_delay = 1 * sim::kMillisecond;
   sim::SimTime retransmit_interval = 100 * sim::kMillisecond;
+  /// Uniform per-packet loss probability on every cable (DESIGN.md
+  /// §7.8): replication hops ride the same lossy transport as clients.
+  double loss_probability = 0.0;
+  /// Deterministic fabric fault schedule (link flaps, partitions, loss
+  /// bursts) active during every explored schedule.
+  net::FaultPlan faults;
   /// Worker threads for independent schedules; the report is
   /// byte-identical at any value (DESIGN.md §7.1).
   std::size_t jobs = 1;

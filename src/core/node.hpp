@@ -173,6 +173,7 @@ class Cluster {
     // before any node registers. Point-to-point is a no-op beyond
     // storing the config, keeping the flat fabric byte-identical.
     fabric_.set_topology(params.topology, node_count);
+    if (!params.faults.empty()) fabric_.set_fault_plan(params.faults);
     fabric_.set_tracer(&tracer_);
     const std::size_t parts = engine_.partitions();
     for (std::size_t p = 1; p < parts; ++p) {
@@ -199,6 +200,16 @@ class Cluster {
       engine_.set_epoch_hook(p, [owned = std::move(owned)] {
         for (Node* n : owned) n->mem().pool().drain_remote_frees();
       });
+    }
+  }
+
+  /// Buffered packets (ooo / RNR / unacked windows) hold PayloadRefs
+  /// into their sender's pool; release them all before the first node
+  /// (and its pool) goes away — a lossy run can end with duplicates
+  /// still parked in another node's reorder buffer.
+  ~Cluster() {
+    for (auto& n : nodes_) {
+      if (n) n->rnic().release_packet_buffers();
     }
   }
 

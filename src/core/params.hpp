@@ -20,6 +20,12 @@ struct ModelParams {
   /// byte-identical to the historical flat fabric — or a switched
   /// rack / leaf-spine preset built from `link` as the host cable.
   net::TopologyConfig topology{};
+  /// Deterministic network-fault schedule (link flaps, switch crashes,
+  /// partitions, loss bursts) installed into the fabric when non-empty
+  /// (DESIGN.md §7.8). Fault state is a pure function of simulated
+  /// time, so an active plan stays byte-identical at any engine thread
+  /// count.
+  net::FaultPlan faults{};
   rnic::RnicParams rnic{};
   host::HostParams host{};
 

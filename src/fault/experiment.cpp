@@ -32,6 +32,10 @@ struct Harness {
   std::uint64_t durable_watermark = 0;  ///< snapshot at last recovery
   bool durable = false;
   sim::Semaphore* retry_mutex = nullptr;
+  /// Baseline per-retry wait. Single source of truth: read out of
+  /// params.rnic.retransmit_interval, the same QP timer the transport's
+  /// own go-back-N machinery runs on.
+  sim::SimTime retry_delay = 0;
 };
 
 Task<> driver(core::RpcClient& client, Harness& h, FailureRunConfig cfg,
@@ -65,9 +69,9 @@ Task<> driver(core::RpcClient& client, Harness& h, FailureRunConfig cfg,
       if (!h.durable) {
         // Traditional RC stack: each lost work request surfaces on its
         // own retransmission-timer expiry; the client then re-sends
-        // request AND data (§5.4: 100 ms interval).
+        // request AND data (§5.4: 100 ms interval — the QP timer).
         co_await h.retry_mutex->acquire();
-        co_await sim::delay(sim, cfg.retransmit_interval);
+        co_await sim::delay(sim, h.retry_delay);
         res = co_await client.call(req);
         h.retry_mutex->release();
       } else {
@@ -137,6 +141,9 @@ FailureRunResult run_with_failures(rpcs::System system,
   params.log_slots = std::max(cfg.window * 2, 8u);
   params.flow_threshold = std::max(cfg.window, 4u);
   params.rnic.retransmit_interval = cfg.retransmit_interval;
+  // Fig. 12 models the paper's fixed 100 ms timer (§5.4): every retry
+  // round costs exactly one interval, so pin the QP backoff off.
+  params.rnic.retransmit_backoff = 1.0;
 
   core::Cluster cluster(params, 2);
   const std::size_t client_nodes[] = {1};
@@ -173,6 +180,7 @@ FailureRunResult run_with_failures(rpcs::System system,
   h.crash_trigger = &crash_trigger;
   h.durable = rpcs::info_of(system).durable;
   h.retry_mutex = &retry_mutex;
+  h.retry_delay = params.rnic.retransmit_interval;
   for (std::uint32_t i = 1; i <= cfg.crashes; ++i) {
     h.crash_at.push_back(cfg.ops * i / (cfg.crashes + 1));
   }

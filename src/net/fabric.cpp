@@ -93,6 +93,160 @@ void Fabric::set_topology(const TopologyConfig& cfg, std::size_t hosts) {
   }
 }
 
+void Fabric::set_fault_plan(FaultPlan plan) {
+  plan.validate();
+  plan_ = std::move(plan);
+  have_faults_ = !plan_.empty();
+  edge_down_.clear();
+  direct_down_.clear();
+  epoch_starts_.clear();
+  epoch_routes_.clear();
+  if (!have_faults_) return;
+
+  // With no installed topology (bare fabric) every vertex names a
+  // host, so all flaps act on the direct point-to-point table.
+  const std::size_t hosts =
+      topo_ != nullptr ? topo_->host_count() : ~std::size_t{0};
+
+  // Host<->host flaps act on the direct point-to-point table.
+  const auto add_direct = [&](NodeId a, NodeId b, sim::SimTime lo,
+                              sim::SimTime hi) {
+    for (const std::uint64_t key : {pack(a, b), pack(b, a)}) {
+      auto it = std::find_if(direct_down_.begin(), direct_down_.end(),
+                             [&](const auto& e) { return e.first == key; });
+      if (it == direct_down_.end()) {
+        direct_down_.emplace_back(key, DownSpans{});
+        it = direct_down_.end() - 1;
+      }
+      it->second.spans.emplace_back(lo, hi);
+    }
+  };
+  for (const LinkFlap& f : plan_.link_flaps) {
+    if (f.a < hosts && f.b < hosts) {
+      add_direct(static_cast<NodeId>(f.a), static_cast<NodeId>(f.b),
+                 f.down_at, f.up_at);
+    }
+  }
+  for (auto& [key, spans] : direct_down_) {
+    std::sort(spans.spans.begin(), spans.spans.end());
+  }
+
+  if (topo_ == nullptr || !topo_->switched()) return;
+
+  // Map flaps and switch crashes onto the cables they take down — both
+  // directions of each full-duplex pair.
+  edge_down_.resize(topo_->edge_count());
+  const auto add_edge_span = [&](std::uint32_t e, sim::SimTime lo,
+                                 sim::SimTime hi) {
+    edge_down_[e].spans.emplace_back(lo, hi);
+  };
+  for (std::uint32_t e = 0; e < topo_->edge_count(); ++e) {
+    const Topology::Edge& edge = topo_->edge(e);
+    for (const LinkFlap& f : plan_.link_flaps) {
+      if ((edge.from == f.a && edge.to == f.b) ||
+          (edge.from == f.b && edge.to == f.a)) {
+        add_edge_span(e, f.down_at, f.up_at);
+      }
+    }
+    for (const SwitchFault& f : plan_.switch_faults) {
+      const Vertex sw = topo_->switch_vertex(f.switch_index);
+      if (edge.from == sw || edge.to == sw) {
+        add_edge_span(e, f.down_at, f.up_at);
+      }
+    }
+  }
+  bool any_edge = false;
+  for (DownSpans& d : edge_down_) {
+    std::sort(d.spans.begin(), d.spans.end());
+    any_edge = any_edge || !d.spans.empty();
+  }
+  if (!any_edge) {
+    edge_down_.clear();
+    return;
+  }
+
+  // Fault epochs: the cable up/down state is constant between
+  // transition instants, so one failover route table per epoch covers
+  // every send in it. Tables are precomputed here (single-threaded,
+  // before the run) and only read afterwards.
+  std::vector<sim::SimTime> cuts;
+  for (const DownSpans& d : edge_down_) {
+    for (const auto& [lo, hi] : d.spans) {
+      cuts.push_back(lo);
+      cuts.push_back(hi);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  epoch_starts_.push_back(0);
+  for (const sim::SimTime t : cuts) {
+    if (t > 0) epoch_starts_.push_back(t);
+  }
+  epoch_routes_.resize(epoch_starts_.size());
+  for (std::size_t i = 0; i < epoch_starts_.size(); ++i) {
+    std::vector<bool> mask(topo_->edge_count(), false);
+    bool any = false;
+    for (std::uint32_t e = 0; e < topo_->edge_count(); ++e) {
+      if (edge_down_[e].down_at(epoch_starts_[i])) {
+        mask[e] = true;
+        any = true;
+      }
+    }
+    if (any) epoch_routes_[i] = topo_->compute_routes_masked(mask);
+  }
+}
+
+void Fabric::count_drop(DropReason r, sim::SimTime t, NodeId track,
+                        trace::Tracer* tracer) {
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  drops_by_reason_[static_cast<std::size_t>(r)].fetch_add(
+      1, std::memory_order_relaxed);
+  if (tracer != nullptr) {
+    tracer->counter(trace::Component::kNetDrop, t, 1,
+                    static_cast<std::uint16_t>(track));
+  }
+}
+
+bool Fabric::direct_is_down(NodeId from, NodeId to, sim::SimTime t) const {
+  const std::uint64_t key = pack(from, to);
+  for (const auto& [k, spans] : direct_down_) {
+    if (k == key) return spans.down_at(t);
+  }
+  return false;
+}
+
+bool Fabric::partition_blocked(NodeId src, NodeId dst, sim::SimTime t) const {
+  for (const NetPartition& p : plan_.partitions) {
+    if (t < p.begin || t >= p.end) continue;
+    const bool s = std::find(p.island.begin(), p.island.end(), src) !=
+                   p.island.end();
+    const bool d = std::find(p.island.begin(), p.island.end(), dst) !=
+                   p.island.end();
+    if (s != d) return true;
+  }
+  return false;
+}
+
+void Fabric::burst_rates(sim::SimTime t, double& loss, double& corrupt) const {
+  for (const LossBurst& b : plan_.bursts) {
+    if (t < b.begin || t >= b.end) continue;
+    loss = std::max(loss, b.loss);
+    corrupt = std::max(corrupt, b.corrupt);
+  }
+}
+
+const Route& Fabric::route_at(NodeId from, NodeId to, sim::SimTime t) const {
+  if (epoch_starts_.empty()) return topo_->route(from, to);
+  std::size_t i =
+      static_cast<std::size_t>(
+          std::upper_bound(epoch_starts_.begin(), epoch_starts_.end(), t) -
+          epoch_starts_.begin()) -
+      1;
+  const std::vector<Route>& table = epoch_routes_[i];
+  if (table.empty()) return topo_->route(from, to);
+  return table[static_cast<std::size_t>(from) * topo_->host_count() + to];
+}
+
 void Fabric::grow_links() {
   std::vector<LinkSlot> old = std::move(links_);
   links_ = std::vector<LinkSlot>(std::max<std::size_t>(16, old.size() * 2));
@@ -216,6 +370,8 @@ Fabric::PortStats Fabric::port_stats(std::size_t i) const {
   s.queue_ns_peak = port.queue_ns_peak;
   s.pfc_events = port.pfc_events;
   s.pfc_pause_ns = port.pfc_pause_ns;
+  s.drops = port.drops;
+  s.corrupt_drops = port.corrupt_drops;
   return s;
 }
 
@@ -240,11 +396,32 @@ sim::SimTime Fabric::pfc_pause_ns_total() const {
 sim::SimTime Fabric::send(Packet p) {
   if (routed() && p.src != p.dst && p.src < topo_->host_count() &&
       p.dst < topo_->host_count()) {
-    const Route& route = topo_->route(p.src, p.dst);
-    if (!route.ports.empty()) {
+    const Route& base = topo_->route(p.src, p.dst);
+    if (!base.ports.empty()) {
       NodeCtx& src = ctx(p.src);
       sim::Simulator& ssim = src.sim != nullptr ? *src.sim : sim_;
-      return hop_transmit(std::move(p), route, 0, ssim.now());
+      const sim::SimTime now = ssim.now();
+      if (have_faults_) {
+        // Fault checks happen before the packet touches any port: the
+        // down/partition state is a pure function of simulated time, so
+        // a rejected packet perturbs no egress occupancy or RNG stream.
+        if (partition_blocked(p.src, p.dst, now)) {
+          count_drop(DropReason::kPartition, now, p.src, src.tracer);
+          return now;
+        }
+        const Route& route = route_at(p.src, p.dst, now);
+        if (route.ports.empty()) {
+          // No surviving path this fault epoch. The destination stalls
+          // rather than silently losing traffic: the drop is accounted
+          // and the RC layer retries until a later epoch reconnects it
+          // (never the flat direct table — that would teleport packets
+          // around the fault).
+          count_drop(DropReason::kUnreachable, now, p.src, src.tracer);
+          return now;
+        }
+        return hop_transmit(std::move(p), route, 0, now);
+      }
+      return hop_transmit(std::move(p), base, 0, now);
     }
     // Host pair the graph leaves disconnected: fall through to the
     // direct point-to-point link, like the pre-topology fabric.
@@ -259,6 +436,18 @@ sim::SimTime Fabric::hop_transmit(Packet p, const Route& route,
   // the packet can contend for the egress queue.
   const sim::SimTime ready =
       hop == 0 ? t_in : t_in + topo_cfg_.switch_latency;
+  if (have_faults_ && edge_is_down(route.ports[hop], ready)) {
+    // Downed egress (flap or switch crash): rejected before occupying
+    // the wire — no busy-until mutation, no RNG draw, no byte counted.
+    // In-flight packets hit this mid-route when a cable dies under
+    // them; fresh sends only reach a downed cable while their pinned
+    // (stale) epoch route still crosses it.
+    port.drops += 1;
+    trace::Tracer* t =
+        port.owner < nodes_.size() ? nodes_[port.owner].tracer : tracer_;
+    count_drop(DropReason::kLinkDown, ready, port.owner, t);
+    return port.busy_until;
+  }
   if (hop > 0) switch_hops_.fetch_add(1, std::memory_order_relaxed);
 
   const LinkParams& lp = port.params;
@@ -336,8 +525,20 @@ sim::SimTime Fabric::hop_transmit(Packet p, const Route& route,
     }
   }
 
-  if (lp.loss_probability > 0.0 && rng.bernoulli(lp.loss_probability)) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+  double loss = lp.loss_probability;
+  double corrupt = 0.0;
+  if (have_faults_) burst_rates(ready, loss, corrupt);
+  if (loss > 0.0 && rng.bernoulli(loss)) {
+    port.drops += 1;
+    count_drop(DropReason::kLoss, ready, port.owner, tracer);
+    return port.busy_until;
+  }
+  if (corrupt > 0.0 && rng.bernoulli(corrupt)) {
+    // A corrupted frame fails the link-layer CRC at the far end; to the
+    // transport it is a loss, only the accounting differs.
+    port.drops += 1;
+    port.corrupt_drops += 1;
+    count_drop(DropReason::kCorrupt, ready, port.owner, tracer);
     return port.busy_until;
   }
 
@@ -358,11 +559,12 @@ sim::SimTime Fabric::hop_transmit(Packet p, const Route& route,
   }
 
   NodeCtx& dst = ctx(p.dst);
-  auto deliver = [this, p = std::move(p)]() mutable {
+  auto deliver = [this, p = std::move(p), t = arrival]() mutable {
     const NodeCtx& d = nodes_[p.dst];
     if (!d.sink) {
-      // destination crashed/unregistered
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      // Destination crashed/unregistered: same accounted path as every
+      // other discard, attributed to the dead node.
+      count_drop(DropReason::kDeadNode, t, p.dst, d.tracer);
       return;
     }
     delivered_.fetch_add(1, std::memory_order_relaxed);
@@ -383,6 +585,20 @@ sim::SimTime Fabric::send_direct(Packet p) {
   // Unregistered senders (raw-fabric tests) run on the fabric's own
   // simulator, matching the pre-partitioning behaviour.
   sim::Simulator& ssim = src.sim != nullptr ? *src.sim : sim_;
+  if (have_faults_) {
+    // Rejected before the link's busy-until or RNG stream is touched —
+    // fault state is time-pure, so the surviving schedule is unchanged.
+    const sim::SimTime now = ssim.now();
+    if (partition_blocked(p.src, p.dst, now)) {
+      count_drop(DropReason::kPartition, now, p.src, src.tracer);
+      return now;
+    }
+    if (direct_is_down(p.src, p.dst, now)) {
+      state(p.src, p.dst).drops += 1;
+      count_drop(DropReason::kLinkDown, now, p.src, src.tracer);
+      return now;
+    }
+  }
   LinkState& lk = state(p.src, p.dst);
   const LinkParams& lp = lk.params;
 
@@ -428,17 +644,26 @@ sim::SimTime Fabric::send_direct(Packet p) {
                      arrival, static_cast<std::uint16_t>(p.src));
   }
 
-  if (lp.loss_probability > 0.0 && rng.bernoulli(lp.loss_probability)) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+  double loss = lp.loss_probability;
+  double corrupt = 0.0;
+  if (have_faults_) burst_rates(tx_begin, loss, corrupt);
+  if (loss > 0.0 && rng.bernoulli(loss)) {
+    lk.drops += 1;
+    count_drop(DropReason::kLoss, tx_begin, p.src, src.tracer);
+    return lk.busy_until;
+  }
+  if (corrupt > 0.0 && rng.bernoulli(corrupt)) {
+    lk.drops += 1;
+    count_drop(DropReason::kCorrupt, tx_begin, p.src, src.tracer);
     return lk.busy_until;
   }
 
   NodeCtx& dst = ctx(p.dst);
-  auto deliver = [this, p = std::move(p)]() mutable {
+  auto deliver = [this, p = std::move(p), t = arrival]() mutable {
     const NodeCtx& d = nodes_[p.dst];
     if (!d.sink) {
-      // destination crashed/unregistered
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      // Destination crashed/unregistered: accounted, never silent.
+      count_drop(DropReason::kDeadNode, t, p.dst, d.tracer);
       return;
     }
     delivered_.fetch_add(1, std::memory_order_relaxed);

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -7,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
 #include "sim/partitioned_engine.hpp"
@@ -15,6 +17,33 @@
 #include "trace/tracer.hpp"
 
 namespace prdma::net {
+
+/// Why the fabric discarded a packet. Every discard — random loss,
+/// fault injection, or delivery to a crashed node — goes through one
+/// accounted path: a per-reason total, a per-port counter on switched
+/// presets, and a kNetDrop tracer tick.
+enum class DropReason : std::uint8_t {
+  kLoss = 0,     ///< random per-packet loss (LinkParams / LossBurst)
+  kCorrupt,      ///< corrupted frame discarded by the link-layer CRC
+  kLinkDown,     ///< egress cable down per the FaultPlan
+  kPartition,    ///< src and dst on opposite sides of a NetPartition
+  kUnreachable,  ///< no surviving route in the current fault epoch
+  kDeadNode,     ///< destination crashed/unregistered before arrival
+  kCount
+};
+
+[[nodiscard]] constexpr const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kLoss: return "loss";
+    case DropReason::kCorrupt: return "corrupt";
+    case DropReason::kLinkDown: return "link-down";
+    case DropReason::kPartition: return "partition";
+    case DropReason::kUnreachable: return "unreachable";
+    case DropReason::kDeadNode: return "dead-node";
+    case DropReason::kCount: break;
+  }
+  return "?";
+}
 
 /// The packet engine of the simulated fabric.
 ///
@@ -58,7 +87,8 @@ class Fabric {
   }
 
   /// Removes a node from the fabric (crashed); packets in flight to it
-  /// are dropped on arrival until it re-registers.
+  /// are discarded on arrival until it re-registers — through the
+  /// accounted drop path (DropReason::kDeadNode), never silently.
   void unregister_node(NodeId id);
 
   [[nodiscard]] bool node_registered(NodeId id) const {
@@ -73,6 +103,19 @@ class Fabric {
   /// its own RNG stream seeded from the bind_engine seed) per directed
   /// cable.
   void set_topology(const TopologyConfig& cfg, std::size_t hosts);
+
+  /// Installs a deterministic fault schedule (call after set_topology,
+  /// before the run starts). Link flaps and switch crashes reject
+  /// packets at the affected egress for their down interval and switch
+  /// routing to precomputed per-epoch ECMP failover tables; partitions
+  /// block at the source egress; loss/corruption bursts raise the
+  /// effective drop rates inside their window. Fault state is a pure
+  /// function of simulated time — the plan schedules no events — so an
+  /// active plan stays byte-identical at any engine thread count.
+  void set_fault_plan(FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& fault_plan() const { return plan_; }
+  [[nodiscard]] bool fault_plan_active() const { return have_faults_; }
 
   [[nodiscard]] const TopologyConfig& topology_config() const {
     return topo_cfg_;
@@ -133,6 +176,11 @@ class Fabric {
   [[nodiscard]] std::uint64_t packets_dropped() const {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Drops attributed to one cause (sums to packets_dropped()).
+  [[nodiscard]] std::uint64_t packets_dropped(DropReason r) const {
+    return drops_by_reason_[static_cast<std::size_t>(r)].load(
+        std::memory_order_relaxed);
+  }
   /// Bytes that occupied a cable, summed over every hop a packet took
   /// (a 3-port route charges the packet three times — wire occupancy,
   /// not goodput).
@@ -156,6 +204,9 @@ class Fabric {
     sim::SimTime queue_ns_peak = 0;
     std::uint64_t pfc_events = 0;
     sim::SimTime pfc_pause_ns = 0;
+    /// Packets discarded at this egress, any reason / CRC discards.
+    std::uint64_t drops = 0;
+    std::uint64_t corrupt_drops = 0;
   };
 
   [[nodiscard]] std::size_t port_count() const { return ports_.size(); }
@@ -202,6 +253,7 @@ class Fabric {
     sim::SimTime busy_until = 0;
     /// Partitioned runs only: this link's private noise stream.
     std::unique_ptr<sim::Rng> rng;
+    std::uint64_t drops = 0;
   };
 
   struct NodeCtx {
@@ -231,6 +283,21 @@ class Fabric {
     sim::SimTime queue_ns_peak = 0;
     std::uint64_t pfc_events = 0;
     sim::SimTime pfc_pause_ns = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t corrupt_drops = 0;
+  };
+
+  /// Sorted disjoint [down, up) spans during which one cable (or one
+  /// direct pair) rejects packets at its egress.
+  struct DownSpans {
+    std::vector<std::pair<sim::SimTime, sim::SimTime>> spans;
+    [[nodiscard]] bool down_at(sim::SimTime t) const {
+      for (const auto& [lo, hi] : spans) {
+        if (t < lo) return false;
+        if (t < hi) return true;
+      }
+      return false;
+    }
   };
 
   static constexpr std::uint64_t kEmptyKey = ~std::uint64_t{0};
@@ -254,6 +321,25 @@ class Fabric {
   void precreate_links(NodeId id);
   NodeCtx& ctx(NodeId id);
   sim::SimTime send_direct(Packet p);
+
+  // ---- fault-plan queries (pure functions of simulated time) ----
+  void count_drop(DropReason r, sim::SimTime t, NodeId track,
+                  trace::Tracer* tracer);
+  [[nodiscard]] bool edge_is_down(std::uint32_t e, sim::SimTime t) const {
+    return e < edge_down_.size() && edge_down_[e].down_at(t);
+  }
+  [[nodiscard]] bool direct_is_down(NodeId from, NodeId to,
+                                    sim::SimTime t) const;
+  [[nodiscard]] bool partition_blocked(NodeId src, NodeId dst,
+                                       sim::SimTime t) const;
+  /// Effective loss/corruption rates at `t`: the link's own loss raised
+  /// to any active burst's.
+  void burst_rates(sim::SimTime t, double& loss, double& corrupt) const;
+  /// The route of (from, to) in the fault epoch containing `t` — the
+  /// base table outside fault epochs, a precomputed failover table
+  /// inside one. Empty when the pair is unreachable in that epoch.
+  [[nodiscard]] const Route& route_at(NodeId from, NodeId to,
+                                      sim::SimTime t) const;
   /// Enqueues `p` on route hop `hop`, entering the port at `t_in`
   /// (switch hops add the store-and-forward latency first). Returns
   /// the port's busy-until after this packet serializes.
@@ -278,6 +364,20 @@ class Fabric {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> bytes_{0};
   std::atomic<std::uint64_t> switch_hops_{0};
+  std::array<std::atomic<std::uint64_t>,
+             static_cast<std::size_t>(DropReason::kCount)>
+      drops_by_reason_{};
+  FaultPlan plan_;
+  bool have_faults_ = false;
+  std::vector<DownSpans> edge_down_;  ///< per topology edge id
+  /// Direct pairs named by host<->host flaps, keyed on pack(from, to).
+  std::vector<std::pair<std::uint64_t, DownSpans>> direct_down_;
+  /// Fault epochs: route table i applies in [epoch_starts_[i],
+  /// epoch_starts_[i+1]). An empty inner table means "use the base
+  /// routes". Built once by set_fault_plan, immutable during the run —
+  /// hop lambdas hold pointers into these tables.
+  std::vector<sim::SimTime> epoch_starts_;
+  std::vector<std::vector<Route>> epoch_routes_;
   trace::Tracer* tracer_ = nullptr;
   sim::PartitionedEngine* engine_ = nullptr;
   std::uint64_t link_seed_ = 0;

@@ -1,0 +1,96 @@
+#include "net/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+namespace prdma::net {
+
+void FaultPlan::validate() const {
+  for (const LinkFlap& f : link_flaps) {
+    if (f.down_at >= f.up_at) {
+      throw std::invalid_argument("fault plan: link flap never heals");
+    }
+    if (f.a == f.b) {
+      throw std::invalid_argument("fault plan: link flap on a self-pair");
+    }
+  }
+  for (const SwitchFault& f : switch_faults) {
+    if (f.down_at >= f.up_at) {
+      throw std::invalid_argument("fault plan: switch fault never heals");
+    }
+  }
+  for (const LossBurst& b : bursts) {
+    if (b.begin >= b.end) {
+      throw std::invalid_argument("fault plan: loss burst never ends");
+    }
+    if (b.loss < 0.0 || b.loss > 1.0 || b.corrupt < 0.0 || b.corrupt > 1.0) {
+      throw std::invalid_argument("fault plan: burst probability out of [0,1]");
+    }
+  }
+  for (const NetPartition& p : partitions) {
+    if (p.begin >= p.end) {
+      throw std::invalid_argument("fault plan: partition never heals");
+    }
+    if (p.island.empty()) {
+      throw std::invalid_argument("fault plan: partition with an empty island");
+    }
+  }
+}
+
+FaultPlan random_fault_plan(const Topology& topo, std::uint64_t seed,
+                            sim::SimTime horizon) {
+  FaultPlan plan;
+  if (horizon < 8 || topo.host_count() < 2) return plan;
+  sim::Rng rng(seed ^ 0xA24BAED4963EE407ULL);
+
+  // An interval wholly inside [0, horizon): the plan always heals, so
+  // RC retransmission chains drain and the run terminates.
+  const auto interval = [&](sim::SimTime& down, sim::SimTime& up) {
+    down = rng.uniform(1, horizon / 2);
+    up = down + std::max<sim::SimTime>(
+                    1, rng.uniform(horizon / 8, (horizon - down) - 1));
+    up = std::min<sim::SimTime>(up, horizon - 1);
+  };
+
+  const std::size_t flaps = 1 + rng.uniform(0, 1);
+  for (std::size_t i = 0; i < flaps; ++i) {
+    LinkFlap f;
+    if (topo.edge_count() > 0) {
+      const Topology::Edge& e =
+          topo.edge(static_cast<std::uint32_t>(
+              rng.uniform(0, topo.edge_count() - 1)));
+      f.a = e.from;
+      f.b = e.to;
+    } else {
+      f.a = static_cast<Vertex>(rng.uniform(0, topo.host_count() - 1));
+      f.b = static_cast<Vertex>(rng.uniform(0, topo.host_count() - 1));
+      if (f.b == f.a) f.b = (f.a + 1) % static_cast<Vertex>(topo.host_count());
+    }
+    interval(f.down_at, f.up_at);
+    plan.link_flaps.push_back(f);
+  }
+
+  if (topo.switch_count() > 1) {
+    // Keep one switch alive so routed pairs stay reachable in most
+    // epochs; a single-ToR rack losing its only switch is pure stall.
+    SwitchFault f;
+    f.switch_index = static_cast<std::uint32_t>(
+        rng.uniform(0, topo.switch_count() - 1));
+    interval(f.down_at, f.up_at);
+    plan.switch_faults.push_back(f);
+  }
+
+  LossBurst burst;
+  interval(burst.begin, burst.end);
+  burst.loss = 0.05 + 0.1 * rng.uniform01();
+  burst.corrupt = 0.01 * rng.uniform01();
+  plan.bursts.push_back(burst);
+
+  plan.validate();
+  return plan;
+}
+
+}  // namespace prdma::net

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/route.hpp"
+#include "sim/time.hpp"
+
+namespace prdma::net {
+
+class Topology;
+
+/// One full-duplex cable going dark and coming back: both directed
+/// edges between `a` and `b` reject packets at their egress during
+/// [down_at, up_at). On a switched fabric (a, b) name graph vertices
+/// (host or switch_vertex(s)); on the point-to-point preset they name
+/// the two hosts of the direct link.
+struct LinkFlap {
+  Vertex a = 0;
+  Vertex b = 0;
+  sim::SimTime down_at = 0;
+  sim::SimTime up_at = 0;
+};
+
+/// A switch crash: every cable incident to the switch is down during
+/// [down_at, up_at) — ECMP failover routes around it where a path
+/// survives; otherwise destinations become unreachable until it heals.
+struct SwitchFault {
+  std::uint32_t switch_index = 0;
+  sim::SimTime down_at = 0;
+  sim::SimTime up_at = 0;
+};
+
+/// A fabric-wide loss/corruption episode: during [begin, end) every
+/// egress draws drops at max(link loss, `loss`) and additionally
+/// discards packets with probability `corrupt` (a corrupted frame
+/// fails its link-layer CRC, so to the transport it is a loss — the
+/// distinction only shows up in the drop accounting).
+struct LossBurst {
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+  double loss = 0.0;
+  double corrupt = 0.0;
+};
+
+/// A clean network partition: during [begin, end) no packet crosses
+/// between `island` and the rest of the hosts (checked at egress, so
+/// blocked traffic lands in the accounted drop path and the RC layer
+/// keeps retrying until the partition heals).
+struct NetPartition {
+  std::vector<NodeId> island;
+  sim::SimTime begin = 0;
+  sim::SimTime end = 0;
+};
+
+/// A deterministic, seed-driven schedule of network faults, installed
+/// into the Fabric before the run starts (Cluster does this when
+/// ModelParams::faults is non-empty). The plan is consulted read-only
+/// at packet egress — fault state is a pure function of simulated
+/// time, so an active plan adds no events of its own and stays
+/// byte-identical at any --engine-threads.
+struct FaultPlan {
+  std::vector<LinkFlap> link_flaps;
+  std::vector<SwitchFault> switch_faults;
+  std::vector<LossBurst> bursts;
+  std::vector<NetPartition> partitions;
+
+  [[nodiscard]] bool empty() const {
+    return link_flaps.empty() && switch_faults.empty() && bursts.empty() &&
+           partitions.empty();
+  }
+
+  /// Throws std::invalid_argument on inverted intervals, empty
+  /// partition islands, or unbounded (never-healing) faults — a plan
+  /// that never heals would leave the RC retransmission chains live
+  /// forever and the run would not terminate.
+  void validate() const;
+};
+
+/// Seed-driven random plan over `topo`'s actual cables (or the direct
+/// host pairs of a switchless fabric): a couple of link flaps, one
+/// switch crash when the fabric has switches, and one loss burst, all
+/// inside [0, horizon) and all healed before `horizon`. Deterministic
+/// in (topo, seed, horizon).
+[[nodiscard]] FaultPlan random_fault_plan(const Topology& topo,
+                                          std::uint64_t seed,
+                                          sim::SimTime horizon);
+
+}  // namespace prdma::net

@@ -44,38 +44,70 @@ std::uint32_t Topology::connect(Vertex a, Vertex b, const LinkParams& ab,
   return id;
 }
 
-void Topology::compute_routes() {
-  const std::size_t V = vertex_count();
+// Hop distance from every vertex to one destination, by reverse BFS.
+// Cables are declared in full-duplex pairs, so vertex adjacency is
+// symmetric and the forward adjacency list serves both directions
+// (edge_down masks are likewise set pairwise).
+std::vector<std::uint32_t> Topology::distances_to(
+    Vertex dst, const std::vector<bool>* edge_down) const {
   constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
-
-  // Hop distance from every vertex to one destination host, by reverse
-  // BFS. Cables are declared in full-duplex pairs, so vertex adjacency
-  // is symmetric and the forward adjacency list serves both directions.
-  const auto distances_to = [&](Vertex dst) {
-    std::vector<std::uint32_t> dist(V, kUnreached);
-    dist[dst] = 0;
-    std::queue<Vertex> q;
-    q.push(dst);
-    while (!q.empty()) {
-      const Vertex v = q.front();
-      q.pop();
-      for (const std::uint32_t e : adj_[v]) {
-        const Vertex n = edges_[e].to;
-        if (dist[n] == kUnreached) {
-          dist[n] = dist[v] + 1;
-          q.push(n);
-        }
+  std::vector<std::uint32_t> dist(vertex_count(), kUnreached);
+  dist[dst] = 0;
+  std::queue<Vertex> q;
+  q.push(dst);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    for (const std::uint32_t e : adj_[v]) {
+      if (edge_down != nullptr && (*edge_down)[e]) continue;
+      const Vertex n = edges_[e].to;
+      if (dist[n] == kUnreached) {
+        dist[n] = dist[v] + 1;
+        q.push(n);
       }
     }
-    return dist;
-  };
+  }
+  return dist;
+}
+
+void Topology::fill_routes(const std::vector<bool>* edge_down,
+                           std::vector<Route>& out) const {
+  constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
+  out.assign(hosts_ * hosts_, Route{});
+  for (Vertex to = 0; to < hosts_; ++to) {
+    const std::vector<std::uint32_t> dist = distances_to(to, edge_down);
+    for (Vertex from = 0; from < hosts_; ++from) {
+      if (from == to || dist[from] == kUnreached) continue;
+      Route& r = out[static_cast<std::size_t>(from) * hosts_ + to];
+      r.ports.reserve(dist[from]);
+      Vertex cur = from;
+      while (cur != to) {
+        // Equal-cost next hops, in edge-construction order; the flow
+        // hash pins this (from,to) flow to one of them.
+        std::vector<std::uint32_t> next;
+        for (const std::uint32_t e : adj_[cur]) {
+          if (edge_down != nullptr && (*edge_down)[e]) continue;
+          if (dist[edges_[e].to] + 1 == dist[cur]) next.push_back(e);
+        }
+        const std::uint32_t e =
+            next[ecmp_hash(from, to, cur) % next.size()];
+        r.ports.push_back(e);
+        cur = edges_[e].to;
+      }
+    }
+  }
+}
+
+void Topology::compute_routes() {
+  constexpr std::uint32_t kUnreached = std::numeric_limits<std::uint32_t>::max();
 
   // Switch owners: hosts at minimal hop distance, (s mod count)-th
   // smallest id. adj_ ids are construction-ordered, so the candidate
   // set — and therefore the owner — is a pure function of the graph.
   owners_.assign(switch_count(), 0);
   for (std::uint32_t s = 0; s < switch_count(); ++s) {
-    const std::vector<std::uint32_t> dist = distances_to(switch_vertex(s));
+    const std::vector<std::uint32_t> dist =
+        distances_to(switch_vertex(s), nullptr);
     std::uint32_t best = kUnreached;
     std::vector<NodeId> candidates;
     for (Vertex h = 0; h < hosts_; ++h) {
@@ -93,28 +125,17 @@ void Topology::compute_routes() {
     owners_[s] = candidates[s % candidates.size()];
   }
 
-  routes_.assign(hosts_ * hosts_, Route{});
-  for (Vertex to = 0; to < hosts_; ++to) {
-    const std::vector<std::uint32_t> dist = distances_to(to);
-    for (Vertex from = 0; from < hosts_; ++from) {
-      if (from == to || dist[from] == kUnreached) continue;
-      Route& r = routes_[static_cast<std::size_t>(from) * hosts_ + to];
-      r.ports.reserve(dist[from]);
-      Vertex cur = from;
-      while (cur != to) {
-        // Equal-cost next hops, in edge-construction order; the flow
-        // hash pins this (from,to) flow to one of them.
-        std::vector<std::uint32_t> next;
-        for (const std::uint32_t e : adj_[cur]) {
-          if (dist[edges_[e].to] + 1 == dist[cur]) next.push_back(e);
-        }
-        const std::uint32_t e =
-            next[ecmp_hash(from, to, cur) % next.size()];
-        r.ports.push_back(e);
-        cur = edges_[e].to;
-      }
-    }
+  fill_routes(nullptr, routes_);
+}
+
+std::vector<Route> Topology::compute_routes_masked(
+    const std::vector<bool>& edge_down) const {
+  if (edge_down.size() != edges_.size()) {
+    throw std::invalid_argument("compute_routes_masked: mask size mismatch");
   }
+  std::vector<Route> out;
+  fill_routes(&edge_down, out);
+  return out;
 }
 
 sim::SimTime Topology::min_propagation() const {

@@ -148,6 +148,17 @@ class Topology {
     return routes_[static_cast<std::size_t>(from) * hosts_ + to];
   }
 
+  /// The full host-major route table recomputed with the cables in
+  /// `edge_down` (indexed by edge id, set pairwise — a cable is down in
+  /// both directions) excluded: the deterministic ECMP failover table
+  /// of a FaultPlan epoch. Same BFS + flow hash as compute_routes, so
+  /// surviving-path choice is a pure function of the graph and mask;
+  /// pairs with no surviving path get an empty route (the fabric turns
+  /// those into accounted unreachable drops and the RC reliability
+  /// layer keeps retrying until the fault heals).
+  [[nodiscard]] std::vector<Route> compute_routes_masked(
+      const std::vector<bool>& edge_down) const;
+
   /// Minimum one-way propagation over every cable — the conservative
   /// lookahead of a partitioned run is half of this. SimTime max when
   /// the graph has no edges.
@@ -156,6 +167,13 @@ class Topology {
   [[nodiscard]] std::size_t max_route_hops() const;
 
  private:
+  /// Hop distance from every vertex to `dst` by reverse BFS, skipping
+  /// edges marked in `edge_down` (nullptr = no mask).
+  [[nodiscard]] std::vector<std::uint32_t> distances_to(
+      Vertex dst, const std::vector<bool>* edge_down) const;
+  void fill_routes(const std::vector<bool>* edge_down,
+                   std::vector<Route>& out) const;
+
   std::size_t hosts_;
   std::vector<std::string> switch_names_;
   std::vector<NodeId> owners_;  ///< per switch, filled by compute_routes

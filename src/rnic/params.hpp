@@ -33,8 +33,19 @@ struct RnicParams {
   sim::SimTime hw_addressing_cost = 500;   ///< smartNIC address lookup
   sim::SimTime sflush_addressing = 7000;   ///< emulated addressing (§4.1.3)
 
-  /// RC reliability (paper §5.4 uses 100 ms).
+  /// RC reliability (paper §5.4 uses 100 ms). A retransmission timeout
+  /// of the oldest unacked packet replays the whole unacked window in
+  /// sequence order (go-back-N; PayloadRef replays stay zero-copy) and
+  /// rearms with exponential backoff: interval * backoff^(round-1),
+  /// capped at retransmit_cap. backoff = 1.0 reproduces the paper's
+  /// fixed timer. After max_retransmits consecutive timeouts of the
+  /// same head-of-window packet the QP enters the error state: the
+  /// head WR completes kRetryExceeded, every later pending WR flushes,
+  /// and subsequent posts fail immediately (the Completer turns those
+  /// into failed RPCs instead of a hang).
   sim::SimTime retransmit_interval = 100 * sim::kMillisecond;
+  double retransmit_backoff = 2.0;
+  sim::SimTime retransmit_cap = 1600 * sim::kMillisecond;
   int max_retransmits = 50;
 
   /// UD maximum transmission unit (FaSST constraint, §5.1).

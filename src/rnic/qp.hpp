@@ -43,9 +43,15 @@ struct Qp {
   std::uint64_t next_seq = 0;
   struct PendingWr {
     net::Packet packet;  // kept for retransmission
+    /// Timeout rounds this packet has seen as head of the unacked
+    /// window (go-back-N counts retries of the head; a packet's budget
+    /// restarts when it becomes the head).
     int attempts = 0;
   };
   std::map<std::uint64_t, PendingWr> unacked;  // seq -> wr
+  /// Retry budget exhausted: the QP took the bounded-retry -> error
+  /// escalation. Pending WRs were flushed; new posts fail immediately.
+  bool in_error = false;
 
   // --- receiver-side state ---
   /// Landing zone of the most recent send DMA (consulted by SFlush,

@@ -161,9 +161,10 @@ void Rnic::post_sflush(Qp& qp, std::uint64_t pm_dest_addr, std::uint64_t len,
 
 sim::SimTime Rnic::transmit_data(Packet p) {
   Qp* qp = find_qp(p.src_qp);
-  if (!alive_ || qp == nullptr || !qp->connected) {
-    // Posting on a dead/torn-down QP: complete with an error so the
-    // caller does not hang (mirrors ibv_post_send on a QP in error).
+  if (!alive_ || qp == nullptr || !qp->connected || qp->in_error) {
+    // Posting on a dead/torn-down/errored QP: complete with an error
+    // so the caller does not hang (mirrors ibv_post_send on a QP in
+    // error).
     if (qp != nullptr && qp->send_cq != nullptr) {
       Wc wc;
       wc.wr_id = p.wr_id;
@@ -241,27 +242,74 @@ void Rnic::transmit_control(Packet p) {
 }
 
 void Rnic::arm_retransmit(std::uint32_t qpn, std::uint64_t seq) {
+  // One timer per posted packet, armed at the base interval: on a
+  // lossless fabric the packet is long ACKed when it fires (one no-op
+  // event, identical to the historical model, so clean runs stay
+  // bit-exact). Go-back-N, backoff and escalation only engage when a
+  // fired timer finds its sequence still unacknowledged.
+  arm_retransmit_after(qpn, seq, params_.retransmit_interval);
+}
+
+sim::SimTime Rnic::backoff_delay(int timeouts) const {
+  double d = static_cast<double>(params_.retransmit_interval);
+  const double cap = static_cast<double>(
+      std::max(params_.retransmit_cap, params_.retransmit_interval));
+  const double backoff = std::max(params_.retransmit_backoff, 1.0);
+  for (int i = 0; i < timeouts && d < cap; ++i) d *= backoff;
+  return static_cast<sim::SimTime>(std::min(d, cap));
+}
+
+void Rnic::fail_qp(Qp& qp) {
+  qp.in_error = true;
+  bool head = true;
+  for (auto& [seq, wr] : qp.unacked) {
+    if (qp.send_cq != nullptr) {
+      Wc wc;
+      wc.wr_id = wr.packet.wr_id;
+      wc.status = head ? WcStatus::kRetryExceeded : WcStatus::kFlushed;
+      wc.op = wr.packet.op;
+      wc.qpn = qp.qpn;
+      qp.send_cq->push(wc);
+    }
+    head = false;
+  }
+  qp.unacked.clear();
+}
+
+void Rnic::arm_retransmit_after(std::uint32_t qpn, std::uint64_t seq,
+                                sim::SimTime delay) {
   const std::uint64_t epoch = epoch_;
-  sim_.schedule(params_.retransmit_interval, [this, epoch, qpn, seq] {
+  sim_.schedule(delay, [this, epoch, qpn, seq] {
     if (epoch != epoch_ || !alive_) return;
     Qp* qp = find_qp(qpn);
-    if (qp == nullptr) return;
+    if (qp == nullptr || qp->in_error) return;
     const auto it = qp->unacked.find(seq);
     if (it == qp->unacked.end()) return;  // ACKed in the meantime
+    if (it != qp->unacked.begin()) {
+      // Not the head of the unacked window. The head's timer drives
+      // go-back-N (which replays this packet too); keep watching at
+      // the base cadence until this packet is ACKed or becomes head.
+      arm_retransmit_after(qpn, seq, params_.retransmit_interval);
+      return;
+    }
     if (it->second.attempts > params_.max_retransmits) {
-      Wc wc;
-      wc.wr_id = it->second.packet.wr_id;
-      wc.status = WcStatus::kRetryExceeded;
-      wc.op = it->second.packet.op;
-      wc.qpn = qpn;
-      qp->send_cq->push(wc);
-      qp->unacked.erase(it);
+      fail_qp(*qp);
       return;
     }
     ++it->second.attempts;
-    ++retransmits_;
-    fabric_.send(it->second.packet);
-    arm_retransmit(qpn, seq);
+    // Go-back-N: a head timeout means everything after the last
+    // cumulative ACK is suspect — replay the whole unacked window in
+    // sequence order. PendingWr keeps the original PayloadRef, so a
+    // replay shares the same payload block (zero-copy).
+    for (auto& [s, wr] : qp->unacked) {
+      ++retransmits_;
+      if (tracer_ != nullptr) {
+        tracer_->counter(trace::Component::kRnicRetransmit, sim_.now(), 1,
+                         static_cast<std::uint16_t>(id_));
+      }
+      fabric_.send(wr.packet);
+    }
+    arm_retransmit_after(qpn, seq, backoff_delay(it->second.attempts - 1));
   });
 }
 
@@ -406,6 +454,13 @@ void Rnic::process_admitted(Packet p) {
         return;
       }
     } else if (p.seq > qp->expected_seq) {
+      if (qp->ooo.count(p.seq) != 0) {
+        // A go-back-N replay of a packet already parked out-of-order:
+        // discard the copy and free its buffer (parking it twice would
+        // leak the SRAM the duplicate admitted with).
+        release_sram(p.wire_bytes());
+        return;
+      }
       // Arrived ahead of a predecessor (network jitter): hold it so RC
       // in-order semantics are preserved — a flush must never overtake
       // the write it covers. SRAM stays occupied while parked.
@@ -833,8 +888,11 @@ void Rnic::maybe_auto_persist(std::uint64_t addr, std::uint64_t len) {
       n.payload = mem_.pool().make_bytes(image);
       n.seq = qp->next_seq++;
       // NIC-generated: fire on the control path (no host WQE fetch);
-      // the RC ACK for it resolves silently via handle_ack.
+      // the RC ACK for it resolves silently via handle_ack. The notify
+      // is RC traffic like any other — it arms a retransmission timer,
+      // or a lost notify would stall the sender's persist wait forever.
       qp->unacked[n.seq] = Qp::PendingWr{n, 1};
+      arm_retransmit(qp->qpn, n.seq);
       transmit_control(n);
     });
   }

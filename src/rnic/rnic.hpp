@@ -137,6 +137,20 @@ class Rnic {
   /// state. QPs must be re-created by the application layer.
   void restart();
 
+  /// Drops every buffered packet (unacked windows, out-of-order and
+  /// RNR queues) without any other state change. Cluster teardown
+  /// calls this on every node before any node is destroyed: buffered
+  /// packets hold PayloadRefs into their *sender's* buffer pool, so a
+  /// lossy run that ends with parked duplicates must release them
+  /// while all pools are still alive.
+  void release_packet_buffers() {
+    for (auto& [qpn, qp] : qps_) {
+      qp->unacked.clear();
+      qp->ooo.clear();
+      qp->rnr_queue.clear();
+    }
+  }
+
   [[nodiscard]] bool alive() const { return alive_; }
 
   // ---- introspection / stats ----
@@ -189,6 +203,16 @@ class Rnic {
   /// RNIC-generated control packet (ACK, flush-ACK, read response).
   void transmit_control(net::Packet p);
   void arm_retransmit(std::uint32_t qpn, std::uint64_t seq);
+  void arm_retransmit_after(std::uint32_t qpn, std::uint64_t seq,
+                            sim::SimTime delay);
+  /// The rearm delay after `timeouts` consecutive head-of-window
+  /// timeout rounds: interval * backoff^timeouts, capped.
+  [[nodiscard]] sim::SimTime backoff_delay(int timeouts) const;
+  /// Bounded-retry escalation: puts `qp` in the error state, completes
+  /// the head WR kRetryExceeded and flushes every later pending WR so
+  /// upper layers (Completer::fail_pending via their CQ polling) see a
+  /// clean failure instead of a hang.
+  void fail_qp(Qp& qp);
   void complete_send_wr(Qp& qp, std::uint64_t seq, const net::Packet& ack);
 
   // -- DMA engine --

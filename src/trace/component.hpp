@@ -42,6 +42,8 @@ enum class Component : ComponentId {
   kNetPortQueue,   ///< egress-queue wait at a topology port (counter, ns)
   kEngineEpochs,   ///< partitioned-engine epochs completed (counter)
   kEngineBarrierNs,  ///< wall-clock ns spent at epoch barriers (counter)
+  kNetDrop,        ///< packets dropped at a fabric egress (counter)
+  kRnicRetransmit,  ///< RC packets replayed by a retransmission timer
   kCount
 };
 

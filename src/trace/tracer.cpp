@@ -38,6 +38,8 @@ constexpr std::array<NameEntry, kPredefinedComponents> kNames{{
     {"net_port_queue", "net"},  // kNetPortQueue
     {"engine_epochs", "sim"},   // kEngineEpochs
     {"engine_barrier_ns", "sim"},  // kEngineBarrierNs
+    {"net_drop", "net"},        // kNetDrop
+    {"rnic_retransmit", "rnic"},  // kRnicRetransmit
 }};
 
 }  // namespace

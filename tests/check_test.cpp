@@ -246,6 +246,93 @@ TEST(Mutant, CleanWFlushWithLargePayloadsStillPasses) {
   EXPECT_EQ(rep.schedules_failed, 0u);
 }
 
+// ------------------------------------------------------ degraded fabric
+
+// Acceptance matrix (DESIGN.md §7.8): the persist-ACK promise must
+// hold on a lossy fabric exactly as on a clean one — go-back-N
+// retransmission may slow schedules down, never weaken them.
+
+TEST_P(AllVariants, SurvivesCrashSchedulesUnderPacketLoss) {
+  ExplorerConfig cfg = small_config(GetParam());
+  cfg.loss_probability = 1e-2;
+  cfg.retransmit_interval = 200 * sim::kMicrosecond;
+  cfg.random_schedules = 12;
+  const auto rep = explore(cfg);
+  EXPECT_GT(rep.schedules_run, 0u);
+  EXPECT_EQ(rep.schedules_failed, 0u)
+      << (rep.first_failure.has_value()
+              ? format_reproducer(rep.first_failure->schedule)
+              : std::string())
+      << (rep.first_failure.has_value() && !rep.first_failure->violations.empty()
+              ? rep.first_failure->violations.front().detail
+              : std::string());
+}
+
+TEST_P(AllVariants, SurvivesEveryNetFaultFamily) {
+  for (const NetFaultFamily family :
+       {NetFaultFamily::kCrashDuringRetransmit,
+        NetFaultFamily::kFlapDuringRecovery,
+        NetFaultFamily::kPartitionThenHeal}) {
+    ExplorerConfig cfg = small_config(GetParam());
+    cfg.random_schedules = 8;
+    cfg = with_net_faults(cfg, family);
+    const auto rep = explore(cfg);
+    EXPECT_EQ(rep.schedules_failed, 0u)
+        << net_fault_family_name(family) << ": "
+        << (rep.first_failure.has_value()
+                ? format_reproducer(rep.first_failure->schedule)
+                : std::string())
+        << " "
+        << (rep.first_failure.has_value() &&
+                    !rep.first_failure->violations.empty()
+                ? rep.first_failure->violations.front().detail
+                : std::string());
+  }
+}
+
+TEST(NetFaults, MildLossLeavesExplorationClean) {
+  // The 1e-4 point of the loss matrix: rare enough that many schedules
+  // see no drop at all, which must not perturb the oracle either.
+  ExplorerConfig cfg = small_config(FlushVariant::kWRFlush);
+  cfg.loss_probability = 1e-4;
+  cfg.retransmit_interval = 200 * sim::kMicrosecond;
+  cfg.random_schedules = 8;
+  const auto rep = explore(cfg);
+  EXPECT_EQ(rep.schedules_failed, 0u);
+}
+
+TEST(NetFaults, FaultedScheduleIsDeterministic) {
+  // Loss draws and fault windows are part of the schedule's pure
+  // function of (cfg, s): replaying the same point must be
+  // bit-identical, or reproducers printed under faults would lie.
+  const ExplorerConfig cfg =
+      with_net_faults(small_config(FlushVariant::kSFlush),
+                      NetFaultFamily::kFlapDuringRecovery);
+  const auto dry = run_schedule(cfg, Schedule{cfg.seed, 0, cfg.ops});
+  const Schedule s{cfg.seed, dry.end_time / 3, cfg.ops};
+  const auto a = run_schedule(cfg, s);
+  const auto b = run_schedule(cfg, s);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.ops_completed, b.ops_completed);
+  EXPECT_EQ(a.acks, b.acks);
+  EXPECT_EQ(a.resends, b.resends);
+  EXPECT_EQ(a.replays, b.replays);
+  EXPECT_EQ(a.violations.size(), b.violations.size());
+}
+
+TEST(Mutant, EarlyAckIsStillCaughtOnADegradedFabric) {
+  // The oracle must not lose its teeth when retransmissions blur the
+  // timeline: the ack-before-persist window is still a violation when
+  // crashes land inside a loss burst.
+  const ExplorerConfig cfg =
+      with_net_faults(mutant_config(), NetFaultFamily::kCrashDuringRetransmit);
+  const auto rep = explore(cfg);
+  ASSERT_GT(rep.schedules_failed, 0u)
+      << "degraded fabric must not mask the early-ACK mutant";
+  ASSERT_TRUE(rep.minimal.has_value());
+  EXPECT_FALSE(rep.reproducer.empty());
+}
+
 // ============================================= replicated crash oracle
 
 ReplExplorerConfig small_repl_config(core::FlushVariant v,
@@ -406,6 +493,58 @@ TEST(ReplExplorer, ParallelJobsReportIsBitIdenticalToSerial) {
   EXPECT_EQ(a.first_failure->schedule.crashes,
             b.first_failure->schedule.crashes);
   EXPECT_EQ(a.reproducer, b.reproducer);
+}
+
+// ------------------------------------ replication on a degraded fabric
+
+TEST(ReplNetFaults, BothProtocolsSurviveCrashSweepsUnderLoss) {
+  // Replication hops ride the same lossy transport as clients: chain
+  // forwarding and mirror fan-out must keep the replicated durability
+  // predicate with 1% of packets vanishing.
+  for (const repl::Protocol proto :
+       {repl::Protocol::kChain, repl::Protocol::kMirror}) {
+    auto cfg = small_repl_config(core::FlushVariant::kWFlush, proto);
+    cfg.loss_probability = 1e-2;
+    cfg.retransmit_interval = 200 * sim::kMicrosecond;
+    cfg.random_schedules = 6;
+    const auto rep = explore_repl(cfg);
+    EXPECT_EQ(rep.schedules_failed, 0u)
+        << (proto == repl::Protocol::kChain ? "chain" : "mirror") << ": "
+        << (rep.first_failure.has_value()
+                ? format_repl_reproducer(rep.first_failure->schedule)
+                : std::string())
+        << " "
+        << (rep.first_failure.has_value() &&
+                    !rep.first_failure->violations.empty()
+                ? rep.first_failure->violations.front().detail
+                : std::string());
+  }
+}
+
+TEST(ReplNetFaults, ChainSurvivesReplicaLinkFlapAcrossCrashSweep) {
+  // Flap the head→tail cable over the middle of the run: forwarding
+  // hops stall on go-back-N until the cable heals, and replica crashes
+  // layered on top must still never strand an acked transaction.
+  auto cfg = small_repl_config(core::FlushVariant::kSRFlush,
+                               repl::Protocol::kChain);
+  cfg.retransmit_interval = 200 * sim::kMicrosecond;
+  cfg.random_schedules = 6;
+  const auto dry = run_repl_schedule(cfg, ReplSchedule{cfg.seed, cfg.ops, {}});
+  const sim::SimTime span = std::max<sim::SimTime>(dry.end_time, 16);
+  net::FaultPlan plan;
+  plan.link_flaps.push_back({0, 1, span / 3, span / 3 + span / 8 + 1});
+  plan.validate();
+  cfg.faults = std::move(plan);
+  const auto rep = explore_repl(cfg);
+  EXPECT_EQ(rep.schedules_failed, 0u)
+      << (rep.first_failure.has_value()
+              ? format_repl_reproducer(rep.first_failure->schedule)
+              : std::string())
+      << " "
+      << (rep.first_failure.has_value() &&
+                  !rep.first_failure->violations.empty()
+              ? rep.first_failure->violations.front().detail
+              : std::string());
 }
 
 }  // namespace

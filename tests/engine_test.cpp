@@ -288,6 +288,8 @@ void expect_model_identical(const bench::MicroResult& a,
   EXPECT_EQ(a.sender_sw_ns, b.sender_sw_ns) << what;
   EXPECT_EQ(a.receiver_sw_ns, b.receiver_sw_ns) << what;
   EXPECT_EQ(a.kops, b.kops) << what;
+  EXPECT_EQ(a.net_drops, b.net_drops) << what;
+  EXPECT_EQ(a.rnic_retransmits, b.rnic_retransmits) << what;
 }
 
 TEST(EngineParity, DurableCellsAreByteIdenticalAcrossThreadCounts) {
@@ -306,6 +308,60 @@ TEST(EngineParity, DurableCellsAreByteIdenticalAcrossThreadCounts) {
         << rpcs::name_of(s);
     EXPECT_EQ(r2.pool.slab_bytes, r8.pool.slab_bytes) << rpcs::name_of(s);
   }
+}
+
+TEST(EngineParity, LossyCellsAreByteIdenticalAcrossThreadCounts) {
+  // A lossy point-to-point fabric pins the per-node layout even at one
+  // thread (DESIGN.md §7.8): loss draws then come from per-link RNG
+  // streams and every drop / go-back-N replay replays identically at
+  // any --engine-threads value.
+  const auto lossy = [](unsigned threads) {
+    bench::MicroConfig mc = parity_config(threads);
+    mc.loss_probability = 0.01;
+    mc.retransmit_interval = 500 * sim::kMicrosecond;
+    return mc;
+  };
+  const auto r1 = bench::run_micro(rpcs::System::kWFlushRpc, lossy(1));
+  const auto r2 = bench::run_micro(rpcs::System::kWFlushRpc, lossy(2));
+  const auto r8 = bench::run_micro(rpcs::System::kWFlushRpc, lossy(8));
+  ASSERT_GT(r1.ops_completed, 0u);
+  EXPECT_GT(r1.net_drops, 0u);
+  EXPECT_GT(r1.rnic_retransmits, 0u);
+  // The layout (not the thread count) defines the schedule: the lossy
+  // cell is partitioned per node even on the single-threaded engine.
+  EXPECT_GT(r1.engine_partitions, 1u);
+  expect_model_identical(r1, r2, "lossy wflush x2");
+  expect_model_identical(r1, r8, "lossy wflush x8");
+}
+
+TEST(EngineParity, FaultPlanCellsAreByteIdenticalAcrossThreadCounts) {
+  // A fault plan alone (no uniform loss) also pins the per-node
+  // layout; a loss burst plus a healed partition must replay the same
+  // drops and retransmissions at every thread count.
+  const auto faulted = [](unsigned threads) {
+    bench::MicroConfig mc = parity_config(threads);
+    mc.retransmit_interval = 500 * sim::kMicrosecond;
+    net::LossBurst burst;
+    burst.begin = 0;
+    burst.end = 2 * sim::kMillisecond;
+    burst.loss = 0.02;
+    burst.corrupt = 0.005;
+    mc.faults.bursts.push_back(burst);
+    net::NetPartition part;
+    part.island = {1};
+    part.begin = 300 * sim::kMicrosecond;
+    part.end = 500 * sim::kMicrosecond;
+    mc.faults.partitions.push_back(part);
+    return mc;
+  };
+  const auto r1 = bench::run_micro(rpcs::System::kWFlushRpc, faulted(1));
+  const auto r2 = bench::run_micro(rpcs::System::kWFlushRpc, faulted(2));
+  const auto r8 = bench::run_micro(rpcs::System::kWFlushRpc, faulted(8));
+  ASSERT_GT(r1.ops_completed, 0u);
+  EXPECT_GT(r1.net_drops, 0u);
+  EXPECT_GT(r1.engine_partitions, 1u);
+  expect_model_identical(r1, r2, "faulted wflush x2");
+  expect_model_identical(r1, r8, "faulted wflush x8");
 }
 
 // ------------------------------------------- per-rack partition layout

@@ -14,6 +14,7 @@
 #include "bench_util/sweep.hpp"
 #include "check/repl_explorer.hpp"
 #include "core/node.hpp"
+#include "net/faults.hpp"
 #include "repl/replication.hpp"
 #include "rpcs/registry.hpp"
 #include "sim/task.hpp"
@@ -379,6 +380,66 @@ TEST(Determinism, ReplicatedStatsAreIdenticalAcrossEngineThreadCounts) {
         << protocol_name(p);
     EXPECT_EQ(a.server.ops_processed, b.server.ops_processed)
         << protocol_name(p);
+  }
+}
+
+// ------------------------------------------------------ degraded fabric
+
+TEST(DegradedFabric, BothProtocolsCompleteEveryOpUnderLoss) {
+  // RC go-back-N underneath the replication hops (DESIGN.md §7.8):
+  // chain forwarding and mirror fan-out complete every transaction on
+  // a lossy fabric, and at 1% loss the drop/retransmit accounting
+  // shows the cables really were lossy.
+  for (const Protocol p : {Protocol::kChain, Protocol::kMirror}) {
+    for (const double loss : {1e-4, 1e-2}) {
+      bench::MicroConfig mc = repl_config(p, 2);
+      mc.ops = 150;
+      mc.jitter_sigma = 0.0;
+      mc.loss_probability = loss;
+      mc.retransmit_interval = 500 * sim::kMicrosecond;
+      const auto r = bench::run_micro(rpcs::System::kWFlushRpc, mc);
+      EXPECT_EQ(r.ops_completed, mc.ops)
+          << protocol_name(p) << " loss=" << loss;
+      if (loss >= 1e-2) {
+        EXPECT_GT(r.net_drops, 0u) << protocol_name(p);
+        EXPECT_GT(r.rnic_retransmits, 0u) << protocol_name(p);
+      }
+    }
+  }
+}
+
+TEST(DegradedFabric, LossyReplicatedStatsAreIdenticalAcrossThreadCounts) {
+  // §7.8 determinism pin for replication: a lossy cell (with a client
+  // partition layered on top) pins per-link RNG streams, so chain (a
+  // single forced partition) and mirror (per-node partitions) both
+  // stay byte-identical at 1 and 8 engine threads — including the
+  // drop and retransmit counters.
+  for (const Protocol p : {Protocol::kChain, Protocol::kMirror}) {
+    bench::MicroConfig mc = repl_config(p, 2);
+    mc.ops = 150;
+    mc.jitter_sigma = 0.0;
+    mc.loss_probability = 1e-2;
+    mc.retransmit_interval = 500 * sim::kMicrosecond;
+    net::FaultPlan plan;
+    plan.partitions.push_back(
+        {{2}, 100 * sim::kMicrosecond, 250 * sim::kMicrosecond});
+    plan.validate();
+    mc.faults = plan;
+    bench::MicroConfig wide = mc;
+    wide.engine_threads = 8;
+    const auto a = bench::run_micro(rpcs::System::kWFlushRpc, mc);
+    const auto b = bench::run_micro(rpcs::System::kWFlushRpc, wide);
+    EXPECT_GT(a.net_drops, 0u) << protocol_name(p);
+    EXPECT_GT(a.rnic_retransmits, 0u) << protocol_name(p);
+    EXPECT_EQ(a.duration, b.duration) << protocol_name(p);
+    EXPECT_EQ(a.ops_completed, b.ops_completed) << protocol_name(p);
+    EXPECT_EQ(a.sim_events, b.sim_events) << protocol_name(p);
+    EXPECT_EQ(a.kops, b.kops) << protocol_name(p);
+    EXPECT_EQ(a.latency.sum(), b.latency.sum()) << protocol_name(p);
+    EXPECT_EQ(a.durable_latency.sum(), b.durable_latency.sum())
+        << protocol_name(p);
+    EXPECT_EQ(a.net_drops, b.net_drops) << protocol_name(p);
+    EXPECT_EQ(a.rnic_retransmits, b.rnic_retransmits) << protocol_name(p);
   }
 }
 

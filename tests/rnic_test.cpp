@@ -11,6 +11,7 @@
 
 #include "mem/node_memory.hpp"
 #include "net/fabric.hpp"
+#include "net/faults.hpp"
 #include "rdma/completer.hpp"
 #include "rdma/session.hpp"
 #include "rnic/rnic.hpp"
@@ -610,6 +611,146 @@ TEST(RnicReliability, InOrderProcessingUnderJitter) {
     }
   }(rig));
   rig.sim.run();
+}
+
+TEST(RnicReliability, GoBackNReplaysWindowAfterLinkFlap) {
+  // The cable goes dark before any packet flies and heals at 300 µs:
+  // every posted write is rejected at the egress (an accounted
+  // kLinkDown drop, never silent), then the head-of-window timeout
+  // replays the whole unacked window each round until the link heals.
+  rnic::RnicParams rp;
+  rp.retransmit_interval = 100_us;
+  Rig rig(rp);
+  net::FaultPlan plan;
+  net::LinkFlap flap;
+  flap.a = 0;
+  flap.b = 1;
+  flap.down_at = 1;
+  flap.up_at = 300_us;
+  plan.link_flaps.push_back(flap);
+  rig.fab.set_fault_plan(plan);
+  rig.cmem.cpu_write(mem::NodeMemory::kDramBase, pattern(64));
+
+  int completed = 0;
+  sim::spawn([](Rig& r, int& done) -> Task<> {
+    rdma::Completer comp(r.sim, r.c_scq);
+    rdma::QpSession s(r.cnic, *r.cqp, comp);
+    for (int i = 0; i < 4; ++i) {
+      s.post_write_nowait(mem::NodeMemory::kDramBase, 64,
+                          static_cast<std::uint64_t>(i) * 256);
+    }
+    const auto wc = co_await s.write(mem::NodeMemory::kDramBase, 64, 4 * 256);
+    EXPECT_TRUE(wc.has_value());
+    if (wc && wc->status == WcStatus::kSuccess) ++done;
+  }(rig, completed));
+  rig.sim.run();
+  EXPECT_EQ(completed, 1);
+  // 5 first transmissions + at least one full-window replay round.
+  EXPECT_GE(rig.cnic.retransmits(), 5u);
+  EXPECT_GE(rig.fab.packets_dropped(net::DropReason::kLinkDown), 5u);
+  EXPECT_EQ(rig.fab.packets_dropped(net::DropReason::kLoss), 0u);
+  EXPECT_EQ(rig.cnic.sram_used(), 0u);
+  EXPECT_EQ(rig.snic.sram_used(), 0u);
+}
+
+TEST(RnicReliability, DuplicatesSuppressedUnderLossAndJitter) {
+  // Loss plus heavy jitter: retransmitted packets race their originals,
+  // so the receiver sees duplicates both below expected_seq and inside
+  // the out-of-order buffer. Each write must execute exactly once
+  // (every flush ACK certifies the content) and duplicate SRAM must be
+  // released — a leak would show as residual occupancy after the run.
+  rnic::RnicParams rp;
+  rp.retransmit_interval = 150_us;
+  net::LinkParams lp;
+  lp.loss_probability = 0.25;
+  lp.jitter_sigma = 0.5;
+  Rig rig(rp, lp);
+  sim::spawn([](Rig& r) -> Task<> {
+    rdma::Completer comp(r.sim, r.c_scq);
+    rdma::QpSession s(r.cnic, *r.cqp, comp);
+    for (int i = 0; i < 25; ++i) {
+      const auto data = pattern(512, i);
+      r.cmem.cpu_write(mem::NodeMemory::kDramBase, data);
+      s.post_write_nowait(mem::NodeMemory::kDramBase, 512,
+                          static_cast<std::uint64_t>(i) * 1024);
+      const auto wc =
+          co_await s.wflush(static_cast<std::uint64_t>(i) * 1024, 512);
+      EXPECT_TRUE(wc.has_value());
+      EXPECT_EQ(wc->status, WcStatus::kSuccess);
+      std::vector<std::byte> out(512);
+      r.smem.pm().peek(static_cast<std::uint64_t>(i) * 1024, out);
+      EXPECT_EQ(out, data) << "op " << i;
+    }
+  }(rig));
+  rig.sim.run();
+  EXPECT_GT(rig.cnic.retransmits(), 0u);
+  EXPECT_GT(rig.fab.packets_dropped(net::DropReason::kLoss), 0u);
+  EXPECT_EQ(rig.cnic.sram_used(), 0u);
+  EXPECT_EQ(rig.snic.sram_used(), 0u);
+}
+
+TEST(RnicReliability, BackoffIsCappedAtRetransmitCap) {
+  // Same dead peer, same retry budget: the capped configuration must
+  // escalate to kRetryExceeded sooner than the uncapped one, because
+  // its rearm delay stops doubling at the cap.
+  const auto fail_time = [](SimTime cap) {
+    rnic::RnicParams rp;
+    rp.retransmit_interval = 100_us;
+    rp.max_retransmits = 4;
+    rp.retransmit_cap = cap;
+    Rig rig(rp);
+    rig.snic.crash();
+    rig.cmem.cpu_write(mem::NodeMemory::kDramBase, pattern(64));
+    std::optional<Wc> out;
+    sim::spawn([](Rig& r, std::optional<Wc>& o) -> Task<> {
+      rdma::Completer comp(r.sim, r.c_scq);
+      rdma::QpSession s(r.cnic, *r.cqp, comp);
+      o = co_await s.write(mem::NodeMemory::kDramBase, 64, 0);
+    }(rig, out));
+    rig.sim.run();
+    EXPECT_TRUE(out.has_value());
+    EXPECT_EQ(out->status, WcStatus::kRetryExceeded);
+    return rig.sim.now();
+  };
+  const SimTime capped = fail_time(200_us);
+  const SimTime uncapped = fail_time(100 * sim::kMillisecond);
+  EXPECT_LT(capped, uncapped);
+}
+
+TEST(RnicReliability, ErrorQpFlushesPendingAndSubsequentPosts) {
+  // Bounded-retry escalation: the head WR completes kRetryExceeded,
+  // every later pending WR flushes, and posts after the escalation
+  // fail immediately instead of starting a fresh retry ladder.
+  rnic::RnicParams rp;
+  rp.retransmit_interval = 50_us;
+  rp.max_retransmits = 2;
+  Rig rig(rp);
+  rig.snic.crash();
+  rig.cmem.cpu_write(mem::NodeMemory::kDramBase, pattern(64));
+
+  std::optional<Wc> pending;
+  std::optional<Wc> later;
+  SimTime pending_at = 0;
+  SimTime later_at = 0;
+  sim::spawn([](Rig& r, std::optional<Wc>& p, std::optional<Wc>& l,
+                SimTime& pt, SimTime& lt) -> Task<> {
+    rdma::Completer comp(r.sim, r.c_scq);
+    rdma::QpSession s(r.cnic, *r.cqp, comp);
+    // Head of the window (will exhaust its retries)…
+    s.post_write_nowait(mem::NodeMemory::kDramBase, 64, 0);
+    // …and a queued WR behind it, flushed by the escalation.
+    p = co_await s.write(mem::NodeMemory::kDramBase, 64, 256);
+    pt = r.sim.now();
+    // A post after the QP entered the error state fails immediately.
+    l = co_await s.write(mem::NodeMemory::kDramBase, 64, 512);
+    lt = r.sim.now();
+  }(rig, pending, later, pending_at, later_at));
+  rig.sim.run();
+  ASSERT_TRUE(pending.has_value());
+  EXPECT_EQ(pending->status, WcStatus::kFlushed);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(later->status, WcStatus::kFlushed);
+  EXPECT_EQ(later_at, pending_at) << "post-error posts must fail instantly";
 }
 
 // ---------------------------------------------------------------- various

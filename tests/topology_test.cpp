@@ -325,6 +325,8 @@ void expect_model_identical(const bench::MicroResult& a,
   EXPECT_EQ(a.net_switch_hops, b.net_switch_hops) << what;
   EXPECT_EQ(a.net_max_port_queue_ns, b.net_max_port_queue_ns) << what;
   EXPECT_EQ(a.net_pfc_pauses, b.net_pfc_pauses) << what;
+  EXPECT_EQ(a.net_drops, b.net_drops) << what;
+  EXPECT_EQ(a.rnic_retransmits, b.rnic_retransmits) << what;
 }
 
 TEST(SwitchedParity, LeafSpineCellsAreByteIdenticalAcrossThreadCounts) {
@@ -356,6 +358,155 @@ TEST(SwitchedParity, JitteredRackCellMatchesSerialExactly) {
                                    switched_cell(topo, 2, 0.03));
   ASSERT_GT(r1.ops_completed, 0u);
   expect_model_identical(r1, r2, "rack jittered x2");
+}
+
+// ------------------------------------- fault routing (DESIGN.md §7.8)
+
+TEST(FaultRouting, MaskedRoutesSteerAroundDownedTrunks) {
+  TopologyConfig cfg;
+  cfg.preset = TopologyPreset::kLeafSpine;
+  cfg.racks = 2;
+  cfg.spines = 2;
+  constexpr std::size_t kHosts = 8;
+  const Topology t = net::build_topology(cfg, kHosts, LinkParams{});
+
+  // An all-up mask reproduces the base table bit for bit.
+  std::vector<bool> up(t.edge_count(), false);
+  const auto base = t.compute_routes_masked(up);
+  for (net::NodeId from = 0; from < kHosts; ++from) {
+    for (net::NodeId to = 0; to < kHosts; ++to) {
+      EXPECT_EQ(base[from * kHosts + to].ports, t.route(from, to).ports);
+    }
+  }
+
+  // Kill the trunk the 0 -> 4 inter-rack route rides (ToR -> spine,
+  // hop index 1) in both directions: every surviving route must avoid
+  // it, and cross-rack pairs must still be connected via the other
+  // spine.
+  const net::Route& victim = t.route(0, 4);
+  ASSERT_EQ(victim.ports.size(), 4u);
+  const std::uint32_t dead = victim.ports[1];
+  std::vector<bool> mask(t.edge_count(), false);
+  mask[dead] = true;
+  for (std::uint32_t e = 0; e < t.edge_count(); ++e) {
+    if (t.edge(e).from == t.edge(dead).to && t.edge(e).to == t.edge(dead).from) {
+      mask[e] = true;
+    }
+  }
+  const auto rerouted = t.compute_routes_masked(mask);
+  for (net::NodeId from = 0; from < kHosts; ++from) {
+    for (net::NodeId to = 0; to < kHosts; ++to) {
+      const net::Route& r = rerouted[from * kHosts + to];
+      if (from == to) continue;
+      ASSERT_FALSE(r.ports.empty()) << from << "->" << to;
+      for (const std::uint32_t e : r.ports) {
+        EXPECT_FALSE(mask[e]) << "route " << from << "->" << to
+                              << " rides a downed edge";
+      }
+    }
+  }
+  // Deterministic: the same mask yields the same table.
+  const auto again = t.compute_routes_masked(mask);
+  for (std::size_t i = 0; i < rerouted.size(); ++i) {
+    EXPECT_EQ(rerouted[i].ports, again[i].ports);
+  }
+}
+
+TEST(FaultRouting, FullyMaskedDestinationBecomesUnreachable) {
+  TopologyConfig cfg;
+  cfg.preset = TopologyPreset::kRack;
+  const Topology t = net::build_topology(cfg, 3, LinkParams{});
+  // Down every cable touching host 2: no route may reach it, and the
+  // empty route is the explicit unreachable marker (no silent fallback
+  // onto the flat direct table).
+  std::vector<bool> mask(t.edge_count(), false);
+  for (std::uint32_t e = 0; e < t.edge_count(); ++e) {
+    if (t.edge(e).from == 2 || t.edge(e).to == 2) mask[e] = true;
+  }
+  const auto routes = t.compute_routes_masked(mask);
+  EXPECT_TRUE(routes[0 * 3 + 2].ports.empty());
+  EXPECT_TRUE(routes[1 * 3 + 2].ports.empty());
+  // The rest of the fabric still routes.
+  EXPECT_FALSE(routes[0 * 3 + 1].ports.empty());
+}
+
+TEST(FaultInjection, SwitchCrashIsAccountedAndHeals) {
+  // Single-ToR rack: while the switch is down every destination is
+  // unreachable (accounted kUnreachable drops — never silent); after
+  // it heals, traffic flows again.
+  sim::Simulator s;
+  sim::Rng rng(5);
+  LinkParams def;
+  def.jitter_sigma = 0.0;
+  net::Fabric f(s, rng, def);
+  TopologyConfig cfg;
+  cfg.preset = TopologyPreset::kRack;
+  f.set_topology(cfg, 3);
+  net::FaultPlan plan;
+  net::SwitchFault fault;
+  fault.switch_index = 0;
+  fault.down_at = 0;
+  fault.up_at = 50'000;
+  plan.switch_faults.push_back(fault);
+  f.set_fault_plan(plan);
+
+  std::uint64_t got = 0;
+  for (net::NodeId n = 0; n < 3; ++n) {
+    f.register_node(n, [&got](net::Packet) { ++got; });
+  }
+  const auto fire = [&s, &f](sim::SimTime t) {
+    s.schedule_at(t, [&f] {
+      net::Packet p;
+      p.src = 1;
+      p.dst = 0;
+      p.op = net::WireOp::kWrite;
+      p.length = 4096;
+      (void)f.send(std::move(p));
+    });
+  };
+  fire(1000);    // during the crash: unreachable
+  fire(60'000);  // after heal: delivered
+  s.run();
+  EXPECT_EQ(got, 1u);
+  EXPECT_EQ(f.packets_dropped(net::DropReason::kUnreachable), 1u);
+  EXPECT_EQ(f.packets_dropped(), 1u);
+  EXPECT_EQ(f.packets_delivered(), 1u);
+}
+
+TEST(FaultParity, FaultedLeafSpineCellIsByteIdenticalAcrossThreadCounts) {
+  // The full degraded stack at once — uniform loss, a flapping access
+  // cable, a partition that heals — replayed at 1, 2 and 8 engine
+  // threads. Fault state is a pure function of simulated time and
+  // loss draws come from per-port RNG streams, so every drop and every
+  // go-back-N replay must land identically.
+  TopologyConfig topo;
+  topo.preset = TopologyPreset::kLeafSpine;
+  topo.racks = 2;
+  const auto cell = [&topo](unsigned threads) {
+    bench::MicroConfig mc = switched_cell(topo, threads);
+    mc.loss_probability = 0.01;
+    mc.retransmit_interval = 500 * sim::kMicrosecond;
+    net::LinkFlap flap;
+    flap.a = 1;             // client host 1…
+    flap.b = 4;             // …to its ToR (switch vertex 0 of 4 hosts)
+    flap.down_at = 200 * sim::kMicrosecond;
+    flap.up_at = 400 * sim::kMicrosecond;
+    mc.faults.link_flaps.push_back(flap);
+    net::NetPartition part;
+    part.island = {2};
+    part.begin = 600 * sim::kMicrosecond;
+    part.end = 800 * sim::kMicrosecond;
+    mc.faults.partitions.push_back(part);
+    return bench::run_micro(rpcs::System::kWFlushRpc, mc);
+  };
+  const auto r1 = cell(1);
+  const auto r2 = cell(2);
+  const auto r8 = cell(8);
+  ASSERT_GT(r1.ops_completed, 0u);
+  EXPECT_GT(r1.net_drops, 0u);
+  EXPECT_GT(r1.rnic_retransmits, 0u);
+  expect_model_identical(r1, r2, "faulted leaf-spine x2");
+  expect_model_identical(r1, r8, "faulted leaf-spine x8");
 }
 
 TEST(SwitchedParity, ShortTrunksStayInsideTheConservativeLookahead) {
